@@ -1,0 +1,51 @@
+//! One-dimensional conservative advection kernels — the numerical heart of the
+//! paper (§5.2–§5.3).
+//!
+//! Directional splitting reduces the 6-D Vlasov equation to constant-velocity
+//! 1-D advections along grid lines. Each line update is a *conservative
+//! semi-Lagrangian* step: the shift `c = v Δt/Δx` splits into an integer part
+//! (an index shift, exact) and a fractional part `s ∈ [0, 1)` handled by a
+//! flux-form update whose fluxes integrate a polynomial reconstruction of the
+//! primitive function over the swept interval. One flux evaluation per step —
+//! the paper's headline cost advantage over multi-stage Runge–Kutta schemes.
+//!
+//! Scheme ladder (all flux-form, all exactly conservative on periodic lines):
+//!
+//! | scheme        | order | limited | stages | paper role |
+//! |---------------|-------|---------|--------|------------|
+//! | [`Scheme::Upwind1`] | 1 | monotone by construction | 1 | robustness floor |
+//! | [`Scheme::Sl3`]     | 3 | no      | 1 | cheap baseline |
+//! | [`Scheme::Sl5`]     | 5 | no      | 1 | accuracy ceiling |
+//! | [`Scheme::SlMpp5`]  | 5 | MP + positivity | 1 | **the paper's scheme** |
+//! | [`mol::Mp5Rk3`]     | 5 | MP      | 3 | the conventional alternative (§5.2 cost ablation) |
+//!
+//! Modules:
+//! * [`line`] — scalar `f32` line kernels (any scheme).
+//! * [`simd`] — the `f32x8` lane type and the in-register 8×8 transpose used
+//!   by the LAT method (§5.3, Fig. 3).
+//! * [`lanes`] — eight-lines-at-once SIMD kernels for the production scheme.
+//! * [`mol`] — the method-of-lines MP5 + TVD-RK3 baseline.
+//! * [`flux`] — shared semi-Lagrangian flux weights and the MP limiter.
+
+pub mod flux;
+pub mod lanes;
+pub mod line;
+pub mod mol;
+pub mod simd;
+
+pub use flux::Boundary;
+pub use line::{advect_line, Scheme};
+pub use simd::f32x8;
+
+/// Estimated floating-point operations per updated cell for each scheme —
+/// used by the Table 1 benchmark to convert cell throughput into Gflop/s the
+/// same way the paper counts them (flux evaluation + update).
+pub fn flops_per_cell(scheme: Scheme) -> f64 {
+    match scheme {
+        Scheme::Upwind1 => 4.0,
+        Scheme::Sl3 => 10.0,
+        Scheme::Sl5 => 14.0,
+        // 5 stencil MACs + MP5 bracket (~40 ops) + clamps + update.
+        Scheme::SlMpp5 => 56.0,
+    }
+}

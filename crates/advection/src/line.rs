@@ -1,0 +1,381 @@
+//! Scalar (one line at a time) conservative semi-Lagrangian kernels.
+//!
+//! A "line" is a 1-D slice of the 6-D distribution function along the sweep
+//! axis. The advection velocity is constant along a line (it depends only on
+//! transverse coordinates), so one `(scheme, cfl)` pair updates the whole
+//! line. Values are `f32` (the paper stores the distribution function in
+//! single precision); flux weights and the limiter run in `f64` so the update
+//! itself contributes the only rounding.
+
+use crate::flux::{mp5_bracket, median_clip, sl3_weights, sl5_weights, Boundary};
+
+/// Single-stage conservative SL schemes (see crate docs for the ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// First-order upwind.
+    Upwind1,
+    /// Third-order, unlimited.
+    Sl3,
+    /// Fifth-order, unlimited.
+    Sl5,
+    /// Fifth-order with the Suresh–Huynh MP bracket and positivity clamp —
+    /// the paper's SL-MPP5. Guarantees: exact conservation, strict
+    /// positivity, and monotonicity preservation in the Suresh–Huynh sense
+    /// (monotone profiles develop no oscillations; smooth extrema are *not*
+    /// clipped, so arbitrary rough data may transiently overshoot its range
+    /// — a property shared with the original MP5).
+    #[default]
+    SlMpp5,
+}
+
+/// Ghost width needed by the widest stencil (SL-MPP5 / SL5).
+pub const GHOST: usize = 3;
+
+/// Reusable scratch for line updates — allocate once per worker thread.
+#[derive(Debug, Default, Clone)]
+pub struct LineWork {
+    ghost: Vec<f64>,
+    flux: Vec<f64>,
+}
+
+impl LineWork {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        self.ghost.clear();
+        self.ghost.resize(n + 2 * GHOST, 0.0);
+        self.flux.clear();
+        self.flux.resize(n + 1, 0.0);
+    }
+}
+
+/// Advance one line by shift `cfl = v Δt / Δx` (any magnitude, any sign).
+///
+/// The update is in flux form, so on periodic lines total mass is conserved to
+/// rounding. `Boundary::Zero` lines lose the mass advected off the ends —
+/// physical outflow in velocity space.
+pub fn advect_line(scheme: Scheme, line: &mut [f32], cfl: f64, bc: Boundary, work: &mut LineWork) {
+    let n = line.len();
+    if n == 0 || cfl == 0.0 {
+        return;
+    }
+    assert!(n >= 2 * GHOST, "line too short for the stencil: {n}");
+    if cfl < 0.0 {
+        // Mirror trick: advecting with -c equals advecting the reversed line
+        // with +c. Both boundary conditions are mirror-symmetric.
+        line.reverse();
+        advect_positive(scheme, line, -cfl, bc, work);
+        line.reverse();
+    } else {
+        advect_positive(scheme, line, cfl, bc, work);
+    }
+}
+
+fn advect_positive(scheme: Scheme, line: &mut [f32], cfl: f64, bc: Boundary, work: &mut LineWork) {
+    debug_assert!(cfl >= 0.0);
+    let n = line.len();
+    let n_int = cfl.floor() as i64;
+    let s = cfl - n_int as f64;
+    work.prepare(n);
+
+    // Ghost-extended, integer-shifted upwind copy: ghost[j] = line[j - GHOST - n_int].
+    for (j, g) in work.ghost.iter_mut().enumerate() {
+        let src = j as i64 - GHOST as i64 - n_int;
+        *g = sample(line, src, bc);
+    }
+
+    // Interface fluxes: flux[j] = F_{j-1/2}, upwind cell j-1, stencil cells
+    // j-3 .. j+1 → ghost indices j .. j+4.
+    let ghost = &work.ghost;
+    match scheme {
+        Scheme::Upwind1 => {
+            for (j, fl) in work.flux.iter_mut().enumerate() {
+                *fl = s * ghost[j + 2];
+            }
+        }
+        Scheme::Sl3 => {
+            let w = sl3_weights(s);
+            for (j, fl) in work.flux.iter_mut().enumerate() {
+                *fl = w[0] * ghost[j + 1] + w[1] * ghost[j + 2] + w[2] * ghost[j + 3];
+            }
+        }
+        Scheme::Sl5 => {
+            let w = sl5_weights(s);
+            for (j, fl) in work.flux.iter_mut().enumerate() {
+                *fl = w[0] * ghost[j]
+                    + w[1] * ghost[j + 1]
+                    + w[2] * ghost[j + 2]
+                    + w[3] * ghost[j + 3]
+                    + w[4] * ghost[j + 4];
+            }
+        }
+        Scheme::SlMpp5 => {
+            let w = sl5_weights(s);
+            if s < 1e-12 {
+                // Pure integer shift: no fractional flux.
+                for fl in work.flux.iter_mut() {
+                    *fl = 0.0;
+                }
+            } else {
+                let inv_s = 1.0 / s;
+                let alpha = crate::flux::mp_alpha(s);
+                for (j, fl) in work.flux.iter_mut().enumerate() {
+                    let stencil = [ghost[j], ghost[j + 1], ghost[j + 2], ghost[j + 3], ghost[j + 4]];
+                    let f_high = w[0] * stencil[0]
+                        + w[1] * stencil[1]
+                        + w[2] * stencil[2]
+                        + w[3] * stencil[3]
+                        + w[4] * stencil[4];
+                    // Interface average seen by the MP bracket.
+                    let f_sl = f_high * inv_s;
+                    let (lo, hi) = mp5_bracket(&stencil, alpha);
+                    let f_lim = median_clip(f_sl, lo, hi);
+                    // Positivity: the flux leaving cell j-1 cannot exceed its
+                    // content and cannot be negative (s ≤ 1 ⇒ swept mass ≤ cell mass).
+                    *fl = (s * f_lim).clamp(0.0, stencil[2].max(0.0));
+                }
+            }
+        }
+    }
+
+    // Flux-form update.
+    for (i, v) in line.iter_mut().enumerate() {
+        let updated = work.ghost[i + GHOST] - work.flux[i + 1] + work.flux[i];
+        *v = updated as f32;
+    }
+}
+
+#[inline]
+fn sample(line: &[f32], idx: i64, bc: Boundary) -> f64 {
+    let n = line.len() as i64;
+    match bc {
+        Boundary::Periodic => line[idx.rem_euclid(n) as usize] as f64,
+        Boundary::Zero => {
+            if idx < 0 || idx >= n {
+                0.0
+            } else {
+                line[idx as usize] as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMES: [Scheme; 4] = [Scheme::Upwind1, Scheme::Sl3, Scheme::Sl5, Scheme::SlMpp5];
+
+    fn sine_line(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * (2.0 * std::f64::consts::PI * (i as f64 + 0.5) / n as f64).sin() + 2.5) as f32)
+            .collect()
+    }
+
+    fn mass(line: &[f32]) -> f64 {
+        line.iter().map(|&v| v as f64).sum()
+    }
+
+    #[test]
+    fn periodic_mass_conservation_all_schemes() {
+        for scheme in SCHEMES {
+            let mut line = sine_line(64);
+            let m0 = mass(&line);
+            let mut work = LineWork::new();
+            for step in 0..50 {
+                let cfl = 0.37 + 0.01 * (step % 7) as f64;
+                advect_line(scheme, &mut line, cfl, Boundary::Periodic, &mut work);
+            }
+            let m1 = mass(&line);
+            assert!(
+                (m1 - m0).abs() < 1e-3 * m0.abs(),
+                "{scheme:?}: mass drifted {m0} -> {m1}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_shift_is_exact() {
+        for scheme in SCHEMES {
+            let mut line = sine_line(32);
+            let orig = line.clone();
+            let mut work = LineWork::new();
+            advect_line(scheme, &mut line, 5.0, Boundary::Periodic, &mut work);
+            for i in 0..32 {
+                let expect = orig[(i + 32 - 5) % 32];
+                assert!(
+                    (line[i] - expect).abs() < 1e-5,
+                    "{scheme:?} at {i}: {} vs {}",
+                    line[i],
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_velocity_mirrors_positive() {
+        for scheme in SCHEMES {
+            let mut right = sine_line(48);
+            // Perturb to break symmetry.
+            right[7] += 1.0;
+            let mut left = right.clone();
+            let mut work = LineWork::new();
+            advect_line(scheme, &mut right, 0.4, Boundary::Periodic, &mut work);
+            advect_line(scheme, &mut left, -0.4, Boundary::Periodic, &mut work);
+            // Advecting left then right by the same shift returns ~original...
+            // stronger: left-advected reversed line equals right-advected of
+            // reversed original. Just verify they both conserve mass and are
+            // mirror images when the input is reversed.
+            let mut mirrored: Vec<f32> = right.clone();
+            mirrored.reverse();
+            let mut reversed_input = sine_line(48);
+            reversed_input[7] += 1.0;
+            reversed_input.reverse();
+            let mut work2 = LineWork::new();
+            advect_line(scheme, &mut reversed_input, -0.4, Boundary::Periodic, &mut work2);
+            for (a, b) in mirrored.iter().zip(&reversed_input) {
+                assert!((a - b).abs() < 1e-6, "{scheme:?}");
+            }
+            let _ = left;
+        }
+    }
+
+    #[test]
+    fn sl5_advects_smooth_profile_accurately() {
+        let n = 128;
+        let mut line = sine_line(n);
+        let orig = line.clone();
+        let mut work = LineWork::new();
+        // 100 steps of CFL 0.32 → total shift 32 cells: back to a grid point.
+        for _ in 0..100 {
+            advect_line(Scheme::Sl5, &mut line, 0.32, Boundary::Periodic, &mut work);
+        }
+        let mut max_err = 0.0f64;
+        for i in 0..n {
+            let expect = orig[(i + n - 32) % n];
+            max_err = max_err.max((line[i] - expect).abs() as f64);
+        }
+        assert!(max_err < 2e-5, "max err {max_err}");
+    }
+
+    #[test]
+    fn convergence_order_of_sl5_is_about_five() {
+        // Error after advecting one full period at fixed CFL; refine the grid.
+        let err_at = |n: usize| {
+            let mut line: Vec<f32> = (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * (i as f64 + 0.5) / n as f64).sin() as f32)
+                .collect();
+            let orig = line.clone();
+            let mut work = LineWork::new();
+            let cfl = 0.4;
+            let steps = (n as f64 / cfl).round() as usize; // one full period
+            for _ in 0..steps {
+                advect_line(Scheme::Sl5, &mut line, n as f64 / steps as f64, Boundary::Periodic, &mut work);
+            }
+            line.iter()
+                .zip(&orig)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max)
+        };
+        let (e16, e32) = (err_at(16), err_at(32));
+        let order = (e16 / e32).log2();
+        // f32 storage puts a floor on the error; accept anything ≥ 4.
+        assert!(order > 4.0, "measured order {order} (e16={e16}, e32={e32})");
+    }
+
+    #[test]
+    fn slmpp5_keeps_step_function_in_bounds() {
+        let n = 64;
+        let mut line = vec![0.0f32; n];
+        for v in line.iter_mut().take(32).skip(16) {
+            *v = 1.0;
+        }
+        let mut work = LineWork::new();
+        for _ in 0..200 {
+            advect_line(Scheme::SlMpp5, &mut line, 0.45, Boundary::Periodic, &mut work);
+        }
+        for (i, &v) in line.iter().enumerate() {
+            assert!(v >= -1e-6 && v <= 1.0 + 1e-5, "cell {i}: {v}");
+        }
+        assert!((mass(&line) - 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unlimited_sl5_overshoots_where_slmpp5_does_not() {
+        let n = 64;
+        let step: Vec<f32> = (0..n).map(|i| if (16..32).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let overshoot = |scheme: Scheme| {
+            let mut line = step.clone();
+            let mut work = LineWork::new();
+            for _ in 0..50 {
+                advect_line(scheme, &mut line, 0.45, Boundary::Periodic, &mut work);
+            }
+            line.iter().fold(0.0f32, |m, &v| m.max(v - 1.0).max(-v))
+        };
+        let unlimited = overshoot(Scheme::Sl5);
+        let limited = overshoot(Scheme::SlMpp5);
+        assert!(unlimited > 1e-2, "SL5 should visibly overshoot: {unlimited}");
+        assert!(limited < 1e-5, "SL-MPP5 must not: {limited}");
+    }
+
+    #[test]
+    fn positivity_preserved_on_random_nonnegative_data() {
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32
+        };
+        let mut line: Vec<f32> = (0..96).map(|_| next() * next()).collect();
+        let mut work = LineWork::new();
+        for step in 0..300 {
+            let cfl = 0.1 + 0.8 * ((step as f64 * 0.618) % 1.0);
+            advect_line(Scheme::SlMpp5, &mut line, cfl, Boundary::Periodic, &mut work);
+            for (i, &v) in line.iter().enumerate() {
+                assert!(v >= 0.0, "step {step}, cell {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_boundary_drains_outflow() {
+        let n = 32;
+        let mut line = vec![0.0f32; n];
+        line[n - 2] = 1.0;
+        let mut work = LineWork::new();
+        // Push right for many steps: the bump must leave the domain.
+        for _ in 0..40 {
+            advect_line(Scheme::SlMpp5, &mut line, 0.9, Boundary::Zero, &mut work);
+        }
+        assert!(mass(&line) < 1e-6, "mass left: {}", mass(&line));
+        // And nothing re-entered from the left.
+        assert!(line.iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn zero_cfl_is_identity() {
+        let mut line = sine_line(32);
+        let orig = line.clone();
+        let mut work = LineWork::new();
+        advect_line(Scheme::SlMpp5, &mut line, 0.0, Boundary::Periodic, &mut work);
+        assert_eq!(line, orig);
+    }
+
+    #[test]
+    fn large_cfl_combines_integer_and_fraction() {
+        let n = 64;
+        let mut line = sine_line(n);
+        let mut reference = line.clone();
+        let mut work = LineWork::new();
+        // One step of CFL 3.3 ...
+        advect_line(Scheme::Sl5, &mut line, 3.3, Boundary::Periodic, &mut work);
+        // ... equals integer shift 3 followed by fractional 0.3.
+        advect_line(Scheme::Sl5, &mut reference, 3.0, Boundary::Periodic, &mut work);
+        advect_line(Scheme::Sl5, &mut reference, 0.3, Boundary::Periodic, &mut work);
+        for (a, b) in line.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

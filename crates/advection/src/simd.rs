@@ -1,0 +1,241 @@
+//! Portable SIMD lane type and the LAT register-block transpose.
+//!
+//! The paper vectorises with A64FX SVE intrinsics (16 × f32 per 512-bit
+//! register). Stable Rust exposes no portable intrinsics, so we use the
+//! standard substitution: a `#[repr(align(32))]` wrapper over `[f32; 8]`
+//! whose lane-wise operations compile to packed SIMD instructions under
+//! `opt-level ≥ 2` (LLVM auto-vectorises fixed-length array arithmetic).
+//! The *code shapes* of the paper's three kernel variants — scalar strided,
+//! SIMD over contiguous lanes, and SIMD with the load-and-transpose (LAT)
+//! trick — are preserved exactly; see `vlasov6d-phase-space::sweep`.
+//!
+//! [`transpose8x8`] is the Fig. 3 operation at width 8: transpose an 8×8 f32
+//! block held in eight lane registers using only register-to-register
+//! shuffles (`8·log₂8 = 24` shuffle steps), never touching memory with a
+//! stride.
+
+/// Eight packed `f32` lanes.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C, align(32))]
+pub struct f32x8(pub [f32; 8]);
+
+pub const LANES: usize = 8;
+
+impl f32x8 {
+    pub const ZERO: Self = Self([0.0; 8]);
+
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self([v; 8])
+    }
+
+    #[inline(always)]
+    pub fn load(slice: &[f32]) -> Self {
+        let mut out = [0.0f32; 8];
+        out.copy_from_slice(&slice[..8]);
+        Self(out)
+    }
+
+    #[inline(always)]
+    pub fn store(self, slice: &mut [f32]) {
+        slice[..8].copy_from_slice(&self.0);
+    }
+
+    #[inline(always)]
+    pub fn min(self, o: Self) -> Self {
+        Self(core::array::from_fn(|i| self.0[i].min(o.0[i])))
+    }
+
+    #[inline(always)]
+    pub fn max(self, o: Self) -> Self {
+        Self(core::array::from_fn(|i| self.0[i].max(o.0[i])))
+    }
+
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        Self(core::array::from_fn(|i| self.0[i].abs()))
+    }
+
+    /// Lane-wise `a*b + self` (fused where the target supports it).
+    #[inline(always)]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Self(core::array::from_fn(|i| a.0[i].mul_add(b.0[i], self.0[i])))
+    }
+
+    #[inline(always)]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        self.max(lo).min(hi)
+    }
+
+    /// Lane-wise sign: +1.0, -1.0 or 0.0.
+    #[inline(always)]
+    pub fn signum_or_zero(self) -> Self {
+        Self(core::array::from_fn(|i| {
+            let v = self.0[i];
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    #[inline(always)]
+    pub fn horizontal_sum(self) -> f32 {
+        self.0.iter().sum()
+    }
+}
+
+macro_rules! lanewise_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl core::ops::$trait for f32x8 {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, o: Self) -> Self {
+                Self(core::array::from_fn(|i| self.0[i] $op o.0[i]))
+            }
+        }
+    };
+}
+lanewise_binop!(Add, add, +);
+lanewise_binop!(Sub, sub, -);
+lanewise_binop!(Mul, mul, *);
+lanewise_binop!(Div, div, /);
+
+impl core::ops::Neg for f32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self(core::array::from_fn(|i| -self.0[i]))
+    }
+}
+
+impl core::ops::AddAssign for f32x8 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl core::ops::Mul<f32> for f32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, s: f32) -> Self {
+        self * Self::splat(s)
+    }
+}
+
+/// In-register 8×8 transpose — the LAT primitive (paper Fig. 3 at width 8).
+///
+/// Stage 1 interleaves lane pairs, stage 2 interleaves 2-lane groups, stage 3
+/// interleaves 4-lane groups: `8 · 3 = 24` shuffles, exactly the
+/// `n log₂ n`-shuffle structure the paper counts ("64 instructions for 16×16").
+#[inline(always)]
+pub fn transpose8x8(rows: &mut [f32x8; 8]) {
+    // Eklundh's algorithm: at stage `s` every register pair `(r, r+s)` with
+    // `r & s == 0` exchanges its off-diagonal s-wide lane groups — one
+    // two-register shuffle per pair, 3 stages × 4 pairs total. Bit `s` of the
+    // row index trades places with bit `s` of the column index, so after
+    // stages 1, 2, 4 the block is fully transposed.
+    let mut s = 1usize;
+    while s < 8 {
+        let mut r = 0usize;
+        while r < 8 {
+            if r & s == 0 {
+                let lo = rows[r].0;
+                let hi = rows[r + s].0;
+                let mut new_lo = lo;
+                let mut new_hi = hi;
+                let mut c = 0usize;
+                while c < 8 {
+                    if c & s != 0 {
+                        new_lo[c] = hi[c - s];
+                        new_hi[c - s] = lo[c];
+                    }
+                    c += 1;
+                }
+                rows[r].0 = new_lo;
+                rows[r + s].0 = new_hi;
+            }
+            r += 1;
+        }
+        s <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_arithmetic() {
+        let a = f32x8::splat(2.0);
+        let b = f32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!((a + b).0, [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!((a * b).0, [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+        assert_eq!((b - a).0, [-1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = f32x8([1.0, 5.0, -3.0, 0.0, 2.0, -2.0, 8.0, -8.0]);
+        let lo = f32x8::splat(-1.0);
+        let hi = f32x8::splat(2.0);
+        let c = a.clamp(lo, hi);
+        assert_eq!(c.0, [1.0, 2.0, -1.0, 0.0, 2.0, -1.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn mul_add_matches_scalar() {
+        let acc = f32x8::splat(1.0);
+        let a = f32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = f32x8::splat(0.5);
+        let got = acc.mul_add(a, b);
+        for (i, v) in got.0.iter().enumerate() {
+            assert_eq!(*v, 1.0 + (i as f32 + 1.0) * 0.5);
+        }
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let v = f32x8::load(&src);
+        let mut dst = vec![0.0f32; 8];
+        v.store(&mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn transpose_is_its_own_inverse() {
+        let mut rows: [f32x8; 8] =
+            core::array::from_fn(|r| f32x8(core::array::from_fn(|c| (r * 8 + c) as f32)));
+        let orig = rows;
+        transpose8x8(&mut rows);
+        // Spot-check the transposed layout.
+        assert_eq!(rows[0].0[3], 24.0); // column 0 of row 3
+        assert_eq!(rows[5].0[2], 21.0); // (r=5,c=2) <- (2,5) = 2*8+5
+        transpose8x8(&mut rows);
+        assert_eq!(rows, orig);
+    }
+
+    #[test]
+    fn transpose_moves_every_element_correctly() {
+        let mut rows: [f32x8; 8] =
+            core::array::from_fn(|r| f32x8(core::array::from_fn(|c| (100 * r + c) as f32)));
+        transpose8x8(&mut rows);
+        for r in 0..8 {
+            for c in 0..8 {
+                assert_eq!(rows[r].0[c], (100 * c + r) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_sum() {
+        let v = f32x8([1.0; 8]);
+        assert_eq!(v.horizontal_sum(), 8.0);
+    }
+}

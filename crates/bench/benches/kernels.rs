@@ -1,0 +1,144 @@
+//! Criterion microbenches for the hot kernels: 1-D advection (per scheme),
+//! lane kernels, the 8×8 LAT transpose, CIC deposit, FFT and tree walks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vlasov6d_advection::lanes::{advect_lanes, LanesWork};
+use vlasov6d_advection::line::{advect_line, LineWork, Scheme};
+use vlasov6d_advection::simd::{f32x8, transpose8x8};
+use vlasov6d_advection::Boundary;
+use vlasov6d_fft::{Complex64, FftPlan, RealFft3};
+use vlasov6d_mesh::assign::{deposit_equal_mass, Scheme as AssignScheme};
+use vlasov6d_mesh::Field3;
+use vlasov6d_nbody::Tree;
+use vlasov6d_poisson::ForceSplit;
+
+fn bench_advect_line(c: &mut Criterion) {
+    let n = 256;
+    let base: Vec<f32> = (0..n)
+        .map(|i| (2.0 + (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin()) as f32)
+        .collect();
+    let mut group = c.benchmark_group("advect_line");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, scheme) in [
+        ("upwind1", Scheme::Upwind1),
+        ("sl3", Scheme::Sl3),
+        ("sl5", Scheme::Sl5),
+        ("slmpp5", Scheme::SlMpp5),
+    ] {
+        group.bench_function(name, |b| {
+            let mut line = base.clone();
+            let mut work = LineWork::new();
+            b.iter(|| {
+                advect_line(scheme, &mut line, black_box(0.37), Boundary::Periodic, &mut work);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_advect_lanes(c: &mut Criterion) {
+    let n = 256;
+    let base: Vec<f32x8> = (0..n)
+        .map(|i| f32x8::splat((2.0 + (i as f32 * 0.1).sin()) as f32))
+        .collect();
+    let mut group = c.benchmark_group("advect_lanes");
+    group.throughput(Throughput::Elements(8 * n as u64));
+    group.bench_function("slmpp5_8lanes", |b| {
+        let mut bundle = base.clone();
+        let mut work = LanesWork::new();
+        b.iter(|| {
+            advect_lanes(Scheme::SlMpp5, &mut bundle, black_box(0.37), Boundary::Periodic, &mut work);
+        });
+    });
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    c.bench_function("transpose8x8", |b| {
+        let mut rows: [f32x8; 8] =
+            core::array::from_fn(|r| f32x8(core::array::from_fn(|l| (r * 8 + l) as f32)));
+        b.iter(|| {
+            transpose8x8(black_box(&mut rows));
+        });
+    });
+}
+
+fn bench_cic(c: &mut Criterion) {
+    let mut state = 1u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let positions: Vec<[f64; 3]> = (0..10_000).map(|_| [next(), next(), next()]).collect();
+    let mut group = c.benchmark_group("cic_deposit");
+    group.throughput(Throughput::Elements(positions.len() as u64));
+    group.bench_function("10k_particles_32cube", |b| {
+        b.iter(|| {
+            let mut f = Field3::zeros_cubic(32);
+            deposit_equal_mass(&mut f, AssignScheme::Cic, black_box(&positions), 1.0);
+            black_box(f.sum());
+        });
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    let n = 1024;
+    let plan = FftPlan::new(n);
+    let sig: Vec<Complex64> = (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("c2c_1024", |b| {
+        b.iter(|| {
+            let mut buf = sig.clone();
+            plan.forward(&mut buf);
+            black_box(buf[0]);
+        });
+    });
+    let plan3 = RealFft3::new([32, 32, 32]);
+    let field: Vec<f64> = (0..32 * 32 * 32).map(|i| (i as f64 * 0.01).sin()).collect();
+    group.throughput(Throughput::Elements((32 * 32 * 32) as u64));
+    group.bench_function("r2c_32cube", |b| {
+        let mut spec = vec![Complex64::ZERO; plan3.spectrum_len()];
+        b.iter(|| {
+            plan3.forward(black_box(&field), &mut spec);
+            black_box(spec[1]);
+        });
+    });
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut state = 7u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let positions: Vec<[f64; 3]> = (0..5_000).map(|_| [next(), next(), next()]).collect();
+    let split = ForceSplit::new(0.04);
+    let r_cut = split.cutoff_radius(1e-5);
+    let mut group = c.benchmark_group("tree");
+    group.bench_function("build_5k", |b| {
+        b.iter(|| {
+            black_box(Tree::build(black_box(&positions), 2e-4));
+        });
+    });
+    let tree = Tree::build(&positions, 2e-4);
+    group.bench_function("walk_one_target", |b| {
+        b.iter(|| {
+            black_box(tree.short_range_at(black_box([0.5, 0.5, 0.5]), &split, 0.5, 1e-4, r_cut));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_advect_line,
+    bench_advect_lanes,
+    bench_transpose,
+    bench_cic,
+    bench_fft,
+    bench_tree
+);
+criterion_main!(benches);

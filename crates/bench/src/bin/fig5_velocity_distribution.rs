@@ -1,0 +1,77 @@
+//! Fig. 5: the local velocity distribution — smooth, long-tailed Fermi–Dirac
+//! on the Vlasov grid versus the handful of particles an N-body run puts in
+//! the same spatial cell. Writes `target/figures/fig5.csv` with both series.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-bench --bin fig5_velocity_distribution
+//! ```
+
+use std::path::PathBuf;
+use vlasov6d::maps::write_series;
+use vlasov6d::noise;
+use vlasov6d_cosmology::{CosmologyParams, FermiDirac, Units};
+use vlasov6d_ic::{load_neutrino_phase_space, sample_neutrino_particles};
+use vlasov6d_mesh::Field3;
+use vlasov6d_phase_space::{moments, PhaseSpace, VelocityGrid};
+
+fn main() {
+    let out_dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let cosmo = CosmologyParams::planck2015();
+    let units = Units::new(200.0, cosmo.h);
+    let fd = FermiDirac::new(cosmo.m_nu_ev());
+    let ut = fd.u_thermal_kms / units.velocity_unit_kms();
+
+    let (nx, nu) = (8usize, 24usize);
+    let vg = VelocityGrid::cubic(nu, 3.0 * fd.rms_speed() / units.velocity_unit_kms());
+    let mut ps = PhaseSpace::zeros([nx, nx, nx], vg);
+    load_neutrino_phase_space(&mut ps, ut, cosmo.omega_nu(), &Field3::zeros([nx, nx, nx]), None);
+
+    // Particle comparison: 2× the spatial resolution (paper ratio).
+    let particles = sample_neutrino_particles(2 * nx, cosmo.omega_nu(), ut, None, 7);
+
+    let n_bins = 24;
+    let cell = [nx / 2, nx / 2, nx / 2];
+    let (centers, f_vlasov) = moments::speed_distribution(&ps, cell, n_bins);
+
+    // Particle speed histogram inside the same spatial cell.
+    let lo = cell.map(|c| c as f64 / nx as f64);
+    let hi = cell.map(|c| (c + 1) as f64 / nx as f64);
+    let umax = centers.last().unwrap() + centers[0];
+    let mut hist = vec![0.0f64; n_bins];
+    let mut in_cell = 0usize;
+    for (p, v) in particles.pos.iter().zip(&particles.vel) {
+        if (0..3).all(|d| p[d] >= lo[d] && p[d] < hi[d]) {
+            in_cell += 1;
+            let s = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+            let b = ((s / umax * n_bins as f64) as usize).min(n_bins - 1);
+            hist[b] += 1.0;
+        }
+    }
+
+    let centers_kms: Vec<f64> = centers.iter().map(|&c| units.code_to_kms(c)).collect();
+    write_series(
+        &out_dir.join("fig5.csv"),
+        &["u_kms", "vlasov_f", "particle_count"],
+        &[&centers_kms, &f_vlasov, &hist],
+    )
+    .unwrap();
+
+    println!("Fig. 5 (one spatial cell of the {nx}³ grid):");
+    println!("  Vlasov grid resolves f(|u|) on {} velocity cells — smooth FD tail;", nu * nu * nu);
+    println!("  N-body puts {in_cell} particles in the same cell;");
+    let populated = hist.iter().filter(|&&h| h > 0.0).count();
+    println!("  particle histogram populates {populated}/{n_bins} speed bins.");
+    println!(
+        "  velocity-space empty-cell bound for the particles: ≥ {:.2}%",
+        100.0 * noise::velocity_space_empty_bound(in_cell as f64, nu * nu * nu)
+    );
+    let tail_bin = 3 * n_bins / 4;
+    println!(
+        "  FD tail at u = {:.0} km/s: Vlasov f = {:.2e} (resolved), particles: {} (lost)",
+        centers_kms[tail_bin],
+        f_vlasov[tail_bin],
+        if hist[tail_bin] == 0.0 { "0 samples" } else { "few samples" }
+    );
+    println!("\nseries written to target/figures/fig5.csv");
+}

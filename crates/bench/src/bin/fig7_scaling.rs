@@ -1,0 +1,69 @@
+//! Fig. 7: elapsed time per step vs node count — both panels as CSV series
+//! (written to `target/figures/fig7_{weak,strong}.csv`) plus an ASCII plot.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-bench --bin fig7_scaling
+//! ```
+
+use std::path::PathBuf;
+use vlasov6d::maps::write_series;
+use vlasov6d_perfmodel::model::step_time;
+use vlasov6d_perfmodel::runs::paper_runs;
+use vlasov6d_perfmodel::MachineModel;
+
+fn main() {
+    let out_dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let machine = MachineModel::fugaku_per_cmg();
+    let runs = paper_runs();
+
+    // All runs: nodes, per-part and total step times.
+    let mut nodes = Vec::new();
+    let mut total = Vec::new();
+    let mut vlasov = Vec::new();
+    let mut tree = Vec::new();
+    let mut pm = Vec::new();
+    let mut ids = Vec::new();
+    for r in &runs {
+        if r.id.starts_with('U') {
+            continue;
+        }
+        let t = step_time(r, &machine);
+        ids.push(r.id);
+        nodes.push(r.nodes as f64);
+        total.push(t.total());
+        vlasov.push(t.vlasov);
+        tree.push(t.tree);
+        pm.push(t.pm);
+    }
+    write_series(
+        &out_dir.join("fig7_strong.csv"),
+        &["nodes", "total_s", "vlasov_s", "tree_s", "pm_s"],
+        &[&nodes, &total, &vlasov, &tree, &pm],
+    )
+    .unwrap();
+
+    // Weak chain only.
+    let chain = ["S2", "M16", "L128", "H1024"];
+    let mut wn = Vec::new();
+    let mut wt = Vec::new();
+    for id in chain {
+        let r = runs.iter().find(|r| r.id == id).unwrap();
+        let t = step_time(r, &machine);
+        wn.push(r.nodes as f64);
+        wt.push(t.total());
+    }
+    write_series(&out_dir.join("fig7_weak.csv"), &["nodes", "total_s"], &[&wn, &wt]).unwrap();
+
+    // ASCII rendition of the strong-scaling panel (log-log flavour).
+    println!("Fig. 7 (model): step time vs nodes — ideal scaling is a flat");
+    println!("line on the weak chain, 1/N on strong groups.\n");
+    println!("  weak chain (constant work/node):");
+    for (id, (n, t)) in chain.iter().zip(wn.iter().zip(&wt)) {
+        let bar = "#".repeat((t * 30.0) as usize);
+        println!("    {id:>6} {n:>7.0} nodes  {t:.3}s  {bar}");
+    }
+    println!("\n  per-group step times written to target/figures/fig7_strong.csv");
+    println!("  (columns: nodes, total, vlasov, tree, pm; rows in Table-2 order:");
+    println!("   {})", ids.join(" "));
+}

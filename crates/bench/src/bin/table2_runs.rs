@@ -1,0 +1,52 @@
+//! Table 2: the paper's run configurations with derived resource figures.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-bench --bin table2_runs
+//! ```
+
+use vlasov6d_perfmodel::runs::paper_runs;
+use vlasov6d_suite::{human_count, table_header, table_row};
+
+fn main() {
+    println!("Table 2: runs for weak/strong scaling and time-to-solution\n");
+    let widths = [7, 7, 6, 8, 8, 13, 5, 12, 12];
+    println!(
+        "{}",
+        table_header(
+            &["id", "Nx", "Nu", "N_CDM", "nodes", "(nx,ny,nz)", "ppn", "cells/rank", "mem/rank"],
+            &widths
+        )
+    );
+    for r in paper_runs() {
+        let mem_gib = r.vlasov_cells_per_rank() * 4.0 / (1u64 << 30) as f64;
+        println!(
+            "{}",
+            table_row(
+                &[
+                    r.id.to_string(),
+                    format!("{}³", r.nx),
+                    format!("{}³", r.nu),
+                    format!("{}³", r.n_cdm),
+                    r.nodes.to_string(),
+                    format!("({},{},{})", r.procs[0], r.procs[1], r.procs[2]),
+                    r.procs_per_node.to_string(),
+                    format!("{:.2e}", r.vlasov_cells_per_rank()),
+                    format!("{mem_gib:.1} GiB"),
+                ],
+                &widths
+            )
+        );
+    }
+    let u = paper_runs().into_iter().find(|r| r.id == "U1024").unwrap();
+    let total = (u.nx as f64).powi(3) * (u.nu as f64).powi(3);
+    println!(
+        "\nU1024 headline: {} phase-space cells (the paper's '400 trillion grids'),",
+        human_count(total)
+    );
+    println!(
+        "{} CDM particles, on {} nodes ({} cores).",
+        human_count((u.n_cdm as f64).powi(3)),
+        u.nodes,
+        u.nodes * 48
+    );
+}

@@ -1,0 +1,94 @@
+//! Table 3 / Fig. 7-left: weak scaling.
+//!
+//! Two parts:
+//! 1. **Communication-volume validation** — run a real decomposed Vlasov
+//!    sweep on the `mpisim` runtime and check that the counted ghost-exchange
+//!    bytes equal what the performance model assumes. (On this 1-core host,
+//!    thread wall-clock would be meaningless; exact byte counting is the
+//!    honest observable.)
+//! 2. **Model table** — the calibrated Fugaku model evaluated on the paper's
+//!    weak-scaling chain S2 → M16 → L128 → H1024, printed against the
+//!    paper's Table 3 values.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-bench --bin table3_weak_scaling
+//! ```
+
+use vlasov6d_advection::line::Scheme;
+use vlasov6d_mesh::Decomp3;
+use vlasov6d_mpisim::{Cart3, Universe};
+use vlasov6d_perfmodel::runs::{paper_runs, PAPER_WEAK_SCALING};
+use vlasov6d_perfmodel::{MachineModel, ScalingReport};
+use vlasov6d_phase_space::exchange::sweep_spatial_distributed;
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+use vlasov6d_suite::{table_header, table_row};
+
+fn main() {
+    // ---- Part 1: the model's communication volumes are the real ones.
+    println!("=== ghost-exchange volume: counted vs modelled ===\n");
+    let (sglobal, nu) = ([8usize, 8, 8], 8usize);
+    let vg = VelocityGrid::cubic(nu, 1.0);
+    for procs in [[2usize, 1, 1], [2, 2, 1], [2, 2, 2]] {
+        let decomp = Decomp3::new(sglobal, procs);
+        let n_ranks = decomp.n_ranks();
+        let (_, traffic) = Universe::run_with_traffic(n_ranks, move |comm| {
+            let cart = Cart3::new(comm, decomp);
+            let mut ps =
+                PhaseSpace::zeros_block(cart.local_dims(), cart.local_offset(), sglobal, vg);
+            ps.fill_with(|_, u| (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2])).exp() + 0.01);
+            let cfl = vec![0.3; nu];
+            for d in 0..3 {
+                sweep_spatial_distributed(&mut ps, &cart, d, &cfl, Scheme::SlMpp5, d as u64 * 4);
+                cart.comm().barrier();
+            }
+        });
+        // Model: per rank, per decomposed axis, 2 dirs × 3 planes × face × Nu × 4B.
+        let mut modeled = 0u64;
+        for r in 0..n_ranks {
+            let dims = decomp.local_dims(r);
+            for d in 0..3 {
+                let face: usize = dims.iter().enumerate().filter(|(i, _)| *i != d).map(|(_, &v)| v).product();
+                modeled += (2 * 3 * face * nu * nu * nu * 4) as u64;
+            }
+        }
+        let counted = traffic.total_bytes();
+        println!(
+            "  {procs:?}: counted {counted} B, modelled {modeled} B — {}",
+            if counted == modeled { "exact ✓" } else { "MISMATCH ✗" }
+        );
+    }
+
+    // ---- Part 2: the Fugaku-scale model table.
+    let machine = MachineModel::fugaku_per_cmg();
+    let report = ScalingReport::for_runs(&paper_runs(), &machine);
+    println!("\n=== Table 3: weak scaling efficiency, model vs paper ===\n");
+    let w = [11, 9, 9, 9, 9];
+    println!("{}", table_header(&["chain", "total", "Vlasov", "tree", "PM"], &w));
+    for (chain, p_tot, p_v, p_t, p_pm) in PAPER_WEAK_SCALING {
+        let (from, to) = chain.split_once('-').unwrap();
+        let [total, vlasov, tree, pm] = report.weak_efficiency(from, to);
+        let fmt = |x: f64| format!("{:.1}%", 100.0 * x);
+        println!(
+            "{}",
+            table_row(
+                &[chain.to_string(), fmt(total), fmt(vlasov), fmt(tree), fmt(pm)],
+                &w
+            )
+        );
+        println!(
+            "{}",
+            table_row(
+                &[
+                    "(paper)".into(),
+                    format!("{p_tot}%"),
+                    format!("{p_v}%"),
+                    format!("{p_t}%"),
+                    format!("{p_pm}%"),
+                ],
+                &w
+            )
+        );
+    }
+    println!("\nshape: Vlasov near-ideal, tree good, PM collapsing with node count —");
+    println!("the 2-D-decomposed FFT is the bottleneck, exactly the paper's diagnosis.");
+}

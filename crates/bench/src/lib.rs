@@ -1,0 +1,55 @@
+//! Shared harness utilities for the experiment binaries.
+
+use std::time::Instant;
+
+/// Time a closure after a warm-up call; returns seconds per invocation,
+/// taking the *median* of `reps` measurements (the paper reports medians over
+/// 40 steps, §6.1).
+pub fn time_median<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Gflop/s from a cell count, a per-cell flop estimate, and a wall time.
+pub fn gflops(cells: usize, flops_per_cell: f64, seconds: f64) -> f64 {
+    cells as f64 * flops_per_cell / seconds / 1e9
+}
+
+/// Cells (or interactions) per second.
+pub fn rate_per_sec(count: usize, seconds: f64) -> f64 {
+    count as f64 / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_timer_is_positive_and_stable() {
+        let mut x = 0u64;
+        let t = time_median(
+            || {
+                for i in 0..10_000 {
+                    x = x.wrapping_add(i);
+                }
+            },
+            5,
+        );
+        assert!(t > 0.0 && t < 1.0);
+        std::hint::black_box(x);
+    }
+
+    #[test]
+    fn gflops_arithmetic() {
+        assert!((gflops(1_000_000, 56.0, 0.056) - 1.0).abs() < 1e-12);
+        assert_eq!(rate_per_sec(100, 0.5), 200.0);
+    }
+}

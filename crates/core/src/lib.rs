@@ -1,0 +1,51 @@
+//! `vlasov6d` — a hybrid 6-D Vlasov / N-body simulation of cosmic structure
+//! formation with massive neutrinos.
+//!
+//! This crate is the top of the workspace: it couples the 6-D Vlasov solver
+//! for relic neutrinos (`vlasov6d-phase-space` + `vlasov6d-advection`) to a
+//! TreePM N-body integrator for cold dark matter (`vlasov6d-nbody`) through a
+//! shared FFT gravitational potential (`vlasov6d-poisson`), reproducing the
+//! architecture of Yoshikawa, Tanaka & Yoshida (SC '21).
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use vlasov6d::{HybridSimulation, SimulationConfig};
+//!
+//! let config = SimulationConfig::small_test();
+//! let mut sim = HybridSimulation::new(config);
+//! sim.run_to_redshift(0.0, |state| {
+//!     println!("z = {:.2}, steps = {}", state.redshift(), state.step_count);
+//! });
+//! ```
+//!
+//! Modules:
+//! * [`config`] — [`SimulationConfig`]: grids, cosmology, scheme choices.
+//! * [`sim`] — [`HybridSimulation`]: the coupled Strang-split stepper
+//!   (paper Eq. 5 for the neutrinos, KDK leapfrog for the CDM, one shared
+//!   potential solve per step).
+//! * [`fields`] — helpers moving densities and forces between the Vlasov
+//!   spatial grid and the PM mesh, and k-space filters.
+//! * [`diagnostics`] — conserved-quantity tracking and step records.
+//! * [`noise`] — the paper's shot-noise ↔ effective-resolution model
+//!   (Eq. 9–10) and Vlasov-vs-particle comparison metrics (Figs. 5–6).
+//! * [`maps`] — projected density maps and PGM/CSV writers (Figs. 4, 8).
+//! * [`snapshot`] — binary checkpoint I/O (counted in time-to-solution, §7.2).
+//! * [`spectrum`] — power-spectrum estimation of component fields.
+//! * [`dist_sim`] — the multi-rank Vlasov–Poisson driver over `mpisim`.
+
+pub mod config;
+pub mod diagnostics;
+pub mod dist_sim;
+pub mod fields;
+pub mod maps;
+pub mod noise;
+pub mod sim;
+pub mod snapshot;
+pub mod spectrum;
+
+pub use config::SimulationConfig;
+pub use diagnostics::StepRecord;
+pub use dist_sim::DistributedVlasov;
+pub use sim::HybridSimulation;
+pub use spectrum::Spectrum;

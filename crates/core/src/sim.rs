@@ -1,0 +1,472 @@
+//! The coupled hybrid stepper.
+//!
+//! One step from `a₁` to `a₂` follows the paper's Eq. (5) for the neutrinos —
+//! velocity half-sweeps, spatial full sweeps, velocity half-sweeps — run in
+//! lockstep with a KDK leapfrog for the CDM particles, with **one** shared
+//! gravity solve per step (forces are cached across the step boundary):
+//!
+//! ```text
+//! ν:   Dux(K₁) Duy(K₁) Duz(K₁) · Dx(D) Dy(D) Dz(D) · Dux(K₂) Duy(K₂) Duz(K₂)
+//! CDM: kick(K₁)                 · drift(D)          · kick(K₂)
+//!                                 ↑ gravity recomputed here (positions at a₂)
+//! ```
+//!
+//! `D = ∫dt/a²` and `K = ∫dt` are the exact background integrals, so both
+//! components see identical drift/kick phases.
+
+use crate::config::SimulationConfig;
+use crate::diagnostics::{StepRecord, StepTimers};
+use crate::fields;
+use std::time::Instant;
+use vlasov6d_cosmology::{Background, FermiDirac, Growth, PowerSpectrum, TransferFunction, Units};
+use vlasov6d_ic::{load_neutrino_phase_space, GaussianField, ZeldovichIc};
+use vlasov6d_mesh::Field3;
+use vlasov6d_nbody::integrator;
+use vlasov6d_nbody::{ParticleSet, TreePm};
+use vlasov6d_phase_space::{moments, sweep, PhaseSpace, VelocityGrid};
+use vlasov6d_poisson::PoissonSolver;
+
+/// The coupled Vlasov/N-body simulation state.
+pub struct HybridSimulation {
+    pub config: SimulationConfig,
+    pub background: Background,
+    pub units: Units,
+    /// Current scale factor.
+    pub a: f64,
+    pub step_count: usize,
+    /// The neutrino distribution function (if enabled).
+    pub neutrinos: Option<PhaseSpace>,
+    /// The CDM particles (if enabled).
+    pub cdm: Option<ParticleSet>,
+    /// Per-step records.
+    pub records: Vec<StepRecord>,
+    treepm: TreePm,
+    full_solver: PoissonSolver,
+    /// Cached CDM accelerations (canonical du/dt) at the current positions.
+    cdm_accel: Vec<[f64; 3]>,
+    /// Cached force fields -∂φ/∂x at Vlasov cell centres.
+    nu_force: Option<[Field3; 3]>,
+    /// FD thermal velocity in code units.
+    pub u_thermal_code: f64,
+}
+
+impl HybridSimulation {
+    /// Build the simulation: background, initial conditions, first forces.
+    pub fn new(config: SimulationConfig) -> Self {
+        config.validate().expect("invalid configuration");
+        let background = Background::new(config.cosmology);
+        let units = Units::new(config.box_mpc_h, config.cosmology.h);
+        let a_init = 1.0 / (1.0 + config.z_init);
+
+        // Linear density field at z = 0, scaled back to the start.
+        let ps_lin = PowerSpectrum::new(config.cosmology, TransferFunction::EisensteinHu);
+        let growth = Growth::new(&background);
+        let d_ratio = growth.d_relative(a_init, 1.0);
+        let box_l = config.box_mpc_h;
+        let p_code = move |k_code: f64| {
+            let k_h_mpc = k_code / box_l;
+            ps_lin.power(k_h_mpc) / box_l.powi(3) * d_ratio * d_ratio
+        };
+        let delta_pm = GaussianField::new(config.n_pm, config.seed).generate(p_code);
+
+        // CDM: Zel'dovich-displaced lattice.
+        let omega_nu = if config.with_neutrinos { config.cosmology.omega_nu() } else { 0.0 };
+        let cdm = config.with_cdm.then(|| {
+            let zel = ZeldovichIc::new(delta_pm.clone());
+            zel.load_particles(
+                config.n_cdm,
+                config.cosmology.omega_m - omega_nu,
+                &background,
+                a_init,
+            )
+        });
+
+        // Neutrinos: linear FD load with free-streaming-suppressed contrast
+        // and Zel'dovich bulk flow.
+        let (neutrinos, u_thermal_code) = if config.with_neutrinos {
+            let fd = FermiDirac::new(config.cosmology.m_nu_ev());
+            let ut = fd.u_thermal_kms / units.velocity_unit_kms();
+            let vmax = config.vmax_in_rms * fd.rms_speed() / units.velocity_unit_kms();
+            let vgrid = VelocityGrid::cubic(config.nu, vmax);
+            let mut ps = PhaseSpace::zeros([config.nx; 3], vgrid);
+
+            // δ_ν(k) ≈ δ_m(k) / (1 + (k/k_fs)²) — linear free streaming.
+            let ps_for_kfs = PowerSpectrum::new(config.cosmology, TransferFunction::EisensteinHu);
+            let kfs_code = ps_for_kfs.k_free_streaming() * config.box_mpc_h;
+            let delta_nu_pm =
+                fields::filter_kspace(&delta_pm, |k| 1.0 / (1.0 + (k / kfs_code).powi(2)));
+            let delta_nu = fields::sample_at_coarse_centers(&delta_nu_pm, [config.nx; 3]);
+
+            let zel_nu = ZeldovichIc::new(fields::sample_at_coarse_centers(
+                &delta_nu_pm,
+                [config.nx; 3],
+            ));
+            let vel_factor = a_init * a_init * background.hubble(a_init) * growth.growth_rate(a_init);
+            let bulk = [
+                scaled(&zel_nu.psi[0], vel_factor),
+                scaled(&zel_nu.psi[1], vel_factor),
+                scaled(&zel_nu.psi[2], vel_factor),
+            ];
+            load_neutrino_phase_space(&mut ps, ut, config.cosmology.omega_nu(), &delta_nu, Some(&bulk));
+            (Some(ps), ut)
+        } else {
+            (None, 0.0)
+        };
+
+        let treepm = TreePm::new(config.n_pm, config.softening());
+        let full_solver = PoissonSolver::cubic(config.n_pm).with_cic_deconvolution();
+
+        let mut sim = Self {
+            config,
+            background,
+            units,
+            a: a_init,
+            step_count: 0,
+            neutrinos,
+            cdm,
+            records: Vec::new(),
+            treepm,
+            full_solver,
+            cdm_accel: Vec::new(),
+            nu_force: None,
+            u_thermal_code,
+        };
+        let mut timers = StepTimers::default();
+        sim.compute_gravity(&mut timers);
+        sim
+    }
+
+    /// Current redshift.
+    pub fn redshift(&self) -> f64 {
+        1.0 / self.a - 1.0
+    }
+
+    /// Total comoving matter density on the PM mesh (ρ_crit units).
+    pub fn total_density_pm(&self) -> Field3 {
+        let mut rho = Field3::zeros([self.config.n_pm; 3]);
+        if let Some(cdm) = &self.cdm {
+            rho.axpy(1.0, &fields::particle_density(&cdm.pos, cdm.mass, rho.dims()));
+        }
+        if let Some(nu) = &self.neutrinos {
+            let rho_nu = moments::density(nu);
+            rho.axpy(1.0, &fields::deposit_density_to_pm(&rho_nu, rho.dims()));
+        }
+        rho
+    }
+
+    /// Neutrino comoving density on the Vlasov spatial grid.
+    pub fn neutrino_density(&self) -> Option<Field3> {
+        self.neutrinos.as_ref().map(moments::density)
+    }
+
+    /// CDM comoving density on the Vlasov spatial grid (for comparisons).
+    pub fn cdm_density(&self) -> Option<Field3> {
+        self.cdm
+            .as_ref()
+            .map(|c| fields::particle_density(&c.pos, c.mass, [self.config.nx; 3]))
+    }
+
+    /// Recompute the shared gravity: CDM TreePM accelerations and the force
+    /// fields driving the ν velocity sweeps.
+    fn compute_gravity(&mut self, timers: &mut StepTimers) {
+        let t0 = Instant::now();
+        let rho_nu_pm = self.neutrinos.as_ref().map(|nu| {
+            let rho = moments::density(nu);
+            fields::deposit_density_to_pm(&rho, [self.config.n_pm; 3])
+        });
+        let deposit_time = t0.elapsed().as_secs_f64();
+
+        // CDM: TreePM with the ν density sharing the mesh.
+        if let Some(cdm) = &self.cdm {
+            let t_pm = Instant::now();
+            let mut rho = self.treepm.deposit_density(cdm);
+            if let Some(nu) = &rho_nu_pm {
+                rho.axpy(1.0, nu);
+            }
+            let phi_long = self.treepm.long_range_potential(&rho, self.a);
+            let mut acc = self.treepm.pm_accelerations(&phi_long, &cdm.pos);
+            timers.pm += t_pm.elapsed().as_secs_f64();
+
+            let t_tree = Instant::now();
+            let tree_acc = self.treepm.tree_accelerations(cdm, self.a);
+            for (a, t) in acc.iter_mut().zip(&tree_acc) {
+                for i in 0..3 {
+                    a[i] += t[i];
+                }
+            }
+            timers.tree += t_tree.elapsed().as_secs_f64();
+            self.cdm_accel = acc;
+        }
+
+        // ν: full (untapered) potential for the velocity sweeps.
+        if self.neutrinos.is_some() {
+            let t_pm = Instant::now();
+            let mut rho = Field3::zeros([self.config.n_pm; 3]);
+            if let Some(cdm) = &self.cdm {
+                rho.axpy(1.0, &fields::particle_density(&cdm.pos, cdm.mass, rho.dims()));
+            }
+            if let Some(nu) = &rho_nu_pm {
+                rho.axpy(1.0, nu);
+            }
+            let mean = rho.mean();
+            for v in rho.as_mut_slice() {
+                *v -= mean;
+            }
+            let phi = self.full_solver.solve(&rho, 1.5 / self.a);
+            let force_pm = PoissonSolver::force_from_potential(&phi);
+            self.nu_force = Some([
+                fields::sample_at_coarse_centers(&force_pm[0], [self.config.nx; 3]),
+                fields::sample_at_coarse_centers(&force_pm[1], [self.config.nx; 3]),
+                fields::sample_at_coarse_centers(&force_pm[2], [self.config.nx; 3]),
+            ]);
+            timers.pm += t_pm.elapsed().as_secs_f64() + deposit_time;
+        }
+    }
+
+    /// Choose the next scale factor respecting Δln a and both CFL limits.
+    fn next_scale_factor(&self) -> f64 {
+        let mut a2 = (self.a * (1.0 + self.config.max_dln_a)).min(1.0 + 1e-12);
+        let nx = self.config.nx as f64;
+        for _ in 0..60 {
+            let drift = self.background.drift_factor(self.a, a2);
+            let ok_spatial = match &self.neutrinos {
+                Some(nu) => nu.vgrid.vmax * drift * nx <= self.config.cfl_spatial,
+                None => true,
+            };
+            let ok_velocity = match (&self.neutrinos, &self.nu_force) {
+                (Some(nu), Some(force)) => {
+                    let kick_half = self.background.kick_factor(self.a, mid_a(&self.background, self.a, a2));
+                    let fmax = force[0]
+                        .max_abs()
+                        .max(force[1].max_abs())
+                        .max(force[2].max_abs());
+                    fmax * kick_half / nu.vgrid.du(0) <= self.config.cfl_velocity
+                }
+                _ => true,
+            };
+            if ok_spatial && ok_velocity {
+                return a2;
+            }
+            a2 = self.a + 0.5 * (a2 - self.a);
+        }
+        a2
+    }
+
+    /// Advance one full Strang-split step. Returns the record.
+    pub fn step(&mut self) -> &StepRecord {
+        let a1 = self.a;
+        let a2 = self.next_scale_factor();
+        let am = mid_a(&self.background, a1, a2);
+        let k1 = self.background.kick_factor(a1, am);
+        let k2 = self.background.kick_factor(am, a2);
+        let drift = self.background.drift_factor(a1, a2);
+        let mut timers = StepTimers::default();
+
+        // --- first half kick (cached forces at a1) ---
+        self.kick_neutrinos(k1, &mut timers);
+        if let (Some(cdm), false) = (&mut self.cdm, self.cdm_accel.is_empty()) {
+            integrator::kick(cdm, &self.cdm_accel, k1);
+        }
+
+        // --- drift ---
+        let t = Instant::now();
+        if let Some(nu) = &mut self.neutrinos {
+            for d in 0..3 {
+                let n_d = self.config.nx as f64;
+                let cfl: Vec<f64> = (0..nu.vgrid.n[d])
+                    .map(|k| nu.vgrid.center(d, k) * drift * n_d)
+                    .collect();
+                sweep::sweep_spatial(nu, d, &cfl, self.config.scheme, self.config.exec);
+            }
+        }
+        timers.vlasov += t.elapsed().as_secs_f64();
+        if let Some(cdm) = &mut self.cdm {
+            integrator::drift(cdm, drift);
+        }
+
+        // --- gravity at the new positions ---
+        self.a = a2;
+        self.compute_gravity(&mut timers);
+
+        // --- second half kick ---
+        self.kick_neutrinos(k2, &mut timers);
+        if let (Some(cdm), false) = (&mut self.cdm, self.cdm_accel.is_empty()) {
+            integrator::kick(cdm, &self.cdm_accel, k2);
+        }
+
+        // --- record ---
+        self.step_count += 1;
+        let (nu_mass, f_min) = match &self.neutrinos {
+            Some(nu) => (nu.total_mass(), nu.min_value()),
+            None => (0.0, 0.0),
+        };
+        let momentum = self.total_momentum();
+        let dt = self.background.kick_factor(a1, a2);
+        self.records.push(StepRecord {
+            step: self.step_count,
+            a: self.a,
+            dt,
+            timers,
+            nu_mass,
+            f_min,
+            momentum,
+        });
+        self.records.last().unwrap()
+    }
+
+    fn kick_neutrinos(&mut self, kick: f64, timers: &mut StepTimers) {
+        let (Some(nu), Some(force)) = (&mut self.neutrinos, &self.nu_force) else {
+            return;
+        };
+        let t = Instant::now();
+        for d in 0..3 {
+            // cfl = -∂φ/∂x · K / Δu  (force fields already hold -∂φ/∂x).
+            let du = nu.vgrid.du(d);
+            let mut cfl = force[d].clone();
+            cfl.scale(kick / du);
+            sweep::sweep_velocity(nu, d, &cfl, self.config.scheme, self.config.exec);
+        }
+        timers.vlasov += t.elapsed().as_secs_f64();
+    }
+
+    /// Total canonical momentum: CDM `m Σu` plus the ν momentum integral.
+    pub fn total_momentum(&self) -> [f64; 3] {
+        let mut total = [0.0f64; 3];
+        if let Some(cdm) = &self.cdm {
+            let p = cdm.total_momentum();
+            for i in 0..3 {
+                total[i] += p[i];
+            }
+        }
+        if let Some(nu) = &self.neutrinos {
+            let dx3 = 1.0 / (self.config.nx as f64).powi(3);
+            for (i, t) in total.iter_mut().enumerate() {
+                *t += moments::momentum(nu, i).sum() * dx3;
+            }
+        }
+        total
+    }
+
+    /// Run until redshift `z_final`, invoking `callback` after every step.
+    pub fn run_to_redshift<F: FnMut(&HybridSimulation)>(&mut self, z_final: f64, mut callback: F) {
+        let a_final = 1.0 / (1.0 + z_final);
+        while self.a < a_final - 1e-9 {
+            self.step();
+            callback(self);
+            if self.step_count > 100_000 {
+                panic!("runaway step count — check the Δt controller");
+            }
+        }
+    }
+}
+
+fn scaled(f: &Field3, s: f64) -> Field3 {
+    let mut out = f.clone();
+    out.scale(s);
+    out
+}
+
+fn mid_a(bg: &Background, a1: f64, a2: f64) -> f64 {
+    let t_mid = 0.5 * (bg.time_of_a(a1) + bg.time_of_a(a2));
+    bg.a_of_time(t_mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SimulationConfig {
+        SimulationConfig {
+            z_init: 4.0,
+            ..SimulationConfig::small_test()
+        }
+    }
+
+    #[test]
+    fn construction_initialises_both_components() {
+        let sim = HybridSimulation::new(tiny_config());
+        assert!(sim.neutrinos.is_some());
+        assert!(sim.cdm.is_some());
+        assert!(!sim.cdm_accel.is_empty());
+        assert!(sim.nu_force.is_some());
+        assert!((sim.redshift() - 4.0).abs() < 1e-9);
+        // Neutrino mass on the grid ≈ Ω_ν.
+        let m = sim.neutrinos.as_ref().unwrap().total_mass();
+        let onu = sim.config.cosmology.omega_nu();
+        assert!((m / onu - 1.0).abs() < 1e-3, "ν mass {m} vs Ω_ν {onu}");
+    }
+
+    #[test]
+    fn single_step_advances_and_conserves() {
+        let mut sim = HybridSimulation::new(tiny_config());
+        let m0 = sim.neutrinos.as_ref().unwrap().total_mass();
+        let rec = sim.step().clone();
+        assert!(rec.a > 1.0 / 5.0);
+        assert!(rec.f_min >= 0.0, "SL-MPP5 must keep f ≥ 0: {}", rec.f_min);
+        // ν mass can only drain through the velocity boundary — tiny for a
+        // well-sized velocity box.
+        assert!((rec.nu_mass / m0 - 1.0).abs() < 1e-3, "ν mass {m0} → {}", rec.nu_mass);
+        assert_eq!(sim.step_count, 1);
+    }
+
+    #[test]
+    fn several_steps_stay_stable() {
+        let mut sim = HybridSimulation::new(tiny_config());
+        for _ in 0..5 {
+            sim.step();
+        }
+        let rec = sim.records.last().unwrap();
+        assert!(rec.a > 0.2 && rec.a <= 1.0);
+        assert!(rec.f_min >= 0.0);
+        // Momentum stays near zero (isotropic ICs, opposite kicks cancel).
+        let p_scale = sim.neutrinos.as_ref().unwrap().vgrid.vmax
+            * sim.config.cosmology.omega_nu();
+        for c in rec.momentum {
+            assert!(c.abs() < 0.05 * p_scale, "momentum {c} vs scale {p_scale}");
+        }
+    }
+
+    #[test]
+    fn pure_vlasov_run_works() {
+        let mut cfg = tiny_config();
+        cfg.with_cdm = false;
+        let mut sim = HybridSimulation::new(cfg);
+        assert!(sim.cdm.is_none());
+        sim.step();
+        assert!(sim.records[0].f_min >= 0.0);
+    }
+
+    #[test]
+    fn pure_nbody_run_works() {
+        let mut cfg = tiny_config();
+        cfg.with_neutrinos = false;
+        let mut sim = HybridSimulation::new(cfg);
+        assert!(sim.neutrinos.is_none());
+        sim.step();
+        assert_eq!(sim.records.len(), 1);
+    }
+
+    #[test]
+    fn run_to_redshift_reaches_target() {
+        let mut cfg = tiny_config();
+        cfg.nx = 8;
+        cfg.nu = 8;
+        cfg.n_cdm = 8;
+        cfg.n_pm = 8;
+        let mut sim = HybridSimulation::new(cfg);
+        let mut called = 0;
+        sim.run_to_redshift(2.0, |_| called += 1);
+        assert!(sim.redshift() <= 2.0 + 1e-6);
+        assert_eq!(called, sim.step_count);
+    }
+
+    #[test]
+    fn timers_are_populated() {
+        let mut sim = HybridSimulation::new(tiny_config());
+        sim.step();
+        let t = sim.records[0].timers;
+        assert!(t.vlasov > 0.0);
+        assert!(t.pm > 0.0);
+        assert!(t.tree > 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Binary snapshot I/O.
+//!
+//! The paper's time-to-solution includes I/O (733 s of the H1024 run), so the
+//! workspace needs a real writer: a small self-describing binary format —
+//! magic, version, dims, then raw little-endian payloads — built with the
+//! `bytes` crate and written through buffered files.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+use vlasov6d_nbody::ParticleSet;
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+
+const MAGIC: u32 = 0x564C_3644; // "VL6D"
+const VERSION: u32 = 1;
+
+/// Serialise a phase-space block (header + raw f32 payload).
+pub fn phase_space_to_bytes(ps: &PhaseSpace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + ps.len() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u8(b'P'); // payload kind: phase space
+    for d in ps.sdims {
+        buf.put_u64_le(d as u64);
+    }
+    for d in ps.soffset {
+        buf.put_u64_le(d as u64);
+    }
+    for d in ps.sglobal {
+        buf.put_u64_le(d as u64);
+    }
+    for d in ps.vgrid.n {
+        buf.put_u64_le(d as u64);
+    }
+    buf.put_f64_le(ps.vgrid.vmax);
+    for &v in ps.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserialise a phase-space block.
+pub fn phase_space_from_bytes(mut data: Bytes) -> Result<PhaseSpace, String> {
+    let err = |m: &str| -> String { format!("snapshot: {m}") };
+    if data.remaining() < 9 {
+        return Err(err("truncated header"));
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if data.get_u32_le() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    if data.get_u8() != b'P' {
+        return Err(err("not a phase-space payload"));
+    }
+    let read3 = |data: &mut Bytes| -> [usize; 3] {
+        [data.get_u64_le() as usize, data.get_u64_le() as usize, data.get_u64_le() as usize]
+    };
+    let sdims = read3(&mut data);
+    let soffset = read3(&mut data);
+    let sglobal = read3(&mut data);
+    let vn = read3(&mut data);
+    let vmax = data.get_f64_le();
+    let vgrid = VelocityGrid::new(vn, vmax);
+    let mut ps = PhaseSpace::zeros_block(sdims, soffset, sglobal, vgrid);
+    let n = ps.len();
+    if data.remaining() != n * 4 {
+        return Err(err("payload size mismatch"));
+    }
+    for v in ps.as_mut_slice() {
+        *v = data.get_f32_le();
+    }
+    Ok(ps)
+}
+
+/// Serialise a particle set.
+pub fn particles_to_bytes(p: &ParticleSet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + p.len() * 48);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u8(b'N'); // payload kind: N-body
+    buf.put_u64_le(p.len() as u64);
+    buf.put_f64_le(p.mass);
+    for x in &p.pos {
+        for &c in x {
+            buf.put_f64_le(c);
+        }
+    }
+    for v in &p.vel {
+        for &c in v {
+            buf.put_f64_le(c);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialise a particle set.
+pub fn particles_from_bytes(mut data: Bytes) -> Result<ParticleSet, String> {
+    let err = |m: &str| -> String { format!("snapshot: {m}") };
+    if data.remaining() < 9 {
+        return Err(err("truncated header"));
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if data.get_u32_le() != VERSION {
+        return Err(err("unsupported version"));
+    }
+    if data.get_u8() != b'N' {
+        return Err(err("not a particle payload"));
+    }
+    let n = data.get_u64_le() as usize;
+    let mass = data.get_f64_le();
+    if data.remaining() != n * 48 {
+        return Err(err("payload size mismatch"));
+    }
+    let read_vec = |data: &mut Bytes| -> Vec<[f64; 3]> {
+        (0..n)
+            .map(|_| [data.get_f64_le(), data.get_f64_le(), data.get_f64_le()])
+            .collect()
+    };
+    let pos = read_vec(&mut data);
+    let vel = read_vec(&mut data);
+    Ok(ParticleSet { pos, vel, mass })
+}
+
+/// Write bytes to a file (buffered).
+pub fn write_file(path: &Path, data: &Bytes) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(data)?;
+    Ok(())
+}
+
+/// Read a whole snapshot file.
+pub fn read_file(path: &Path) -> std::io::Result<Bytes> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    Ok(Bytes::from(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_space_roundtrip() {
+        let vg = VelocityGrid::cubic(8, 2.0);
+        let mut ps = PhaseSpace::zeros_block([4, 4, 4], [4, 0, 0], [8, 4, 4], vg);
+        ps.fill_with(|s, u| (s[0] as f64 + u[0]).abs() + 0.1);
+        let bytes = phase_space_to_bytes(&ps);
+        let back = phase_space_from_bytes(bytes).unwrap();
+        assert_eq!(back.sdims, ps.sdims);
+        assert_eq!(back.soffset, ps.soffset);
+        assert_eq!(back.sglobal, ps.sglobal);
+        assert_eq!(back.vgrid, ps.vgrid);
+        assert_eq!(back.as_slice(), ps.as_slice());
+    }
+
+    #[test]
+    fn particles_roundtrip() {
+        let p = ParticleSet {
+            pos: vec![[0.1, 0.2, 0.3], [0.9, 0.8, 0.7]],
+            vel: vec![[1.0, -1.0, 0.5], [0.0, 0.25, -0.125]],
+            mass: 0.125,
+        };
+        let bytes = particles_to_bytes(&p);
+        let back = particles_from_bytes(bytes).unwrap();
+        assert_eq!(back.pos, p.pos);
+        assert_eq!(back.vel, p.vel);
+        assert_eq!(back.mass, p.mass);
+    }
+
+    #[test]
+    fn corrupted_data_is_rejected() {
+        let vg = VelocityGrid::cubic(8, 1.0);
+        let ps = PhaseSpace::zeros([2, 2, 2], vg);
+        let bytes = phase_space_to_bytes(&ps);
+        // Truncate the payload.
+        let cut = bytes.slice(0..bytes.len() - 4);
+        assert!(phase_space_from_bytes(cut).is_err());
+        // Wrong kind.
+        let p = ParticleSet { pos: vec![[0.0; 3]], vel: vec![[0.0; 3]], mass: 1.0 };
+        assert!(phase_space_from_bytes(particles_to_bytes(&p)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("vlasov6d_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.vl6d");
+        let vg = VelocityGrid::cubic(8, 1.5);
+        let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
+        ps.fill_with(|_, u| (-(u[0] * u[0])).exp());
+        write_file(&path, &phase_space_to_bytes(&ps)).unwrap();
+        let back = phase_space_from_bytes(read_file(&path).unwrap()).unwrap();
+        assert_eq!(back.as_slice(), ps.as_slice());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,352 @@
+//! Slab-decomposed distributed 3-D FFT over the `mpisim` runtime.
+//!
+//! The paper's PM solver uses Fujitsu's 2-D-decomposed parallel FFT; this
+//! module provides the transform substrate for *distributed* runs in the
+//! simpler slab (1-D) decomposition — the same transpose-based structure
+//! (local FFTs + all-to-all repartition + local FFT), which is what the
+//! performance model prices. Forward output is left in the transposed
+//! layout; [`DistFft3::inverse`] undoes everything.
+//!
+//! Layouts (`P` ranks, rank `r`):
+//! * **slab layout** — input/output: `[n0/P][n1][n2]`, rank `r` owns planes
+//!   `i0 ∈ [r·n0/P, (r+1)·n0/P)`.
+//! * **transposed layout** — spectra: `[n1/P][n0][n2]`, rank `r` owns rows
+//!   `i1 ∈ [r·n1/P, (r+1)·n1/P)`.
+//!
+//! Requires `n0 % P == 0` and `n1 % P == 0` (all production grids are
+//! powers of two).
+
+use crate::complex::Complex64;
+use crate::plan::FftPlan;
+use vlasov6d_mpisim::Comm;
+
+/// A distributed FFT plan bound to global dims and a rank count.
+#[derive(Debug, Clone)]
+pub struct DistFft3 {
+    dims: [usize; 3],
+    n_ranks: usize,
+    plans: [FftPlan; 3],
+}
+
+impl DistFft3 {
+    pub fn new(dims: [usize; 3], n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1);
+        assert!(
+            dims[0] % n_ranks == 0 && dims[1] % n_ranks == 0,
+            "slab FFT needs n0 and n1 divisible by the rank count"
+        );
+        Self {
+            dims,
+            n_ranks,
+            plans: [FftPlan::new(dims[0]), FftPlan::new(dims[1]), FftPlan::new(dims[2])],
+        }
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Planes per rank in slab layout.
+    pub fn slab_planes(&self) -> usize {
+        self.dims[0] / self.n_ranks
+    }
+
+    /// Rows per rank in transposed layout.
+    pub fn transposed_rows(&self) -> usize {
+        self.dims[1] / self.n_ranks
+    }
+
+    /// Local slab length (complex elements).
+    pub fn slab_len(&self) -> usize {
+        self.slab_planes() * self.dims[1] * self.dims[2]
+    }
+
+    /// Local transposed length (complex elements).
+    pub fn transposed_len(&self) -> usize {
+        self.transposed_rows() * self.dims[0] * self.dims[2]
+    }
+
+    /// Forward transform: slab layout in, **transposed layout** out.
+    pub fn forward(&self, comm: &Comm, local: &[Complex64], tag: u64) -> Vec<Complex64> {
+        let [_, n1, n2] = self.dims;
+        let p0 = self.slab_planes();
+        assert_eq!(local.len(), self.slab_len());
+        let mut work = local.to_vec();
+
+        // Local FFTs along axes 2 (contiguous) and 1 (strided) in the slab.
+        for line in work.chunks_mut(n2) {
+            self.plans[2].forward(line);
+        }
+        let mut buf = vec![Complex64::ZERO; n1];
+        for i0 in 0..p0 {
+            let plane = &mut work[i0 * n1 * n2..(i0 + 1) * n1 * n2];
+            for i2 in 0..n2 {
+                for i1 in 0..n1 {
+                    buf[i1] = plane[i1 * n2 + i2];
+                }
+                self.plans[1].forward(&mut buf);
+                for i1 in 0..n1 {
+                    plane[i1 * n2 + i2] = buf[i1];
+                }
+            }
+        }
+
+        // All-to-all transpose into [n1/P][n0][n2].
+        let mut transposed = self.transpose_slab_to_rows(comm, &work, tag);
+
+        // FFT along axis 0 (stride n2 in the transposed layout).
+        let n0 = self.dims[0];
+        let rows = self.transposed_rows();
+        let mut buf0 = vec![Complex64::ZERO; n0];
+        for r in 0..rows {
+            let row = &mut transposed[r * n0 * n2..(r + 1) * n0 * n2];
+            for i2 in 0..n2 {
+                for i0 in 0..n0 {
+                    buf0[i0] = row[i0 * n2 + i2];
+                }
+                self.plans[0].forward(&mut buf0);
+                for i0 in 0..n0 {
+                    row[i0 * n2 + i2] = buf0[i0];
+                }
+            }
+        }
+        transposed
+    }
+
+    /// Inverse transform: transposed layout in, slab layout out
+    /// (scaled by `1/(n0·n1·n2)`).
+    pub fn inverse(&self, comm: &Comm, spectrum: &[Complex64], tag: u64) -> Vec<Complex64> {
+        let [n0, n1, n2] = self.dims;
+        assert_eq!(spectrum.len(), self.transposed_len());
+        let mut work = spectrum.to_vec();
+
+        // Inverse FFT along axis 0 in transposed layout (unscaled via conj).
+        let rows = self.transposed_rows();
+        let mut buf0 = vec![Complex64::ZERO; n0];
+        for r in 0..rows {
+            let row = &mut work[r * n0 * n2..(r + 1) * n0 * n2];
+            for i2 in 0..n2 {
+                for i0 in 0..n0 {
+                    buf0[i0] = row[i0 * n2 + i2].conj();
+                }
+                self.plans[0].forward(&mut buf0);
+                for i0 in 0..n0 {
+                    row[i0 * n2 + i2] = buf0[i0].conj();
+                }
+            }
+        }
+
+        // Transpose back to slabs.
+        let mut slab = self.transpose_rows_to_slab(comm, &work, tag);
+
+        // Inverse FFTs along axes 1 and 2.
+        let p0 = self.slab_planes();
+        let mut buf = vec![Complex64::ZERO; n1];
+        for i0 in 0..p0 {
+            let plane = &mut slab[i0 * n1 * n2..(i0 + 1) * n1 * n2];
+            for i2 in 0..n2 {
+                for i1 in 0..n1 {
+                    buf[i1] = plane[i1 * n2 + i2].conj();
+                }
+                self.plans[1].forward(&mut buf);
+                for i1 in 0..n1 {
+                    plane[i1 * n2 + i2] = buf[i1].conj();
+                }
+            }
+        }
+        let scale = 1.0 / (n0 * n1 * n2) as f64;
+        for line in slab.chunks_mut(n2) {
+            for z in line.iter_mut() {
+                *z = z.conj();
+            }
+            self.plans[2].forward(line);
+            for z in line.iter_mut() {
+                *z = z.conj().scale(scale);
+            }
+        }
+        slab
+    }
+
+    /// Global `(i1_global, i0, i2)` triple of a flat index in this rank's
+    /// transposed block — for applying k-space multipliers.
+    pub fn transposed_coords(&self, rank: usize, flat: usize) -> [usize; 3] {
+        let [n0, _, n2] = self.dims;
+        let i2 = flat % n2;
+        let i0 = (flat / n2) % n0;
+        let i1_loc = flat / (n0 * n2);
+        [rank * self.transposed_rows() + i1_loc, i0, i2]
+    }
+
+    /// Slab → transposed repartition.
+    fn transpose_slab_to_rows(&self, comm: &Comm, work: &[Complex64], tag: u64) -> Vec<Complex64> {
+        let [n0, n1, n2] = self.dims;
+        let p0 = self.slab_planes();
+        let rows = self.transposed_rows();
+        let me = comm.rank();
+        // Pack per destination: rows i1 ∈ slab_q of my planes.
+        let mut outgoing: Vec<Vec<f64>> = Vec::with_capacity(self.n_ranks);
+        for q in 0..self.n_ranks {
+            let mut pkt = Vec::with_capacity(p0 * rows * n2 * 2);
+            for i0 in 0..p0 {
+                for i1l in 0..rows {
+                    let i1 = q * rows + i1l;
+                    for i2 in 0..n2 {
+                        let z = work[(i0 * n1 + i1) * n2 + i2];
+                        pkt.push(z.re);
+                        pkt.push(z.im);
+                    }
+                }
+            }
+            pkt.shrink_to_fit();
+            outgoing.push(pkt);
+        }
+        let incoming = exchange(comm, outgoing, tag);
+        // Unpack: from rank q come its p0 planes (global i0 = q·p0 + i0l) of
+        // my rows.
+        let mut out = vec![Complex64::ZERO; rows * n0 * n2];
+        for (q, pkt) in incoming.iter().enumerate() {
+            let mut c = 0;
+            for i0l in 0..p0 {
+                let i0 = q * p0 + i0l;
+                for i1l in 0..rows {
+                    for i2 in 0..n2 {
+                        out[(i1l * n0 + i0) * n2 + i2] = Complex64::new(pkt[c], pkt[c + 1]);
+                        c += 2;
+                    }
+                }
+            }
+        }
+        let _ = me;
+        out
+    }
+
+    /// Transposed → slab repartition (exact reverse of the above).
+    fn transpose_rows_to_slab(&self, comm: &Comm, work: &[Complex64], tag: u64) -> Vec<Complex64> {
+        let [n0, n1, n2] = self.dims;
+        let p0 = self.slab_planes();
+        let rows = self.transposed_rows();
+        let mut outgoing: Vec<Vec<f64>> = Vec::with_capacity(self.n_ranks);
+        for q in 0..self.n_ranks {
+            // To rank q: its planes i0 ∈ slab_q of my rows.
+            let mut pkt = Vec::with_capacity(p0 * rows * n2 * 2);
+            for i0l in 0..p0 {
+                let i0 = q * p0 + i0l;
+                for i1l in 0..rows {
+                    for i2 in 0..n2 {
+                        let z = work[(i1l * n0 + i0) * n2 + i2];
+                        pkt.push(z.re);
+                        pkt.push(z.im);
+                    }
+                }
+            }
+            outgoing.push(pkt);
+        }
+        let incoming = exchange(comm, outgoing, tag);
+        let mut out = vec![Complex64::ZERO; p0 * n1 * n2];
+        for (q, pkt) in incoming.iter().enumerate() {
+            let mut c = 0;
+            for i0l in 0..p0 {
+                for i1l in 0..rows {
+                    let i1 = q * rows + i1l;
+                    for i2 in 0..n2 {
+                        out[(i0l * n1 + i1) * n2 + i2] = Complex64::new(pkt[c], pkt[c + 1]);
+                        c += 2;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Personalised exchange (self-message short-circuited by the runtime).
+fn exchange(comm: &Comm, outgoing: Vec<Vec<f64>>, tag: u64) -> Vec<Vec<f64>> {
+    let n = comm.size();
+    assert_eq!(outgoing.len(), n);
+    let mut incoming: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
+    for (dst, pkt) in outgoing.into_iter().enumerate() {
+        if dst == comm.rank() {
+            incoming[dst] = Some(pkt);
+        } else {
+            comm.send(dst, tag, pkt);
+        }
+    }
+    for src in 0..n {
+        if src != comm.rank() {
+            incoming[src] = Some(comm.recv(src, tag));
+        }
+    }
+    incoming.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft3d::Fft3;
+    use vlasov6d_mpisim::Universe;
+
+    fn random_field(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn distributed_forward_matches_serial() {
+        let dims = [8usize, 8, 8];
+        let global = random_field(512, 42);
+        let mut serial = global.clone();
+        Fft3::new(dims).forward(&mut serial);
+
+        for n_ranks in [1usize, 2, 4] {
+            let global = global.clone();
+            let serial = serial.clone();
+            Universe::run(n_ranks, move |comm| {
+                let plan = DistFft3::new(dims, comm.size());
+                let p0 = plan.slab_planes();
+                let me = comm.rank();
+                let local: Vec<Complex64> =
+                    global[me * p0 * 64..(me + 1) * p0 * 64].to_vec();
+                let spec = plan.forward(comm, &local, 10);
+                for (flat, z) in spec.iter().enumerate() {
+                    let [i1, i0, i2] = plan.transposed_coords(me, flat);
+                    let want = serial[(i0 * 8 + i1) * 8 + i2];
+                    assert!(
+                        (*z - want).abs() < 1e-9,
+                        "ranks {n_ranks} ({i0},{i1},{i2}): {z:?} vs {want:?}"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn distributed_round_trip() {
+        let dims = [8usize, 4, 6];
+        let global = random_field(8 * 4 * 6, 7);
+        for n_ranks in [1usize, 2, 4] {
+            let global = global.clone();
+            Universe::run(n_ranks, move |comm| {
+                let plan = DistFft3::new(dims, comm.size());
+                let p0 = plan.slab_planes();
+                let me = comm.rank();
+                let chunk = p0 * 4 * 6;
+                let local: Vec<Complex64> = global[me * chunk..(me + 1) * chunk].to_vec();
+                let spec = plan.forward(comm, &local, 20);
+                let back = plan.inverse(comm, &spec, 40);
+                for (a, b) in back.iter().zip(&local) {
+                    assert!((*a - *b).abs() < 1e-10, "ranks {n_ranks}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_dims_rejected() {
+        let _ = DistFft3::new([6, 6, 6], 4);
+    }
+}

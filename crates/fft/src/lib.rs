@@ -1,0 +1,30 @@
+//! Fast Fourier transforms for the `vlasov6d` workspace, written from scratch.
+//!
+//! The paper's PM gravity solver relies on Fujitsu's SSL II parallel 3-D FFT;
+//! no equivalent exists in the offline Rust crate set, so this crate provides
+//! the substrate:
+//!
+//! * [`Complex64`] — a minimal `f64` complex number (no external deps).
+//! * [`FftPlan`] — a 1-D complex FFT plan: iterative radix-2 Cooley–Tukey for
+//!   power-of-two lengths and Bluestein's chirp-z algorithm for everything
+//!   else, with precomputed twiddles.
+//! * [`real`] — real↔half-complex transforms built on the complex plans.
+//! * [`fft3d`] — cache-friendly, rayon-parallel 3-D transforms of complex and
+//!   real fields, the entry point used by the Poisson solver.
+//! * [`dist`] — slab-decomposed distributed 3-D FFT over `vlasov6d-mpisim`
+//!   (local FFTs + all-to-all transpose), the parallel-transform substrate.
+//!
+//! Normalisation convention: `forward` computes `X_k = Σ_j x_j e^{-2πi jk/n}`
+//! (unscaled), `inverse` computes `x_j = (1/n) Σ_k X_k e^{+2πi jk/n}`, so
+//! `inverse(forward(x)) == x`.
+
+pub mod complex;
+pub mod dist;
+pub mod fft3d;
+pub mod plan;
+pub mod real;
+
+pub use complex::Complex64;
+pub use dist::DistFft3;
+pub use fft3d::{Fft3, RealFft3};
+pub use plan::FftPlan;

@@ -1,0 +1,22 @@
+//! Cosmological initial conditions for the hybrid simulation (paper §6.1).
+//!
+//! * [`grf`] — seeded Gaussian random density fields with a prescribed linear
+//!   power spectrum (white noise → FFT → √P(k) colouring), plus the matching
+//!   power-spectrum estimator used to close the loop in tests.
+//! * [`zeldovich`] — Zel'dovich displacement/velocity fields and the CDM
+//!   particle loader (lattice + displacement, canonical velocities).
+//! * [`neutrino`] — the 6-D neutrino loading: a truncated, renormalised
+//!   Fermi–Dirac in velocity space modulated by the linear ν density field;
+//!   and the equivalent *particle* sampling used by the comparison N-body
+//!   runs of Figs. 5–6 (lattice positions + inverse-CDF thermal velocities).
+//!
+//! All fields live on the unit box in code units; the `cosmology` crate's
+//! `Units` handles conversions at the boundary.
+
+pub mod grf;
+pub mod neutrino;
+pub mod zeldovich;
+
+pub use grf::{measure_power, GaussianField};
+pub use neutrino::{load_neutrino_phase_space, sample_neutrino_particles, FermiDiracSampler};
+pub use zeldovich::ZeldovichIc;

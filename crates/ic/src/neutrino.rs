@@ -1,0 +1,307 @@
+//! Neutrino initial conditions: the 6-D phase-space loading and the
+//! particle-sampled equivalent.
+//!
+//! At the starting redshift (z = 10 in the paper's end-to-end runs) the
+//! neutrino distribution is, to linear order, the homogeneous relativistic
+//! Fermi–Dirac modulated by the linear ν density field:
+//!
+//! ```text
+//! f(x, u) = n̄_ν (1 + δ_ν(x)) · FD(u) / ∫FD,
+//! ```
+//!
+//! with an optional Zel'dovich bulk-velocity shift. The canonical velocity is
+//! `u = a²ẋ = q/m` — *time-independent* for free streaming, so FD needs no
+//! epoch rescaling (see `vlasov6d-phase-space::grid` docs).
+//!
+//! The velocity cube truncates the FD tail; we renormalise on the *discrete*
+//! grid so the velocity integral recovers exactly `n̄_ν (1 + δ_ν)` — otherwise
+//! the Poisson source would be biased low by the tail mass.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vlasov6d_cosmology::FermiDirac;
+use vlasov6d_mesh::assign::{interpolate, Scheme};
+use vlasov6d_mesh::Field3;
+use vlasov6d_nbody::ParticleSet;
+use vlasov6d_phase_space::PhaseSpace;
+
+/// Fill `ps` with the linearised neutrino distribution.
+///
+/// * `u_thermal_code` — the FD velocity scale `k_B T_ν c / (m c²)` converted
+///   to code units.
+/// * `mean_density` — the mean comoving neutrino mass density in code units
+///   (`Ω_ν` for the full species set).
+/// * `delta` — ν density contrast at the starting epoch on the spatial grid
+///   (must match `ps.sglobal`); pass a zero field for a homogeneous load.
+/// * `bulk` — optional bulk-velocity fields (code units) added as a shift of
+///   the FD centre (Zel'dovich flow).
+pub fn load_neutrino_phase_space(
+    ps: &mut PhaseSpace,
+    u_thermal_code: f64,
+    mean_density: f64,
+    delta: &Field3,
+    bulk: Option<&[Field3; 3]>,
+) {
+    assert_eq!(delta.dims(), ps.sglobal, "delta must cover the global spatial grid");
+    assert!(u_thermal_code > 0.0 && mean_density > 0.0);
+    // Discrete norm of the occupation on this velocity grid (no truncation
+    // bias): Σ occ(u) Δu³.
+    let vg = ps.vgrid;
+    let occ = |du: [f64; 3]| -> f64 {
+        let s = (du[0] * du[0] + du[1] * du[1] + du[2] * du[2]).sqrt();
+        1.0 / ((s / u_thermal_code).exp() + 1.0)
+    };
+    let mut norm = 0.0;
+    for iux in 0..vg.n[0] {
+        for iuy in 0..vg.n[1] {
+            for iuz in 0..vg.n[2] {
+                norm += occ([vg.center(0, iux), vg.center(1, iuy), vg.center(2, iuz)]);
+            }
+        }
+    }
+    norm *= vg.cell_volume();
+    let amp = mean_density / norm;
+
+    ps.fill_with(|cell, u| {
+        let d = delta.at(cell[0], cell[1], cell[2]);
+        let shift = match bulk {
+            Some(b) => [
+                b[0].at(cell[0], cell[1], cell[2]),
+                b[1].at(cell[0], cell[1], cell[2]),
+                b[2].at(cell[0], cell[1], cell[2]),
+            ],
+            None => [0.0; 3],
+        };
+        amp * (1.0 + d).max(0.0) * occ([u[0] - shift[0], u[1] - shift[1], u[2] - shift[2]])
+    });
+}
+
+/// Inverse-CDF sampler for the Fermi–Dirac *speed* distribution
+/// `p(x) ∝ x²/(eˣ+1)`, `x = |u|/u_T` — used to draw thermal velocities for
+/// the comparison neutrino N-body runs (paper Figs. 5–6).
+#[derive(Debug, Clone)]
+pub struct FermiDiracSampler {
+    /// CDF table on a uniform x grid.
+    xs: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl FermiDiracSampler {
+    pub fn new() -> Self {
+        let n = 4096;
+        let x_max = 25.0;
+        let mut xs = Vec::with_capacity(n);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        let dx = x_max / (n - 1) as f64;
+        let pdf = |x: f64| x * x / (x.exp() + 1.0);
+        for i in 0..n {
+            let x = i as f64 * dx;
+            if i > 0 {
+                // Trapezoid accumulation.
+                acc += 0.5 * (pdf(x) + pdf(x - dx)) * dx;
+            }
+            xs.push(x);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Self { xs, cdf }
+    }
+
+    /// Dimensionless speed `x = |u|/u_T` for a uniform deviate `q ∈ [0,1)`.
+    pub fn speed(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0 - 1e-12);
+        // Binary search the CDF.
+        let mut lo = 0usize;
+        let mut hi = self.cdf.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] <= q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let w = if self.cdf[hi] > self.cdf[lo] {
+            (q - self.cdf[lo]) / (self.cdf[hi] - self.cdf[lo])
+        } else {
+            0.0
+        };
+        self.xs[lo] * (1.0 - w) + self.xs[hi] * w
+    }
+}
+
+impl Default for FermiDiracSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sample a neutrino particle set: lattice positions (optionally displaced by
+/// the caller), Zel'dovich bulk flow interpolated from `bulk`, plus an
+/// isotropic FD thermal velocity. This is the Monte-Carlo representation the
+/// paper's Figs. 5–6 compare against — shot noise included by construction.
+pub fn sample_neutrino_particles(
+    n_per_dim: usize,
+    total_mass: f64,
+    u_thermal_code: f64,
+    bulk: Option<&[Field3; 3]>,
+    seed: u64,
+) -> ParticleSet {
+    let mut particles = ParticleSet::lattice(n_per_dim, total_mass);
+    let sampler = FermiDiracSampler::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (p, v) in particles.pos.iter().zip(particles.vel.iter_mut()) {
+        // Thermal speed with isotropic direction (Marsaglia sphere picking).
+        let x = sampler.speed(rng.gen::<f64>());
+        let speed = x * u_thermal_code;
+        let dir = loop {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            let s = a * a + b * b;
+            if s < 1.0 {
+                let t = 2.0 * (1.0 - s).sqrt();
+                break [a * t, b * t, 1.0 - 2.0 * s];
+            }
+        };
+        for i in 0..3 {
+            v[i] = speed * dir[i];
+        }
+        if let Some(b) = bulk {
+            for i in 0..3 {
+                v[i] += interpolate(&b[i], Scheme::Cic, *p);
+            }
+        }
+    }
+    particles
+}
+
+/// Convenience: FD thermal scale in code velocity units.
+pub fn u_thermal_code(fd: &FermiDirac, velocity_unit_kms: f64) -> f64 {
+    fd.u_thermal_kms / velocity_unit_kms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlasov6d_cosmology::constants::{FD_MEAN_Q, FD_RMS_Q};
+    use vlasov6d_phase_space::{moments, VelocityGrid};
+
+    #[test]
+    fn loaded_density_matches_target() {
+        let ut = 0.3;
+        let vg = VelocityGrid::cubic(24, 6.0 * ut);
+        let mut ps = PhaseSpace::zeros([4, 4, 4], vg);
+        let mut delta = Field3::zeros([4, 4, 4]);
+        for (i, v) in delta.as_mut_slice().iter_mut().enumerate() {
+            *v = 0.1 * ((i as f64 * 0.37).sin());
+        }
+        load_neutrino_phase_space(&mut ps, ut, 0.01, &delta, None);
+        let rho = moments::density(&ps);
+        for (cell, (&got, &d)) in rho.as_slice().iter().zip(delta.as_slice()).enumerate() {
+            let want = 0.01 * (1.0 + d);
+            assert!(
+                (got / want - 1.0).abs() < 1e-6,
+                "cell {cell}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn loaded_distribution_is_isotropic_and_cold_free() {
+        let ut = 0.25;
+        let vg = VelocityGrid::cubic(32, 6.0 * ut);
+        let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
+        let delta = Field3::zeros([2, 2, 2]);
+        load_neutrino_phase_space(&mut ps, ut, 0.01, &delta, None);
+        for d in 0..3 {
+            let p = moments::momentum(&ps, d);
+            assert!(p.max_abs() < 1e-8, "net momentum along {d}");
+        }
+        // Velocity dispersion must match the *truncated* FD second moment on
+        // this exact grid (the x²-weighted tail beyond the velocity cube is
+        // substantial, so the untruncated 3.597²u_T² is NOT the target).
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for iux in 0..vg.n[0] {
+            for iuy in 0..vg.n[1] {
+                for iuz in 0..vg.n[2] {
+                    let u = [vg.center(0, iux), vg.center(1, iuy), vg.center(2, iuz)];
+                    let s2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+                    let occ = 1.0 / ((s2.sqrt() / ut).exp() + 1.0);
+                    num += occ * s2;
+                    den += occ;
+                }
+            }
+        }
+        let expect = num / den;
+        let s2 = moments::velocity_dispersion(&ps, 1e-12);
+        for &v in s2.as_slice() {
+            assert!((v / expect - 1.0).abs() < 1e-5, "{v} vs {expect}");
+        }
+        // And the truncated value is below the untruncated asymptote.
+        assert!(expect < (FD_RMS_Q * ut).powi(2));
+    }
+
+    #[test]
+    fn bulk_shift_moves_mean_velocity() {
+        let ut = 0.3;
+        let vg = VelocityGrid::cubic(24, 8.0 * ut);
+        let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
+        let delta = Field3::zeros([2, 2, 2]);
+        let mut bulk = [Field3::zeros([2, 2, 2]), Field3::zeros([2, 2, 2]), Field3::zeros([2, 2, 2])];
+        bulk[1].fill(0.2);
+        load_neutrino_phase_space(&mut ps, ut, 0.01, &delta, Some(&bulk));
+        let uy = moments::bulk_velocity(&ps, 1, 1e-12);
+        for &v in uy.as_slice() {
+            assert!((v - 0.2).abs() < 0.02, "bulk uy = {v}");
+        }
+        let ux = moments::bulk_velocity(&ps, 0, 1e-12);
+        assert!(ux.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampler_reproduces_fd_moments() {
+        let sampler = FermiDiracSampler::new();
+        let n = 200_000;
+        let mut mean = 0.0;
+        let mut mean_sq = 0.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..n {
+            let x = sampler.speed(rng.gen::<f64>());
+            mean += x;
+            mean_sq += x * x;
+        }
+        mean /= n as f64;
+        mean_sq /= n as f64;
+        assert!((mean / FD_MEAN_Q - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((mean_sq.sqrt() / FD_RMS_Q - 1.0).abs() < 0.01, "rms {}", mean_sq.sqrt());
+    }
+
+    #[test]
+    fn particle_sample_is_isotropic() {
+        let p = sample_neutrino_particles(12, 0.01, 0.3, None, 9);
+        assert_eq!(p.len(), 12usize.pow(3));
+        let mom = p.total_momentum();
+        let typical = p.rms_speed() * p.mass * (p.len() as f64).sqrt();
+        for c in mom {
+            assert!(c.abs() < 3.0 * typical / (p.len() as f64).sqrt() * (p.len() as f64).sqrt(), "momentum {c} vs {typical}");
+        }
+        // RMS speed ≈ FD rms.
+        assert!((p.rms_speed() / (FD_RMS_Q * 0.3) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn sampler_is_monotone_in_quantile() {
+        let s = FermiDiracSampler::new();
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let q = i as f64 / 100.0;
+            let x = s.speed(q);
+            assert!(x >= prev);
+            prev = x;
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Periodic 3-D mesh infrastructure for the `vlasov6d` workspace.
+//!
+//! The PM gravity solver, the Vlasov moment grids and the initial-condition
+//! generator all share the same needs: a flat row-major periodic scalar field,
+//! particle↔mesh transfer kernels, and finite-difference stencils. This crate
+//! provides them once:
+//!
+//! * [`Field3`] — a periodic scalar field with `[n0][n1][n2]` row-major layout
+//!   (`i2` fastest), the same convention as `vlasov6d-fft`.
+//! * [`assign`] — NGP/CIC/TSC mass deposit and the *same-order* interpolation
+//!   back to particle positions (using matching kernels for deposit and
+//!   readout avoids self-forces in the PM solver).
+//! * [`stencil`] — 2- and 4-point centred gradients and the 7-point Laplacian.
+//! * [`domain`] — block decomposition index math shared by the distributed
+//!   Vlasov and N-body drivers.
+
+pub mod assign;
+pub mod domain;
+pub mod field;
+pub mod stencil;
+
+pub use assign::Scheme;
+pub use domain::Decomp3;
+pub use field::Field3;

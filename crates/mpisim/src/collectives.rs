@@ -1,0 +1,243 @@
+//! Collective operations built on the point-to-point layer.
+//!
+//! All collectives route through rank 0 with linear fan-in/fan-out. At the
+//! ≤ 128 in-process ranks this runtime hosts, tree algorithms buy nothing; the
+//! performance model prices collectives with proper log-depth trees when
+//! extrapolating to Fugaku scale (that is a *model* concern, not a runtime
+//! one). Every collective consumes one internal tag from the per-comm
+//! sequence, so user tags and successive collectives never collide.
+
+use crate::comm::{Comm, Payload};
+
+impl Comm {
+    /// Broadcast `value` from `root` to every rank; returns the value everywhere.
+    pub fn broadcast<T: Payload + Clone>(&self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let v = value.expect("root must supply the broadcast value");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_internal(dst, tag, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv_internal(root, tag)
+        }
+    }
+
+    /// Reduce with a binary op; the result lands on `root` (`None` elsewhere).
+    /// `op` must be associative and commutative (floating-point reductions are
+    /// evaluated in rank order on the root, so results are deterministic).
+    pub fn reduce<T: Payload + Clone, F: Fn(T, T) -> T>(&self, root: usize, value: T, op: F) -> Option<T> {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let mut acc = value;
+            for src in 0..self.size() {
+                if src != root {
+                    let v: T = self.recv_internal(src, tag);
+                    acc = op(acc, v);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send_internal(root, tag, value);
+            None
+        }
+    }
+
+    /// Allreduce: reduce to rank 0, broadcast the result back.
+    pub fn allreduce<T: Payload + Clone, F: Fn(T, T) -> T>(&self, value: T, op: F) -> T {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced)
+    }
+
+    /// Elementwise sum-allreduce over equal-length `f64` vectors — the PM
+    /// density reduction. Deterministic (rank-ordered) accumulation.
+    pub fn allreduce_sum_f64(&self, value: Vec<f64>) -> Vec<f64> {
+        self.allreduce(value, |mut a, b| {
+            assert_eq!(a.len(), b.len(), "allreduce_sum_f64: length mismatch");
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        })
+    }
+
+    /// Scalar sum.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Scalar max.
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.allreduce(value, f64::max)
+    }
+
+    /// Scalar min.
+    pub fn allreduce_min(&self, value: f64) -> f64 {
+        self.allreduce(value, f64::min)
+    }
+
+    /// Gather everyone's value on `root` (indexed by rank; `None` elsewhere).
+    pub fn gather<T: Payload + Clone>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv_internal(src, tag));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send_internal(root, tag, value);
+            None
+        }
+    }
+
+    /// Gather everyone's value on every rank.
+    pub fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered)
+    }
+
+    /// Personalised all-to-all: `outgoing[d]` goes to rank `d`; returns the
+    /// vector received from each source (self-message delivered directly).
+    pub fn alltoall<T: Payload + Clone>(&self, outgoing: Vec<T>) -> Vec<T> {
+        assert_eq!(outgoing.len(), self.size());
+        let tag = self.next_collective_tag();
+        let mut incoming: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+        for (dst, item) in outgoing.into_iter().enumerate() {
+            if dst == self.rank() {
+                incoming[dst] = Some(item);
+            } else {
+                self.send_internal(dst, tag, item);
+            }
+        }
+        for src in 0..self.size() {
+            if src != self.rank() {
+                incoming[src] = Some(self.recv_internal(src, tag));
+            }
+        }
+        incoming.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Exclusive prefix sum over ranks (`0` on rank 0) — particle-exchange
+    /// offset computation.
+    pub fn exscan_sum(&self, value: u64) -> u64 {
+        let all = self.allgather(value);
+        all[..self.rank()].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::Universe;
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let out = Universe::run(4, |c| {
+            let v = if c.rank() == 2 { Some(vec![1.0f64, 2.0, 3.0]) } else { None };
+            c.broadcast(2, v)
+        });
+        for v in out {
+            assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_closed_form() {
+        let n = 6;
+        let out = Universe::run(n, |c| c.allreduce_sum(c.rank() as f64));
+        let expect = (n * (n - 1) / 2) as f64;
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = Universe::run(5, |c| {
+            let v = (c.rank() as f64 - 2.0).abs();
+            (c.allreduce_min(v), c.allreduce_max(v))
+        });
+        for (mn, mx) in out {
+            assert_eq!(mn, 0.0);
+            assert_eq!(mx, 2.0);
+        }
+    }
+
+    #[test]
+    fn vector_allreduce_sums_elementwise() {
+        let out = Universe::run(3, |c| c.allreduce_sum_f64(vec![c.rank() as f64; 4]));
+        for v in out {
+            assert_eq!(v, vec![3.0; 4]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Universe::run(4, |c| c.gather(1, c.rank() as u64));
+        assert!(out[0].is_none());
+        assert_eq!(out[1].as_ref().unwrap(), &vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn allgather_everywhere() {
+        let out = Universe::run(3, |c| c.allgather((c.rank() * 10) as u64));
+        for v in out {
+            assert_eq!(v, vec![0, 10, 20]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        // Rank r sends value 100*r + d to rank d; after the exchange rank d
+        // holds [100*0+d, 100*1+d, ...].
+        let out = Universe::run(4, |c| {
+            let outgoing: Vec<u64> = (0..4).map(|d| (100 * c.rank() + d) as u64).collect();
+            c.alltoall(outgoing)
+        });
+        for (d, recvd) in out.iter().enumerate() {
+            let expect: Vec<u64> = (0..4).map(|r| (100 * r + d) as u64).collect();
+            assert_eq!(recvd, &expect);
+        }
+    }
+
+    #[test]
+    fn exscan_is_exclusive_prefix() {
+        let out = Universe::run(5, |c| c.exscan_sum((c.rank() + 1) as u64));
+        assert_eq!(out, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_collide() {
+        let out = Universe::run(3, |c| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc += c.allreduce_sum(i as f64);
+            }
+            acc
+        });
+        let expect: f64 = (0..50).map(|i| 3.0 * i as f64).sum();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn mixed_p2p_and_collectives() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, 42u64);
+            }
+            let sum = c.allreduce_sum(1.0);
+            let recvd = if c.rank() == 1 { c.recv::<u64>(0, 5) } else { 0 };
+            (sum, recvd)
+        });
+        assert_eq!(out[0], (2.0, 0));
+        assert_eq!(out[1], (2.0, 42));
+    }
+}

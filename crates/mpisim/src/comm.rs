@@ -1,0 +1,338 @@
+//! Ranks, mailboxes and point-to-point messaging.
+
+use crate::traffic::Traffic;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Types that can ride in a message. `byte_len` feeds the traffic counters —
+/// it should return the wire size an MPI implementation would move.
+pub trait Payload: Send + 'static {
+    fn byte_len(&self) -> usize;
+}
+
+macro_rules! scalar_payload {
+    ($($t:ty),*) => {
+        $(impl Payload for $t {
+            fn byte_len(&self) -> usize { std::mem::size_of::<$t>() }
+        })*
+    };
+}
+scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+
+impl<T: Payload> Payload for Vec<T> {
+    fn byte_len(&self) -> usize {
+        // For fixed-size elements this folds to len · size_of::<T>().
+        self.iter().map(Payload::byte_len).sum()
+    }
+}
+
+impl<T: Payload, const N: usize> Payload for [T; N] {
+    fn byte_len(&self) -> usize {
+        self.iter().map(Payload::byte_len).sum()
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn byte_len(&self) -> usize {
+        self.0.byte_len() + self.1.byte_len()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn byte_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Payload::byte_len)
+    }
+}
+
+type Key = (usize, u64); // (source, tag)
+
+#[derive(Default)]
+struct MailboxInner {
+    queues: HashMap<Key, VecDeque<Box<dyn Any + Send>>>,
+}
+
+/// One per rank: tag-matched unbounded queues plus a wakeup condvar.
+#[derive(Default)]
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    fn push(&self, key: Key, msg: Box<dyn Any + Send>) {
+        let mut inner = self.inner.lock();
+        inner.queues.entry(key).or_default().push_back(msg);
+        self.cond.notify_all();
+    }
+
+    fn pop_blocking(&self, key: Key) -> Box<dyn Any + Send> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(q) = inner.queues.get_mut(&key) {
+                if let Some(msg) = q.pop_front() {
+                    return msg;
+                }
+            }
+            self.cond.wait(&mut inner);
+        }
+    }
+}
+
+/// Shared state of one universe of ranks.
+struct Shared {
+    mailboxes: Vec<Mailbox>,
+    traffic: Traffic,
+    barrier: std::sync::Barrier,
+}
+
+/// A rank's handle to the universe: its identity plus messaging operations.
+///
+/// `Comm` is intentionally `!Clone`: one handle per rank, like `MPI_COMM_WORLD`
+/// seen from one process.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    shared: Arc<Shared>,
+    /// Per-rank counter allotting unique tags to successive collective calls.
+    /// All ranks execute collectives in the same order (an MPI requirement we
+    /// inherit), so counters stay in lockstep.
+    pub(crate) collective_seq: AtomicU64,
+}
+
+/// Tag bit reserved for internal collective traffic; user tags must stay below.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Buffered, non-blocking send of `value` to `dest` with a user `tag`.
+    pub fn send<T: Payload>(&self, dest: usize, tag: u64, value: T) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^62");
+        self.send_internal(dest, tag, value);
+    }
+
+    pub(crate) fn send_internal<T: Payload>(&self, dest: usize, tag: u64, value: T) {
+        self.shared.traffic.record(self.rank, dest, value.byte_len());
+        self.shared.mailboxes[dest].push((self.rank, tag), Box::new(value));
+    }
+
+    /// Blocking receive of a `T` from `source` with matching `tag`.
+    ///
+    /// # Panics
+    /// Panics if the arriving message is not a `T` — a type mismatch is a
+    /// program bug, exactly like datatype mismatch in MPI.
+    pub fn recv<T: Payload>(&self, source: usize, tag: u64) -> T {
+        assert!(source < self.size);
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^62");
+        self.recv_internal(source, tag)
+    }
+
+    pub(crate) fn recv_internal<T: Payload>(&self, source: usize, tag: u64) -> T {
+        let any = self.shared.mailboxes[self.rank].pop_blocking((source, tag));
+        *any.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from rank {source}",
+                self.rank
+            )
+        })
+    }
+
+    /// Combined send-to-one / receive-from-another, the ghost-exchange motif.
+    /// Safe against deadlock because sends never block.
+    pub fn sendrecv<T: Payload>(&self, dest: usize, send_tag: u64, value: T, source: usize, recv_tag: u64) -> T {
+        self.send(dest, send_tag, value);
+        self.recv(source, recv_tag)
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Snapshot of the universe's traffic counters (shared by all ranks).
+    pub fn traffic(&self) -> &Traffic {
+        &self.shared.traffic
+    }
+}
+
+/// Factory for SPMD runs.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n` ranks (threads); returns each rank's result, indexed by
+    /// rank, plus the accumulated traffic statistics.
+    pub fn run_with_traffic<R, F>(n: usize, f: F) -> (Vec<R>, Traffic)
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        assert!(n >= 1);
+        let shared = Arc::new(Shared {
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            traffic: Traffic::new(n),
+            barrier: std::sync::Barrier::new(n),
+        });
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    let comm = Comm {
+                        rank,
+                        size: n,
+                        shared,
+                        collective_seq: AtomicU64::new(0),
+                    };
+                    *slot = Some(f(&comm));
+                }));
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    // Re-raise the rank's own panic so callers (and tests)
+                    // see the original message.
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        })
+        .expect("universe scope failed");
+        let traffic = shared.traffic.clone_snapshot();
+        (results.into_iter().map(|r| r.expect("rank produced no result")).collect(), traffic)
+    }
+
+    /// Run `f` on `n` ranks, discarding traffic statistics.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_with_traffic(n, f).0
+    }
+}
+
+impl Comm {
+    pub(crate) fn next_collective_tag(&self) -> u64 {
+        COLLECTIVE_TAG_BASE + self.collective_seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let out = Universe::run(4, |c| (c.rank(), c.size()));
+        for (i, (r, s)) in out.iter().enumerate() {
+            assert_eq!(*r, i);
+            assert_eq!(*s, 4);
+        }
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank sends its id to the next; sums arrive intact.
+        let out = Universe::run(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, c.rank() as u64);
+            c.recv::<u64>(prev, 7)
+        });
+        for (i, got) in out.iter().enumerate() {
+            let prev = (i + 5 - 1) % 5;
+            assert_eq!(*got, prev as u64);
+        }
+    }
+
+    #[test]
+    fn messages_are_order_preserving_per_pair() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100u64 {
+                    c.send(1, 3, i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| c.recv::<u64>(0, 3)).collect::<Vec<u64>>()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 111u64);
+                c.send(1, 2, 222u64);
+                (0, 0)
+            } else {
+                // Receive in the opposite order of sending.
+                let b = c.recv::<u64>(0, 2);
+                let a = c.recv::<u64>(0, 1);
+                (a, b)
+            }
+        });
+        assert_eq!(out[1], (111, 222));
+    }
+
+    #[test]
+    fn sendrecv_ring_rotates_vectors() {
+        let out = Universe::run(3, |c| {
+            let next = (c.rank() + 1) % 3;
+            let prev = (c.rank() + 2) % 3;
+            c.sendrecv(next, 9, vec![c.rank() as f64; 4], prev, 9)
+        });
+        assert_eq!(out[0], vec![2.0; 4]);
+        assert_eq!(out[1], vec![0.0; 4]);
+        assert_eq!(out[2], vec![1.0; 4]);
+    }
+
+    #[test]
+    fn traffic_counts_bytes() {
+        let (_, traffic) = Universe::run_with_traffic(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![0f64; 100]);
+            } else {
+                let _: Vec<f64> = c.recv(0, 0);
+            }
+        });
+        assert_eq!(traffic.bytes_between(0, 1), 800);
+        assert_eq!(traffic.bytes_between(1, 0), 0);
+        assert_eq!(traffic.messages_between(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, 1u64);
+            } else {
+                let _: f32 = c.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_universe_works() {
+        let out = Universe::run(1, |c| {
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-pair communication accounting.
+//!
+//! Every `send` records its payload size here. The performance model replays
+//! these counts against the Tofu-torus network model to price communication at
+//! the paper's node counts — which is exactly why the counters live in the
+//! runtime instead of being estimated after the fact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte and message counters for every ordered rank pair.
+#[derive(Debug)]
+pub struct Traffic {
+    n: usize,
+    bytes: Vec<AtomicU64>,
+    messages: Vec<AtomicU64>,
+}
+
+impl Traffic {
+    pub fn new(n_ranks: usize) -> Self {
+        Self {
+            n: n_ranks,
+            bytes: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
+            messages: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, src: usize, dst: usize, bytes: usize) {
+        let idx = src * self.n + dst;
+        self.bytes[idx].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn bytes_between(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst].load(Ordering::Relaxed)
+    }
+
+    /// Messages sent from `src` to `dst`.
+    pub fn messages_between(&self, src: usize, dst: usize) -> u64 {
+        self.messages[src * self.n + dst].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved in the universe.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total message count.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Largest per-pair byte count — the bandwidth hot spot.
+    pub fn max_pair_bytes(&self) -> u64 {
+        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+
+    /// Bytes sent by one rank to all destinations.
+    pub fn bytes_sent_by(&self, src: usize) -> u64 {
+        (0..self.n).map(|d| self.bytes_between(src, d)).sum()
+    }
+
+    /// Deep copy of the current counter values.
+    pub fn clone_snapshot(&self) -> Traffic {
+        let t = Traffic::new(self.n);
+        for i in 0..self.n * self.n {
+            t.bytes[i].store(self.bytes[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            t.messages[i].store(self.messages[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Reset all counters (e.g. after warm-up steps).
+    pub fn reset(&self) {
+        for b in &self.bytes {
+            b.store(0, Ordering::Relaxed);
+        }
+        for m in &self.messages {
+            m.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let t = Traffic::new(3);
+        t.record(0, 1, 100);
+        t.record(0, 1, 50);
+        t.record(2, 0, 7);
+        assert_eq!(t.bytes_between(0, 1), 150);
+        assert_eq!(t.messages_between(0, 1), 2);
+        assert_eq!(t.total_bytes(), 157);
+        assert_eq!(t.total_messages(), 3);
+        assert_eq!(t.max_pair_bytes(), 150);
+        assert_eq!(t.bytes_sent_by(0), 150);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let t = Traffic::new(2);
+        t.record(0, 1, 10);
+        let snap = t.clone_snapshot();
+        t.record(0, 1, 10);
+        assert_eq!(snap.bytes_between(0, 1), 10);
+        assert_eq!(t.bytes_between(0, 1), 20);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let t = Traffic::new(2);
+        t.record(1, 0, 99);
+        t.reset();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.total_messages(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Phantom-GRAPE-style batched particle–particle kernels.
+//!
+//! The paper ports the Phantom-GRAPE force library (Tanikawa et al. 2013) to
+//! A64FX SVE, reporting 1.2×10⁹ interactions/s/core against 2.4×10⁷ for the
+//! non-SIMD build — a ×50 gap (paper §5.1.2). We reproduce both code shapes:
+//!
+//! * [`newton_scalar`] — the plain per-pair loop with divisions and sqrt.
+//! * [`newton_simd`] — the batched kernel: sources pre-packed in SoA `f32`
+//!   arrays, eight interactions per lane operation, reciprocal square root
+//!   computed in lanes (Phantom-GRAPE's single-precision internal format).
+//!
+//! Both compute softened *unsplit* Newtonian kernels (the form benchmarked by
+//! Phantom-GRAPE); the min-image wrap is applied during packing, as in the
+//! real library's local interaction lists.
+
+use vlasov6d_advection::simd::{f32x8, LANES};
+
+/// Softened Newtonian acceleration at `target` from explicit sources:
+/// `Σ_j m d_j / (|d_j|² + ε²)^{3/2}` with min-image displacements. Scalar
+/// reference version.
+pub fn newton_scalar(target: [f64; 3], sources: &[[f64; 3]], mass: f64, eps: f64) -> [f64; 3] {
+    let mut acc = [0.0f64; 3];
+    for &s in sources {
+        let mut d = [0.0f64; 3];
+        for i in 0..3 {
+            let mut x = s[i] - target[i];
+            if x > 0.5 {
+                x -= 1.0;
+            } else if x < -0.5 {
+                x += 1.0;
+            }
+            d[i] = x;
+        }
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + eps * eps;
+        if r2 == eps * eps {
+            continue; // self
+        }
+        let inv_r3 = 1.0 / (r2 * r2.sqrt());
+        for i in 0..3 {
+            acc[i] += mass * d[i] * inv_r3;
+        }
+    }
+    acc
+}
+
+/// Source batch pre-packed into SoA f32 lanes (lengths padded to a multiple
+/// of 8 with zero-mass entries).
+#[derive(Debug, Clone)]
+pub struct PackedSources {
+    xs: Vec<f32x8>,
+    ys: Vec<f32x8>,
+    zs: Vec<f32x8>,
+    ms: Vec<f32x8>,
+    pub n_sources: usize,
+}
+
+impl PackedSources {
+    /// Pack sources relative to nothing (absolute coordinates); min-image is
+    /// applied lane-wise in the kernel via a cheap wrap of differences.
+    pub fn pack(sources: &[[f64; 3]], mass: f64) -> Self {
+        let n = sources.len();
+        let blocks = n.div_ceil(LANES);
+        let mut xs = vec![f32x8::ZERO; blocks];
+        let mut ys = vec![f32x8::ZERO; blocks];
+        let mut zs = vec![f32x8::ZERO; blocks];
+        let mut ms = vec![f32x8::ZERO; blocks];
+        for (j, s) in sources.iter().enumerate() {
+            let (b, l) = (j / LANES, j % LANES);
+            xs[b].0[l] = s[0] as f32;
+            ys[b].0[l] = s[1] as f32;
+            zs[b].0[l] = s[2] as f32;
+            ms[b].0[l] = mass as f32;
+        }
+        Self { xs, ys, zs, ms, n_sources: n }
+    }
+}
+
+#[inline(always)]
+fn wrap_half(d: f32x8) -> f32x8 {
+    // Min-image in a unit box: subtract ±1 when |d| > 1/2. Branch-free via
+    // two clamped corrections.
+    let one = f32x8::splat(1.0);
+    let half = f32x8::splat(0.5);
+    let neg_half = f32x8::splat(-0.5);
+    // d > 0.5 → subtract 1; d < -0.5 → add 1.
+    let gt = d.max(half) - half; // positive where d > 0.5
+    let lt = d.min(neg_half) + half; // negative where d < -0.5
+    // Corrections are ±1 when triggered, 0 otherwise: use sign of the excess.
+    let corr = gt.signum_or_zero() + lt.signum_or_zero();
+    d - corr * one
+}
+
+/// Batched SIMD Newtonian kernel: identical physics to [`newton_scalar`] in
+/// f32 precision. Zero-mass padding lanes contribute nothing.
+pub fn newton_simd(target: [f64; 3], packed: &PackedSources, eps: f64) -> [f64; 3] {
+    let tx = f32x8::splat(target[0] as f32);
+    let ty = f32x8::splat(target[1] as f32);
+    let tz = f32x8::splat(target[2] as f32);
+    let e2 = f32x8::splat((eps * eps) as f32);
+    let tiny = f32x8::splat(1e-20);
+    let mut ax = f32x8::ZERO;
+    let mut ay = f32x8::ZERO;
+    let mut az = f32x8::ZERO;
+    for b in 0..packed.xs.len() {
+        let dx = wrap_half(packed.xs[b] - tx);
+        let dy = wrap_half(packed.ys[b] - ty);
+        let dz = wrap_half(packed.zs[b] - tz);
+        let r2 = dx * dx + dy * dy + dz * dz + e2;
+        // Zero displacement (self-interaction) → force the factor to 0 by
+        // keeping r2 finite and masking with m·|d|² / (|d|²+tiny).
+        let d2 = dx * dx + dy * dy + dz * dz;
+        let mask = d2 / (d2 + tiny);
+        let inv_r = rsqrt(r2);
+        let inv_r3 = inv_r * inv_r * inv_r;
+        let f = packed.ms[b] * inv_r3 * mask;
+        ax += f * dx;
+        ay += f * dy;
+        az += f * dz;
+    }
+    [ax.horizontal_sum() as f64, ay.horizontal_sum() as f64, az.horizontal_sum() as f64]
+}
+
+/// Lane-wise reciprocal square root (one Newton iteration over the hardware
+/// estimate path; plain `1/sqrt` per lane — LLVM emits the packed sequence).
+#[inline(always)]
+fn rsqrt(v: f32x8) -> f32x8 {
+    f32x8(core::array::from_fn(|i| 1.0 / v.0[i].sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_sources(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| [next(), next(), next()]).collect()
+    }
+
+    #[test]
+    fn simd_matches_scalar() {
+        let sources = random_sources(100, 5);
+        let packed = PackedSources::pack(&sources, 0.01);
+        for &t in &random_sources(10, 99) {
+            let a = newton_scalar(t, &sources, 0.01, 1e-3);
+            let b = newton_simd(t, &packed, 1e-3);
+            for i in 0..3 {
+                assert!(
+                    (a[i] - b[i]).abs() < 2e-3 * (1.0 + a[i].abs()),
+                    "axis {i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_interaction_is_excluded() {
+        let sources = vec![[0.5, 0.5, 0.5]];
+        let packed = PackedSources::pack(&sources, 1.0);
+        let a = newton_scalar([0.5, 0.5, 0.5], &sources, 1.0, 1e-3);
+        let b = newton_simd([0.5, 0.5, 0.5], &packed, 1e-3);
+        assert!(a.iter().all(|&c| c == 0.0));
+        assert!(b.iter().all(|&c| c.abs() < 1e-10), "{b:?}");
+    }
+
+    #[test]
+    fn padding_lanes_are_inert() {
+        // 9 sources → 2 blocks with 7 padding lanes; results must match the
+        // scalar sum over exactly 9 sources.
+        let sources = random_sources(9, 3);
+        let packed = PackedSources::pack(&sources, 0.5);
+        let t = [0.111, 0.222, 0.333];
+        let a = newton_scalar(t, &sources, 0.5, 1e-3);
+        let b = newton_simd(t, &packed, 1e-3);
+        for i in 0..3 {
+            assert!((a[i] - b[i]).abs() < 2e-3 * (1.0 + a[i].abs()));
+        }
+    }
+
+    #[test]
+    fn wrap_half_behaves() {
+        let d = f32x8([0.6, -0.6, 0.4, -0.4, 0.0, 0.99, -0.99, 0.5]);
+        let w = wrap_half(d);
+        let expect = [-0.4, 0.4, 0.4, -0.4, 0.0, -0.01, 0.01, 0.5];
+        for i in 0..8 {
+            assert!((w.0[i] - expect[i]).abs() < 1e-5, "lane {i}: {} vs {}", w.0[i], expect[i]);
+        }
+    }
+
+    #[test]
+    fn attraction_points_toward_source() {
+        let sources = vec![[0.6, 0.5, 0.5]];
+        let packed = PackedSources::pack(&sources, 1.0);
+        let a = newton_simd([0.4, 0.5, 0.5], &packed, 1e-4);
+        assert!(a[0] > 0.0, "{a:?}");
+        assert!(a[1].abs() < 1e-6 && a[2].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,347 @@
+//! Periodic Barnes–Hut octree and the short-range force walk.
+//!
+//! The tree evaluates the *short-range* part of the TreePM split: monopole
+//! moments opened with the standard `ℓ/r < θ` criterion, pair forces damped
+//! by the erfc-complementary factor, hard distance cutoff where the factor is
+//! negligible, and minimum-image periodicity (valid because the cutoff is
+//! well below half a box).
+
+use crate::particles::min_image;
+use rayon::prelude::*;
+use vlasov6d_poisson::ForceSplit;
+
+const LEAF_SIZE: usize = 8;
+const MAX_DEPTH: usize = 40;
+
+#[derive(Debug, Clone)]
+struct Node {
+    center: [f64; 3],
+    half: f64,
+    com: [f64; 3],
+    mass: f64,
+    /// Child node indices (depth-first construction interleaves subtrees, so
+    /// children are not contiguous — store them explicitly).
+    children: [u32; 8],
+    /// Number of valid entries in `children` (0 for leaves).
+    n_children: u8,
+    /// Particle range `[start, end)` in the permuted order (leaves).
+    start: u32,
+    end: u32,
+}
+
+/// An immutable octree built over a snapshot of particle positions.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    /// Particle positions permuted into tree order.
+    sorted_pos: Vec<[f64; 3]>,
+    /// Per-particle mass (equal-mass set).
+    mass: f64,
+}
+
+impl Tree {
+    /// Build from positions in the unit box.
+    pub fn build(positions: &[[f64; 3]], mass: f64) -> Self {
+        assert!(!positions.is_empty(), "cannot build a tree over zero particles");
+        let mut idx: Vec<u32> = (0..positions.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(positions.len() / LEAF_SIZE * 2 + 16);
+        build_node(positions, mass, &mut idx, 0, positions.len(), [0.5; 3], 0.5, 0, &mut nodes);
+        let sorted_pos: Vec<[f64; 3]> = idx.iter().map(|&i| positions[i as usize]).collect();
+        Self { nodes, sorted_pos, mass }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn total_mass(&self) -> f64 {
+        self.nodes[0].mass
+    }
+
+    /// Short-range acceleration kernel sum at `p`:
+    /// `Σ_j m_j S(r_j) d_j / (r_j² + ε²)^{3/2}` with `d_j` the min-image
+    /// displacement toward source `j`. Multiply by the gravitational coupling
+    /// outside. A particle *at* `p` (r = 0) contributes nothing.
+    pub fn short_range_at(
+        &self,
+        p: [f64; 3],
+        split: &ForceSplit,
+        theta: f64,
+        eps: f64,
+        r_cut: f64,
+    ) -> [f64; 3] {
+        let mut acc = [0.0f64; 3];
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            // Nearest possible min-image distance from p to the node box.
+            let mut d2min = 0.0;
+            for i in 0..3 {
+                let mut dx = (node.center[i] - p[i]).abs();
+                if dx > 0.5 {
+                    dx = 1.0 - dx;
+                }
+                let gap = (dx - node.half).max(0.0);
+                d2min += gap * gap;
+            }
+            if d2min > r_cut * r_cut {
+                continue;
+            }
+            let d = min_image(p, node.com);
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            let size = 2.0 * node.half;
+            let opened = node.n_children > 0
+                && (r2 <= (size * size) / (theta * theta) || r2 <= 3.0 * node.half * node.half);
+            if node.n_children == 0 {
+                for s in &self.sorted_pos[node.start as usize..node.end as usize] {
+                    pair_accel(p, *s, self.mass, split, eps, r_cut, &mut acc);
+                }
+            } else if opened {
+                for c in 0..node.n_children as usize {
+                    stack.push(node.children[c]);
+                }
+            } else {
+                // Accept the monopole.
+                let r = r2.sqrt();
+                if r > 0.0 && r <= r_cut {
+                    let f = node.mass * split.short_force_factor(r) / (r2 + eps * eps).powf(1.5);
+                    for i in 0..3 {
+                        acc[i] += f * d[i];
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Short-range accelerations for many targets, in parallel.
+    pub fn short_range_many(
+        &self,
+        targets: &[[f64; 3]],
+        split: &ForceSplit,
+        theta: f64,
+        eps: f64,
+        r_cut: f64,
+    ) -> Vec<[f64; 3]> {
+        targets
+            .par_iter()
+            .map(|&p| self.short_range_at(p, split, theta, eps, r_cut))
+            .collect()
+    }
+}
+
+#[inline]
+fn pair_accel(
+    p: [f64; 3],
+    source: [f64; 3],
+    mass: f64,
+    split: &ForceSplit,
+    eps: f64,
+    r_cut: f64,
+    acc: &mut [f64; 3],
+) {
+    let d = min_image(p, source);
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    if r2 == 0.0 || r2 > r_cut * r_cut {
+        return;
+    }
+    let r = r2.sqrt();
+    let f = mass * split.short_force_factor(r) / (r2 + eps * eps).powf(1.5);
+    for i in 0..3 {
+        acc[i] += f * d[i];
+    }
+}
+
+/// Recursively build; returns the node's index. Particle indices in
+/// `idx[start..end]` are permuted in place so each node owns a contiguous
+/// range.
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    positions: &[[f64; 3]],
+    mass: f64,
+    idx: &mut [u32],
+    start: usize,
+    end: usize,
+    center: [f64; 3],
+    half: f64,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let my_index = nodes.len() as u32;
+    // Monopole moments (equal-mass particles: COM is the mean position).
+    let mut com = [0.0f64; 3];
+    for &i in &idx[start..end] {
+        let p = positions[i as usize];
+        for d in 0..3 {
+            com[d] += p[d];
+        }
+    }
+    let n = (end - start) as f64;
+    for c in com.iter_mut() {
+        *c /= n;
+    }
+    nodes.push(Node {
+        center,
+        half,
+        com,
+        mass: n * mass,
+        children: [u32::MAX; 8],
+        n_children: 0,
+        start: start as u32,
+        end: end as u32,
+    });
+
+    if end - start <= LEAF_SIZE || depth >= MAX_DEPTH {
+        return my_index;
+    }
+
+    // Partition into octants.
+    let octant = |p: [f64; 3]| -> usize {
+        (usize::from(p[0] >= center[0]) << 2)
+            | (usize::from(p[1] >= center[1]) << 1)
+            | usize::from(p[2] >= center[2])
+    };
+    // Counting sort of the 8 octants within idx[start..end].
+    let mut counts = [0usize; 8];
+    for &i in &idx[start..end] {
+        counts[octant(positions[i as usize])] += 1;
+    }
+    let mut offsets = [0usize; 8];
+    let mut acc = 0;
+    for o in 0..8 {
+        offsets[o] = acc;
+        acc += counts[o];
+    }
+    let mut scratch = idx[start..end].to_vec();
+    let mut cursors = offsets;
+    for &i in &scratch {
+        let o = octant(positions[i as usize]);
+        idx[start + cursors[o]] = i;
+        cursors[o] += 1;
+    }
+    scratch.clear();
+
+    // Recurse into non-empty octants.
+    let quarter = half * 0.5;
+    let mut children = [u32::MAX; 8];
+    let mut n_children = 0u8;
+    for o in 0..8 {
+        if counts[o] == 0 {
+            continue;
+        }
+        let sub_center = [
+            center[0] + if o & 4 != 0 { quarter } else { -quarter },
+            center[1] + if o & 2 != 0 { quarter } else { -quarter },
+            center[2] + if o & 1 != 0 { quarter } else { -quarter },
+        ];
+        let s = start + offsets[o];
+        let child =
+            build_node(positions, mass, idx, s, s + counts[o], sub_center, quarter, depth + 1, nodes);
+        children[n_children as usize] = child;
+        n_children += 1;
+    }
+    nodes[my_index as usize].children = children;
+    nodes[my_index as usize].n_children = n_children;
+    my_index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::short_range_direct;
+
+    fn random_positions(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| [next(), next(), next()]).collect()
+    }
+
+    #[test]
+    fn tree_mass_accounts_for_every_particle() {
+        let pos = random_positions(500, 1);
+        let tree = Tree::build(&pos, 0.002);
+        assert!((tree.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_zero_matches_direct_sum() {
+        let pos = random_positions(200, 2);
+        let mass = 1.0 / 200.0;
+        let split = ForceSplit::new(0.05);
+        let r_cut = split.cutoff_radius(1e-7);
+        let tree = Tree::build(&pos, mass);
+        let direct = short_range_direct(&pos, mass, &split, 1e-4, r_cut);
+        for (i, &p) in pos.iter().enumerate() {
+            let got = tree.short_range_at(p, &split, 1e-9, 1e-4, r_cut);
+            for d in 0..3 {
+                assert!(
+                    (got[d] - direct[i][d]).abs() < 1e-9 * (1.0 + direct[i][d].abs()),
+                    "particle {i} axis {d}: {} vs {}",
+                    got[d],
+                    direct[i][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moderate_theta_is_accurate() {
+        let pos = random_positions(800, 3);
+        let mass = 1.0 / 800.0;
+        let split = ForceSplit::new(0.04);
+        let r_cut = split.cutoff_radius(1e-6);
+        let tree = Tree::build(&pos, mass);
+        let direct = short_range_direct(&pos, mass, &split, 1e-4, r_cut);
+        let mut err2 = 0.0;
+        let mut norm2 = 0.0;
+        for (i, &p) in pos.iter().enumerate() {
+            let got = tree.short_range_at(p, &split, 0.5, 1e-4, r_cut);
+            for d in 0..3 {
+                err2 += (got[d] - direct[i][d]).powi(2);
+                norm2 += direct[i][d].powi(2);
+            }
+        }
+        let rel = (err2 / norm2).sqrt();
+        assert!(rel < 0.01, "rms relative force error {rel}");
+    }
+
+    #[test]
+    fn far_particles_feel_nothing_short_range() {
+        // Two particles separated by much more than the cutoff.
+        let pos = vec![[0.1, 0.1, 0.1], [0.6, 0.6, 0.6]];
+        let split = ForceSplit::new(0.01);
+        let r_cut = split.cutoff_radius(1e-6);
+        let tree = Tree::build(&pos, 1.0);
+        let a = tree.short_range_at(pos[0], &split, 0.5, 1e-5, r_cut);
+        assert!(a.iter().all(|&c| c.abs() < 1e-12), "{a:?}");
+    }
+
+    #[test]
+    fn short_range_is_attractive_and_antisymmetric() {
+        let pos = vec![[0.45, 0.5, 0.5], [0.55, 0.5, 0.5]];
+        let split = ForceSplit::new(0.05);
+        let r_cut = split.cutoff_radius(1e-7);
+        let tree = Tree::build(&pos, 2.0);
+        let a0 = tree.short_range_at(pos[0], &split, 0.5, 0.0, r_cut);
+        let a1 = tree.short_range_at(pos[1], &split, 0.5, 0.0, r_cut);
+        assert!(a0[0] > 0.0, "particle 0 pulled toward +x: {a0:?}");
+        assert!((a0[0] + a1[0]).abs() < 1e-12, "antisymmetry");
+        assert!(a0[1].abs() < 1e-14 && a0[2].abs() < 1e-14);
+    }
+
+    #[test]
+    fn clustered_particles_do_not_break_the_tree() {
+        // All particles at (nearly) the same point: depth cap must hold.
+        let mut pos = vec![[0.5, 0.5, 0.5]; 100];
+        for (i, p) in pos.iter_mut().enumerate() {
+            p[0] += i as f64 * 1e-15;
+        }
+        let split = ForceSplit::new(0.05);
+        let tree = Tree::build(&pos, 0.01);
+        let a = tree.short_range_at([0.5, 0.5, 0.5], &split, 0.5, 1e-3, 0.3);
+        assert!(a.iter().all(|c| c.is_finite()));
+    }
+}

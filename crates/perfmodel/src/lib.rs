@@ -1,0 +1,30 @@
+//! Performance model of the hybrid simulation on Fugaku (paper §6–§7).
+//!
+//! We cannot run on 147,456 A64FX nodes, so the paper's scaling tables are
+//! reproduced by an *analytic cost model* driven by the same quantities the
+//! real code moves:
+//!
+//! * compute volumes per rank (phase-space cells, particles, FFT elements)
+//!   taken from the exact run configurations of the paper's Table 2,
+//! * communication volumes per rank counted the same way the `mpisim`
+//!   runtime counts them (ghost planes × full velocity grid, FFT transpose
+//!   all-to-alls, tree boundary slabs),
+//! * machine rates from the A64FX / Tofu-D datasheets (§6.1), with a single
+//!   calibrated contention constant for torus all-to-alls.
+//!
+//! The model is validated in two directions: per-step time decompositions
+//! follow the paper's "Vlasov ≈ 70% of total", and the derived weak/strong
+//! efficiencies reproduce the paper's Tables 3–4 *shape* (near-ideal Vlasov,
+//! good tree, collapsing PM driven by the 2-D-decomposed FFT).
+//!
+//! * [`machine`] — A64FX + Tofu-D rates and the [`machine::MachineModel`].
+//! * [`runs`] — the paper's Table 2 run configurations as data.
+//! * [`model`] — per-part per-step costs and the scaling tables.
+
+pub mod machine;
+pub mod model;
+pub mod runs;
+
+pub use machine::MachineModel;
+pub use model::{PartTimes, ScalingReport};
+pub use runs::{paper_runs, RunConfig};

@@ -1,0 +1,246 @@
+//! Spatial ghost-plane exchange and distributed sweeps.
+//!
+//! The spatial axes are block-decomposed across ranks (paper §5.1.3); a
+//! spatial sweep needs `GHOST_WIDTH = 3` planes from each neighbour (the
+//! half-width of the SL-MPP5 stencil). The exchange is the dominant
+//! communication of the Vlasov part: each plane carries the full velocity
+//! grid, `width · (Π other spatial dims) · Nu · 4` bytes — the quantity the
+//! performance model prices.
+//!
+//! Distributed sweeps require `|cfl| < 1` so the upwind stencil never reaches
+//! beyond the exchanged planes; the time-step controller in `vlasov6d`
+//! guarantees this (the paper does the same — spatial CFL below unity).
+
+use crate::dist_fn::PhaseSpace;
+use crate::sweep::Exec;
+use vlasov6d_advection::line::{advect_line, LineWork, Scheme};
+use vlasov6d_advection::Boundary;
+use vlasov6d_mpisim::Cart3;
+
+/// Ghost planes needed by the fifth-order stencil.
+pub const GHOST_WIDTH: usize = 3;
+
+/// Extract `width` planes `[start, start+width)` along spatial axis `d` into
+/// a flat buffer with layout `[width][trailing dims]` (line order preserved).
+pub fn extract_planes(ps: &PhaseSpace, d: usize, start: usize, width: usize) -> Vec<f32> {
+    let dims = ps.dims6();
+    let n = dims[d];
+    assert!(start + width <= n);
+    let stride: usize = dims[d + 1..].iter().product();
+    let n_outer: usize = dims[..d].iter().product();
+    let mut out = vec![0.0f32; n_outer * width * stride];
+    let data = ps.as_slice();
+    let mut o = 0;
+    for outer in 0..n_outer {
+        for g in 0..width {
+            let src = (outer * n + start + g) * stride;
+            out[o..o + stride].copy_from_slice(&data[src..src + stride]);
+            o += stride;
+        }
+    }
+    out
+}
+
+/// Exchange edge planes with both neighbours along spatial axis `d`.
+/// Returns `(from_low_neighbor, from_high_neighbor)`: the `width` planes just
+/// below and just above this rank's block, in [`extract_planes`] layout.
+pub fn exchange_ghosts(
+    ps: &PhaseSpace,
+    cart: &Cart3<'_>,
+    d: usize,
+    width: usize,
+    tag: u64,
+) -> (Vec<f32>, Vec<f32>) {
+    let n = ps.sdims[d];
+    assert!(n >= width, "block thinner than the ghost width along axis {d}");
+    // My low planes travel to the low neighbour (becoming its high ghosts);
+    // I receive the high neighbour's low planes as my high ghosts — and vice
+    // versa.
+    let my_low = extract_planes(ps, d, 0, width);
+    let my_high = extract_planes(ps, d, n - width, width);
+    let from_high = cart.shift_exchange(d, -1, tag, my_low); // send low-, recv from high+... see below
+    let from_low = cart.shift_exchange(d, 1, tag + 1, my_high);
+    // shift_exchange(axis, dir, ..) sends toward `dir` and receives from the
+    // opposite side: dir=-1 sends my low planes to the low neighbour and
+    // returns what the high neighbour sent (its low planes) → my high ghosts.
+    (from_low, from_high)
+}
+
+/// Distributed spatial sweep along axis `d` with `|cfl| < 1` for every
+/// velocity index. Uses the scalar kernel (the SIMD variants cover the
+/// single-rank hot path benchmarked in Table 1; the distributed correctness
+/// path favours clarity).
+pub fn sweep_spatial_distributed(
+    ps: &mut PhaseSpace,
+    cart: &Cart3<'_>,
+    d: usize,
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+    tag: u64,
+) {
+    assert!(d < 3);
+    assert_eq!(cfl_per_u.len(), ps.vgrid.n[d]);
+    assert!(
+        cfl_per_u.iter().all(|c| c.abs() < 1.0),
+        "distributed sweeps require |cfl| < 1 (ghost width {GHOST_WIDTH})"
+    );
+    let (from_low, from_high) = exchange_ghosts(ps, cart, d, GHOST_WIDTH, tag);
+
+    let dims = ps.dims6();
+    let n = dims[d];
+    let stride: usize = dims[d + 1..].iter().product();
+    let n_outer: usize = dims[..d].iter().product();
+    let mut ext = vec![0.0f32; n + 2 * GHOST_WIDTH];
+    let mut work = LineWork::new();
+    let data = ps.as_mut_slice();
+
+    for outer in 0..n_outer {
+        for inner in 0..stride {
+            let iu_d = velocity_index_of_inner(d, inner, &dims);
+            let cfl = cfl_per_u[iu_d];
+            // Assemble the ghost-extended line.
+            for g in 0..GHOST_WIDTH {
+                ext[g] = from_low[(outer * GHOST_WIDTH + g) * stride + inner];
+                ext[GHOST_WIDTH + n + g] = from_high[(outer * GHOST_WIDTH + g) * stride + inner];
+            }
+            for i in 0..n {
+                ext[GHOST_WIDTH + i] = data[(outer * n + i) * stride + inner];
+            }
+            // With |cfl| < 1 the update of the interior cells never consults
+            // values beyond the ghost planes, so the boundary condition on
+            // the extended buffer is irrelevant to them.
+            advect_line(scheme, &mut ext, cfl, Boundary::Zero, &mut work);
+            for i in 0..n {
+                data[(outer * n + i) * stride + inner] = ext[GHOST_WIDTH + i];
+            }
+        }
+    }
+}
+
+#[inline]
+fn velocity_index_of_inner(d: usize, inner: usize, dims: &[usize; 6]) -> usize {
+    let stride_ud: usize = dims[3 + d + 1..].iter().product();
+    (inner / stride_ud) % dims[3 + d]
+}
+
+/// Serial reference used by tests and the single-rank driver: sweep with the
+/// same code path but periodic wrap instead of exchanged ghosts.
+pub fn sweep_spatial_serial_reference(
+    ps: &mut PhaseSpace,
+    d: usize,
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+) {
+    crate::sweep::sweep_spatial(ps, d, cfl_per_u, scheme, Exec::Scalar);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::VelocityGrid;
+    use vlasov6d_mesh::Decomp3;
+    use vlasov6d_mpisim::Universe;
+
+    fn global_fill(s: [usize; 3], u: [f64; 3]) -> f64 {
+        let sx = (s[0] as f64 * 0.61).sin() + (s[1] as f64 * 0.37).cos() + (s[2] as f64 * 0.83).sin();
+        (2.2 + sx) * (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.4).exp() + 0.02
+    }
+
+    #[test]
+    fn extract_planes_matches_direct_indexing() {
+        let vg = VelocityGrid::cubic(4, 1.0);
+        let mut ps = PhaseSpace::zeros([4, 4, 4], vg);
+        ps.fill_with(|s, u| global_fill(s, u));
+        for d in 0..3 {
+            let planes = extract_planes(&ps, d, 1, 2);
+            // Check one element: outer=0, plane g=1 (global idx 2 along d), inner=5.
+            let dims = ps.dims6();
+            let stride: usize = dims[d + 1..].iter().product();
+            assert_eq!(planes[(0 * 2 + 1) * stride + 5], {
+                let flat = (0 * dims[d] + 2) * stride + 5;
+                ps.as_slice()[flat]
+            });
+        }
+    }
+
+    #[test]
+    fn distributed_sweep_matches_serial() {
+        let vg = VelocityGrid::cubic(8, 1.0);
+        let sglobal = [8usize, 8, 8];
+        let cfl: Vec<f64> = (0..8).map(|k| 0.22 * (k as f64 - 3.5) / 3.5).collect();
+
+        // Serial reference.
+        let mut serial = PhaseSpace::zeros(sglobal, vg);
+        serial.fill_with(global_fill);
+        for d in 0..3 {
+            sweep_spatial_serial_reference(&mut serial, d, &cfl, Scheme::SlMpp5);
+        }
+
+        // Distributed run on a 2×2×2 process grid.
+        let decomp = Decomp3::new(sglobal, [2, 2, 2]);
+        let cfl2 = cfl.clone();
+        let blocks = Universe::run(8, move |comm| {
+            let cart = Cart3::new(comm, decomp);
+            let off = cart.local_offset();
+            let ldims = cart.local_dims();
+            let mut ps = PhaseSpace::zeros_block(ldims, off, sglobal, vg);
+            ps.fill_with(global_fill);
+            for d in 0..3 {
+                sweep_spatial_distributed(&mut ps, &cart, d, &cfl2, Scheme::SlMpp5, 100 + d as u64 * 10);
+                cart.comm().barrier();
+            }
+            (off, ldims, ps.as_slice().to_vec())
+        });
+
+        // Compare every local block against the serial result.
+        let vlen = vg.len();
+        for (off, ldims, data) in blocks {
+            for lx in 0..ldims[0] {
+                for ly in 0..ldims[1] {
+                    for lz in 0..ldims[2] {
+                        let cell = (lx * ldims[1] + ly) * ldims[2] + lz;
+                        let sref = serial.velocity_block([off[0] + lx, off[1] + ly, off[2] + lz]);
+                        let got = &data[cell * vlen..(cell + 1) * vlen];
+                        for (a, b) in got.iter().zip(sref) {
+                            assert!(
+                                (a - b).abs() < 1e-6,
+                                "mismatch at block {off:?} cell ({lx},{ly},{lz}): {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_on_single_rank_axis_is_periodic_wrap() {
+        let vg = VelocityGrid::cubic(4, 1.0);
+        let sglobal = [8usize, 4, 4];
+        let decomp = Decomp3::new(sglobal, [1, 1, 1]);
+        Universe::run(1, move |comm| {
+            let cart = Cart3::new(comm, decomp);
+            let mut ps = PhaseSpace::zeros_block([8, 4, 4], [0, 0, 0], sglobal, vg);
+            ps.fill_with(global_fill);
+            let (from_low, from_high) = exchange_ghosts(&ps, &cart, 0, 3, 7);
+            // from_low must equal my own top planes (periodic wrap).
+            let top = extract_planes(&ps, 0, 5, 3);
+            let bottom = extract_planes(&ps, 0, 0, 3);
+            assert_eq!(from_low, top);
+            assert_eq!(from_high, bottom);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "require |cfl| < 1")]
+    fn distributed_sweep_rejects_large_cfl() {
+        let vg = VelocityGrid::cubic(4, 1.0);
+        let decomp = Decomp3::new([8, 8, 8], [1, 1, 1]);
+        Universe::run(1, move |comm| {
+            let cart = Cart3::new(comm, decomp);
+            let mut ps = PhaseSpace::zeros_block([8, 8, 8], [0, 0, 0], [8, 8, 8], vg);
+            let cfl = vec![1.5; 4];
+            sweep_spatial_distributed(&mut ps, &cart, 0, &cfl, Scheme::SlMpp5, 0);
+        });
+    }
+}

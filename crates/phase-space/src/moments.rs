@@ -1,0 +1,227 @@
+//! Velocity moments of the distribution function.
+//!
+//! Because the velocity space is never decomposed (paper §5.1.3), every
+//! moment is a purely local reduction over each spatial cell's contiguous
+//! velocity block — no communication. The moments feed the Poisson source
+//! (density) and the Fig. 6 diagnostics (bulk velocity, velocity dispersion).
+
+use crate::dist_fn::PhaseSpace;
+use rayon::prelude::*;
+use vlasov6d_mesh::Field3;
+
+/// Number density per spatial cell: `n(x) = Σ_u f Δu³` (code units; multiply
+/// by the species mass outside). Returned on the local spatial dims.
+pub fn density(ps: &PhaseSpace) -> Field3 {
+    let dv = ps.vgrid.cell_volume();
+    let mut out = Field3::zeros(ps.sdims);
+    let vlen = ps.vlen();
+    out.as_mut_slice()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(cell, o)| {
+            let block = &ps.as_slice()[cell * vlen..(cell + 1) * vlen];
+            let mut acc = 0.0f64;
+            for &v in block {
+                acc += v as f64;
+            }
+            *o = acc * dv;
+        });
+    out
+}
+
+/// Momentum density `Σ_u f u_d Δu³` along component `d` (0, 1, 2).
+pub fn momentum(ps: &PhaseSpace, d: usize) -> Field3 {
+    assert!(d < 3);
+    let dv = ps.vgrid.cell_volume();
+    let [nux, nuy, nuz] = ps.vgrid.n;
+    let vgrid = ps.vgrid;
+    let mut out = Field3::zeros(ps.sdims);
+    let vlen = ps.vlen();
+    out.as_mut_slice()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(cell, o)| {
+            let block = &ps.as_slice()[cell * vlen..(cell + 1) * vlen];
+            let mut acc = 0.0f64;
+            let mut idx = 0;
+            for iux in 0..nux {
+                for iuy in 0..nuy {
+                    for iuz in 0..nuz {
+                        let u = match d {
+                            0 => vgrid.center(0, iux),
+                            1 => vgrid.center(1, iuy),
+                            _ => vgrid.center(2, iuz),
+                        };
+                        acc += block[idx] as f64 * u;
+                        idx += 1;
+                    }
+                }
+            }
+            *o = acc * dv;
+        });
+    out
+}
+
+/// Bulk velocity `<u_d> = momentum_d / density` with a floor on the density to
+/// avoid dividing by empty cells.
+pub fn bulk_velocity(ps: &PhaseSpace, d: usize, density_floor: f64) -> Field3 {
+    let n = density(ps);
+    let p = momentum(ps, d);
+    let mut out = Field3::zeros(ps.sdims);
+    out.as_mut_slice()
+        .par_iter_mut()
+        .zip(n.as_slice().par_iter().zip(p.as_slice().par_iter()))
+        .for_each(|(o, (&nn, &pp))| {
+            *o = if nn > density_floor { pp / nn } else { 0.0 };
+        });
+    out
+}
+
+/// Scalar velocity dispersion `σ² = (Σ_u f |u - <u>|² Δu³)/n` (the trace of
+/// the dispersion tensor / 3 is `σ_1D²`). Returns σ² per cell.
+pub fn velocity_dispersion(ps: &PhaseSpace, density_floor: f64) -> Field3 {
+    let dv = ps.vgrid.cell_volume();
+    let [nux, nuy, nuz] = ps.vgrid.n;
+    let vgrid = ps.vgrid;
+    let vlen = ps.vlen();
+    let n = density(ps);
+    let ubar: [Field3; 3] = [
+        bulk_velocity(ps, 0, density_floor),
+        bulk_velocity(ps, 1, density_floor),
+        bulk_velocity(ps, 2, density_floor),
+    ];
+    let mut out = Field3::zeros(ps.sdims);
+    out.as_mut_slice()
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(cell, o)| {
+            let nn = n.as_slice()[cell];
+            if nn <= density_floor {
+                *o = 0.0;
+                return;
+            }
+            let (u0, u1, u2) = (
+                ubar[0].as_slice()[cell],
+                ubar[1].as_slice()[cell],
+                ubar[2].as_slice()[cell],
+            );
+            let block = &ps.as_slice()[cell * vlen..(cell + 1) * vlen];
+            let mut acc = 0.0f64;
+            let mut idx = 0;
+            for iux in 0..nux {
+                let dx = vgrid.center(0, iux) - u0;
+                for iuy in 0..nuy {
+                    let dy = vgrid.center(1, iuy) - u1;
+                    for iuz in 0..nuz {
+                        let dz = vgrid.center(2, iuz) - u2;
+                        acc += block[idx] as f64 * (dx * dx + dy * dy + dz * dz);
+                        idx += 1;
+                    }
+                }
+            }
+            *o = acc * dv / nn;
+        });
+    out
+}
+
+/// 1-D speed distribution at one spatial cell: histogram of `f` over `|u|`
+/// shells — the paper's Fig. 5 observable. Returns `(bin_centers, f(|u|))`
+/// where `f(|u|)` is the shell-averaged distribution value.
+pub fn speed_distribution(ps: &PhaseSpace, s: [usize; 3], n_bins: usize) -> (Vec<f64>, Vec<f64>) {
+    let block = ps.velocity_block(s);
+    let vg = &ps.vgrid;
+    let umax = (vg.max_center(0).powi(2) + vg.max_center(1).powi(2) + vg.max_center(2).powi(2)).sqrt();
+    let db = umax / n_bins as f64;
+    let mut sums = vec![0.0f64; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    let mut idx = 0;
+    for iux in 0..vg.n[0] {
+        let ux = vg.center(0, iux);
+        for iuy in 0..vg.n[1] {
+            let uy = vg.center(1, iuy);
+            for iuz in 0..vg.n[2] {
+                let uz = vg.center(2, iuz);
+                let speed = (ux * ux + uy * uy + uz * uz).sqrt();
+                let b = ((speed / db) as usize).min(n_bins - 1);
+                sums[b] += block[idx] as f64;
+                counts[b] += 1;
+                idx += 1;
+            }
+        }
+    }
+    let centers = (0..n_bins).map(|b| (b as f64 + 0.5) * db).collect();
+    let values = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    (centers, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::VelocityGrid;
+
+    /// An isotropic Gaussian in u, uniform in x.
+    fn gaussian_ps(sigma: f64, drift: [f64; 3]) -> PhaseSpace {
+        let vg = VelocityGrid::cubic(24, 6.0 * sigma);
+        let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).powf(1.5) * sigma.powi(3));
+        ps.fill_with(|_, u| {
+            let r2 = (u[0] - drift[0]).powi(2) + (u[1] - drift[1]).powi(2) + (u[2] - drift[2]).powi(2);
+            norm * (-0.5 * r2 / (sigma * sigma)).exp()
+        });
+        ps
+    }
+
+    #[test]
+    fn density_of_unit_gaussian_is_one() {
+        let ps = gaussian_ps(0.5, [0.0; 3]);
+        let n = density(&ps);
+        for &v in n.as_slice() {
+            assert!((v - 1.0).abs() < 1e-3, "{v}");
+        }
+    }
+
+    #[test]
+    fn momentum_vanishes_for_centred_gaussian() {
+        let ps = gaussian_ps(0.5, [0.0; 3]);
+        for d in 0..3 {
+            let p = momentum(&ps, d);
+            assert!(p.max_abs() < 1e-6, "d = {d}: {}", p.max_abs());
+        }
+    }
+
+    #[test]
+    fn bulk_velocity_recovers_drift() {
+        let drift = [0.3, -0.2, 0.1];
+        let ps = gaussian_ps(0.4, drift);
+        for d in 0..3 {
+            let u = bulk_velocity(&ps, d, 1e-12);
+            for &v in u.as_slice() {
+                assert!((v - drift[d]).abs() < 1e-3, "d = {d}: {v} vs {}", drift[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn dispersion_recovers_3_sigma_squared() {
+        let sigma = 0.5;
+        let ps = gaussian_ps(sigma, [0.1, 0.0, -0.1]);
+        let s2 = velocity_dispersion(&ps, 1e-12);
+        for &v in s2.as_slice() {
+            assert!((v - 3.0 * sigma * sigma).abs() < 2e-2, "{v}");
+        }
+    }
+
+    #[test]
+    fn speed_distribution_peaks_at_low_speeds_for_gaussian() {
+        let ps = gaussian_ps(0.5, [0.0; 3]);
+        let (centers, values) = speed_distribution(&ps, [0, 0, 0], 16);
+        assert_eq!(centers.len(), 16);
+        // f(|u|) is monotone decreasing for a centred Gaussian.
+        assert!(values[0] > values[4]);
+        assert!(values[4] > values[10]);
+    }
+}

@@ -1,0 +1,611 @@
+//! Directional-splitting sweeps over the 6-D grid.
+//!
+//! A sweep applies the 1-D conservative SL kernel along one axis to every
+//! grid line. The three execution variants reproduce the paper's Table 1
+//! code shapes:
+//!
+//! * [`Exec::Scalar`] — "w/o SIMD": one line at a time, element-wise strided
+//!   gather/scatter into a line buffer, scalar kernel.
+//! * [`Exec::Simd`] — "w/ SIMD inst.": eight lines ride the lanes of an
+//!   [`f32x8`]. For every axis except `u_z` the lanes are eight *contiguous*
+//!   `iuz` values, so each bundle element is one packed load (paper Fig. 1).
+//!   For the `u_z` axis itself the lanes must come from eight different
+//!   `iuy` lines, i.e. strided element gathers (paper Fig. 2) — deliberately
+//!   the slow shape, kept for the Table 1 comparison.
+//! * [`Exec::Lat`] — "w/ LAT method": only meaningful for the `u_z` axis;
+//!   eight contiguous lines are loaded as packed registers and transposed
+//!   in-register ([`transpose8x8`], paper Fig. 3) into lane form, advected,
+//!   and transposed back. Other axes fall back to [`Exec::Simd`].
+//!
+//! The advection velocity is constant along every line *and* across every
+//! lane bundle by construction: spatial sweeps depend only on the conjugate
+//! velocity index, velocity sweeps only on the spatial cell — and the lane
+//! axis is never either of those.
+
+use crate::dist_fn::PhaseSpace;
+use rayon::prelude::*;
+use vlasov6d_advection::lanes::{advect_lanes, LanesWork};
+use vlasov6d_advection::line::{advect_line, LineWork, Scheme};
+use vlasov6d_advection::simd::{f32x8, transpose8x8, LANES};
+use vlasov6d_advection::Boundary;
+use vlasov6d_mesh::Field3;
+
+/// Kernel execution variant (paper Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exec {
+    /// One line at a time, no lane batching.
+    Scalar,
+    /// Eight lines per bundle; packed loads where the layout allows,
+    /// strided gathers on the `u_z` axis.
+    #[default]
+    Simd,
+    /// Load-and-transpose staging for the `u_z` axis.
+    Lat,
+}
+
+/// Shared mutable base pointer for provably disjoint line updates.
+#[derive(Clone, Copy)]
+struct SendMutPtr(*mut f32);
+unsafe impl Send for SendMutPtr {}
+unsafe impl Sync for SendMutPtr {}
+
+/// Sweep along spatial axis `d` (0 = x, 1 = y, 2 = z) with periodic bounds.
+///
+/// `cfl_per_u[k]` is the shift (in cells) of velocity index `k` along axis
+/// `d`: `u_d(k) · drift / Δx_d`. Shifts of any size are allowed (periodic
+/// integer wrap is exact).
+pub fn sweep_spatial(
+    ps: &mut PhaseSpace,
+    d: usize,
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+    exec: Exec,
+) {
+    assert!(d < 3);
+    assert_eq!(cfl_per_u.len(), ps.vgrid.n[d]);
+    let dims = ps.dims6();
+    let n_line = dims[d];
+    // Stride between consecutive cells along axis d.
+    let stride: usize = dims[d + 1..].iter().product();
+    let nuz = dims[5];
+    let base = SendMutPtr(ps.as_mut_slice().as_mut_ptr());
+
+    // Enumerate lines by (outer, inner) where flat = (outer·n_line + i)·stride + inner.
+    let n_outer: usize = dims[..d].iter().product();
+    match exec {
+        Exec::Scalar => {
+            // Parallel over (outer, inner-group) pairs; tasks touch disjoint
+            // inner indices → disjoint flat indices.
+            (0..n_outer * stride).into_par_iter().for_each_init(
+                || (vec![0.0f32; n_line], LineWork::new()),
+                |(buf, work), task| {
+                    let base = base; // whole-struct capture of the Send wrapper
+                    let outer = task / stride;
+                    let inner = task % stride;
+                    let iu_d = velocity_index_of_inner(d, inner, &dims);
+                    let cfl = cfl_per_u[iu_d];
+                    // SAFETY: each task owns the line (outer, inner); indices
+                    // (outer·n+i)·stride + inner are distinct across tasks.
+                    unsafe {
+                        gather_line(base, outer, inner, n_line, stride, buf);
+                        advect_line(scheme, buf, cfl, Boundary::Periodic, work);
+                        scatter_line(base, outer, inner, n_line, stride, buf);
+                    }
+                },
+            );
+        }
+        Exec::Simd | Exec::Lat if d < 2 => {
+            // x/y sweeps: lanes over iuz are contiguous packed loads and the
+            // conjugate velocity (iux/iuy) is constant across them (Fig. 1).
+            assert!(nuz % LANES == 0, "Simd sweeps need nuz divisible by {LANES}");
+            let groups = stride / LANES; // inner runs over iuz fastest; group 8 iuz.
+            (0..n_outer * groups).into_par_iter().for_each_init(
+                || (vec![f32x8::ZERO; n_line], LanesWork::new()),
+                |(bundle, work), task| {
+                    let base = base; // whole-struct capture of the Send wrapper
+                    let outer = task / groups;
+                    let group = task % groups;
+                    let inner = group * LANES;
+                    let iu_d = velocity_index_of_inner(d, inner, &dims);
+                    let cfl = cfl_per_u[iu_d];
+                    // SAFETY: tasks own disjoint (outer, 8-lane inner group)s.
+                    unsafe {
+                        for (i, b) in bundle.iter_mut().enumerate() {
+                            let p = base.0.add((outer * n_line + i) * stride + inner);
+                            *b = f32x8::load(std::slice::from_raw_parts(p, LANES));
+                        }
+                        advect_lanes(scheme.max_simd(), bundle, cfl, Boundary::Periodic, work);
+                        for (i, b) in bundle.iter().enumerate() {
+                            let p = base.0.add((outer * n_line + i) * stride + inner);
+                            b.store(std::slice::from_raw_parts_mut(p, LANES));
+                        }
+                    }
+                },
+            );
+        }
+        Exec::Simd | Exec::Lat => {
+            // z sweep: the conjugate velocity IS iuz, so lanes over iuz would
+            // mix shifts. Stage 8×8 (iuy, iuz) tiles through the in-register
+            // transpose so lanes run over iuy at fixed iuz — constant shift
+            // per bundle, packed loads throughout (the LAT trick applied to
+            // the spatial z axis).
+            let (nux, nuy) = (dims[3], dims[4]);
+            assert!(
+                nuy % LANES == 0 && nuz % LANES == 0,
+                "z-sweep SIMD needs nuy and nuz divisible by {LANES}"
+            );
+            let tiles = nux * (nuy / LANES) * (nuz / LANES);
+            (0..n_outer * tiles).into_par_iter().for_each_init(
+                || (vec![f32x8::ZERO; n_line * LANES], LanesWork::new()),
+                |(bundles, work), task| {
+                    let base = base; // whole-struct capture of the Send wrapper
+                    let outer = task / tiles;
+                    let tile = task % tiles;
+                    let zg = tile % (nuz / LANES);
+                    let yg = (tile / (nuz / LANES)) % (nuy / LANES);
+                    let iux = tile / ((nuz / LANES) * (nuy / LANES));
+                    let (y0, z0) = (yg * LANES, zg * LANES);
+                    // SAFETY: tasks own disjoint (outer, iux, y-tile, z-tile)s;
+                    // every touched flat index carries that 4-tuple.
+                    unsafe {
+                        for i in 0..n_line {
+                            let line_base = (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
+                            let mut rows: [f32x8; LANES] = core::array::from_fn(|l| {
+                                f32x8::load(std::slice::from_raw_parts(
+                                    base.0.add(line_base + l * nuz),
+                                    LANES,
+                                ))
+                            });
+                            transpose8x8(&mut rows);
+                            for (r, row) in rows.iter().enumerate() {
+                                bundles[r * n_line + i] = *row;
+                            }
+                        }
+                        for r in 0..LANES {
+                            let cfl = cfl_per_u[z0 + r];
+                            advect_lanes(
+                                scheme.max_simd(),
+                                &mut bundles[r * n_line..(r + 1) * n_line],
+                                cfl,
+                                Boundary::Periodic,
+                                work,
+                            );
+                        }
+                        for i in 0..n_line {
+                            let line_base = (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
+                            let mut rows: [f32x8; LANES] =
+                                core::array::from_fn(|r| bundles[r * n_line + i]);
+                            transpose8x8(&mut rows);
+                            for (l, row) in rows.iter().enumerate() {
+                                row.store(std::slice::from_raw_parts_mut(
+                                    base.0.add(line_base + l * nuz),
+                                    LANES,
+                                ));
+                            }
+                        }
+                    }
+                },
+            );
+        }
+    }
+}
+
+/// Sweep along velocity axis `d` (0 = ux, 1 = uy, 2 = uz) with zero-inflow
+/// bounds. `cfl_per_cell` gives the shift per *spatial* cell:
+/// `-∂φ/∂x_d · Δt / Δu_d`.
+pub fn sweep_velocity(
+    ps: &mut PhaseSpace,
+    d: usize,
+    cfl_per_cell: &Field3,
+    scheme: Scheme,
+    exec: Exec,
+) {
+    assert!(d < 3);
+    assert_eq!(cfl_per_cell.dims(), ps.sdims);
+    let dims = ps.dims6();
+        let (nux, nuy, nuz) = (dims[3], dims[4], dims[5]);
+    let vlen = nux * nuy * nuz;
+    let cfls = cfl_per_cell.as_slice();
+    let data = ps.as_mut_slice();
+
+    // Velocity blocks of different spatial cells are disjoint contiguous
+    // chunks — safe rayon parallelism without raw pointers.
+    data.par_chunks_mut(vlen).enumerate().for_each_init(
+        || VelocityWork::new(),
+        |work, (cell, block)| {
+            let cfl = cfls[cell];
+            if cfl == 0.0 {
+                return;
+            }
+            match d {
+                0 => sweep_block_ux(block, nux, nuy, nuz, cfl, scheme, exec, work),
+                1 => sweep_block_uy(block, nux, nuy, nuz, cfl, scheme, exec, work),
+                _ => sweep_block_uz(block, nux, nuy, nuz, cfl, scheme, exec, work),
+            }
+        },
+    );
+}
+
+/// Per-thread scratch for velocity-block sweeps.
+struct VelocityWork {
+    line: Vec<f32>,
+    bundle: Vec<f32x8>,
+    line_work: LineWork,
+    lanes_work: LanesWork,
+}
+
+impl VelocityWork {
+    fn new() -> Self {
+        Self {
+            line: Vec::new(),
+            bundle: Vec::new(),
+            line_work: LineWork::new(),
+            lanes_work: LanesWork::new(),
+        }
+    }
+}
+
+trait SchemeExt {
+    fn max_simd(self) -> Scheme;
+}
+impl SchemeExt for Scheme {
+    /// The lanes kernel implements SL5/SL-MPP5; map the cheap scalar-only
+    /// schemes onto their nearest vectorised equivalent when a SIMD sweep is
+    /// requested (callers wanting exact Upwind1/Sl3 use Exec::Scalar).
+    fn max_simd(self) -> Scheme {
+        match self {
+            Scheme::Upwind1 | Scheme::Sl3 | Scheme::Sl5 => Scheme::Sl5,
+            Scheme::SlMpp5 => Scheme::SlMpp5,
+        }
+    }
+}
+
+fn sweep_block_ux(
+    block: &mut [f32],
+    nux: usize,
+    nuy: usize,
+    nuz: usize,
+    cfl: f64,
+    scheme: Scheme,
+    exec: Exec,
+    work: &mut VelocityWork,
+) {
+    let stride = nuy * nuz;
+    match exec {
+        Exec::Scalar => {
+            work.line.resize(nux, 0.0);
+            for inner in 0..stride {
+                for i in 0..nux {
+                    work.line[i] = block[i * stride + inner];
+                }
+                advect_line(scheme, &mut work.line, cfl, Boundary::Zero, &mut work.line_work);
+                for i in 0..nux {
+                    block[i * stride + inner] = work.line[i];
+                }
+            }
+        }
+        Exec::Simd | Exec::Lat => {
+            assert!(nuz % LANES == 0);
+            work.bundle.resize(nux, f32x8::ZERO);
+            for group in 0..stride / LANES {
+                let inner = group * LANES;
+                for (i, b) in work.bundle.iter_mut().enumerate() {
+                    *b = f32x8::load(&block[i * stride + inner..]);
+                }
+                advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                for (i, b) in work.bundle.iter().enumerate() {
+                    b.store(&mut block[i * stride + inner..]);
+                }
+            }
+        }
+    }
+}
+
+fn sweep_block_uy(
+    block: &mut [f32],
+    nux: usize,
+    nuy: usize,
+    nuz: usize,
+    cfl: f64,
+    scheme: Scheme,
+    exec: Exec,
+    work: &mut VelocityWork,
+) {
+    let stride = nuz;
+    match exec {
+        Exec::Scalar => {
+            work.line.resize(nuy, 0.0);
+            for iux in 0..nux {
+                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
+                for iuz in 0..nuz {
+                    for i in 0..nuy {
+                        work.line[i] = plane[i * stride + iuz];
+                    }
+                    advect_line(scheme, &mut work.line, cfl, Boundary::Zero, &mut work.line_work);
+                    for i in 0..nuy {
+                        plane[i * stride + iuz] = work.line[i];
+                    }
+                }
+            }
+        }
+        Exec::Simd | Exec::Lat => {
+            assert!(nuz % LANES == 0);
+            work.bundle.resize(nuy, f32x8::ZERO);
+            for iux in 0..nux {
+                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
+                for group in 0..nuz / LANES {
+                    let inner = group * LANES;
+                    for (i, b) in work.bundle.iter_mut().enumerate() {
+                        *b = f32x8::load(&plane[i * stride + inner..]);
+                    }
+                    advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                    for (i, b) in work.bundle.iter().enumerate() {
+                        b.store(&mut plane[i * stride + inner..]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn sweep_block_uz(
+    block: &mut [f32],
+    nux: usize,
+    nuy: usize,
+    nuz: usize,
+    cfl: f64,
+    scheme: Scheme,
+    exec: Exec,
+    work: &mut VelocityWork,
+) {
+    match exec {
+        Exec::Scalar => {
+            // Lines are contiguous — the scalar path needs no gather at all.
+            for line_idx in 0..nux * nuy {
+                let line = &mut block[line_idx * nuz..(line_idx + 1) * nuz];
+                advect_line(scheme, line, cfl, Boundary::Zero, &mut work.line_work);
+            }
+        }
+        Exec::Simd => {
+            // Paper Fig. 2: lanes across iuy require strided element gathers —
+            // the deliberately inefficient variant measured in Table 1.
+            assert!(nuy % LANES == 0, "Fig.2 variant needs nuy divisible by {LANES}");
+            work.bundle.resize(nuz, f32x8::ZERO);
+            for iux in 0..nux {
+                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
+                for ygroup in 0..nuy / LANES {
+                    let y0 = ygroup * LANES;
+                    for (i, b) in work.bundle.iter_mut().enumerate() {
+                        let mut lanes = [0.0f32; LANES];
+                        for (l, lane) in lanes.iter_mut().enumerate() {
+                            *lane = plane[(y0 + l) * nuz + i];
+                        }
+                        *b = f32x8(lanes);
+                    }
+                    advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                    for (i, b) in work.bundle.iter().enumerate() {
+                        for l in 0..LANES {
+                            plane[(y0 + l) * nuz + i] = b.0[l];
+                        }
+                    }
+                }
+            }
+        }
+        Exec::Lat => {
+            // Paper Fig. 3: packed loads + in-register transpose, advect in
+            // lane form, transpose back on the way out.
+            assert!(nuy % LANES == 0 && nuz % LANES == 0);
+            work.bundle.resize(nuz, f32x8::ZERO);
+            for iux in 0..nux {
+                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
+                for ygroup in 0..nuy / LANES {
+                    let y0 = ygroup * LANES;
+                    // Load & transpose into lane-major bundle.
+                    for zblock in 0..nuz / LANES {
+                        let z0 = zblock * LANES;
+                        let mut rows: [f32x8; LANES] = core::array::from_fn(|l| {
+                            f32x8::load(&plane[(y0 + l) * nuz + z0..])
+                        });
+                        transpose8x8(&mut rows);
+                        work.bundle[z0..z0 + LANES].copy_from_slice(&rows);
+                    }
+                    advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                    // Transpose back & store packed.
+                    for zblock in 0..nuz / LANES {
+                        let z0 = zblock * LANES;
+                        let mut rows: [f32x8; LANES] = core::array::from_fn(|r| work.bundle[z0 + r]);
+                        transpose8x8(&mut rows);
+                        for (l, row) in rows.iter().enumerate() {
+                            row.store(&mut plane[(y0 + l) * nuz + z0..]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extract the velocity index conjugate to spatial axis `d` from an "inner"
+/// flat index (the part of the flat index after axis `d`).
+#[inline]
+fn velocity_index_of_inner(d: usize, inner: usize, dims: &[usize; 6]) -> usize {
+    // inner spans dims[d+1..6]; velocity axis 3+d has stride prod(dims[3+d+1..]).
+    let stride_ud: usize = dims[3 + d + 1..].iter().product();
+    (inner / stride_ud) % dims[3 + d]
+}
+
+/// SAFETY: caller guarantees disjoint (outer, inner) line ownership.
+unsafe fn gather_line(
+    base: SendMutPtr,
+    outer: usize,
+    inner: usize,
+    n: usize,
+    stride: usize,
+    buf: &mut [f32],
+) {
+    for (i, b) in buf.iter_mut().enumerate().take(n) {
+        *b = *base.0.add((outer * n + i) * stride + inner);
+    }
+}
+
+/// SAFETY: as [`gather_line`].
+unsafe fn scatter_line(
+    base: SendMutPtr,
+    outer: usize,
+    inner: usize,
+    n: usize,
+    stride: usize,
+    buf: &[f32],
+) {
+    for (i, b) in buf.iter().enumerate().take(n) {
+        *base.0.add((outer * n + i) * stride + inner) = *b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::VelocityGrid;
+
+    fn test_ps() -> PhaseSpace {
+        let vg = VelocityGrid::cubic(8, 1.0);
+        let mut ps = PhaseSpace::zeros([8, 8, 8], vg);
+        // A smooth positive filling varying in all six coordinates.
+        ps.fill_with(|s, u| {
+            let sx = (s[0] as f64 * 0.7).sin() + (s[1] as f64 * 0.4).cos() + (s[2] as f64 * 0.9).sin();
+            let g = (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.18).exp();
+            (3.2 + sx) * g + 0.01
+        });
+        ps
+    }
+
+    fn total(ps: &PhaseSpace) -> f64 {
+        ps.as_slice().iter().map(|&v| v as f64).sum()
+    }
+
+    #[test]
+    fn spatial_sweep_execs_agree() {
+        let cfl: Vec<f64> = (0..8).map(|k| 0.1 * k as f64 - 0.35).collect();
+        for d in 0..3 {
+            let mut scalar = test_ps();
+            let mut simd = test_ps();
+            sweep_spatial(&mut scalar, d, &cfl, Scheme::SlMpp5, Exec::Scalar);
+            sweep_spatial(&mut simd, d, &cfl, Scheme::SlMpp5, Exec::Simd);
+            let diff = scalar.l1_distance(&simd) / scalar.len() as f64;
+            assert!(diff < 1e-5, "axis {d}: mean |Δ| = {diff}");
+        }
+    }
+
+    #[test]
+    fn velocity_sweep_execs_agree() {
+        let mut accel = Field3::zeros([8, 8, 8]);
+        for (i, v) in accel.as_mut_slice().iter_mut().enumerate() {
+            *v = 0.8 * ((i as f64 * 0.13).sin());
+        }
+        for d in 0..3 {
+            let mut scalar = test_ps();
+            let mut simd = test_ps();
+            sweep_velocity(&mut scalar, d, &accel, Scheme::SlMpp5, Exec::Scalar);
+            sweep_velocity(&mut simd, d, &accel, Scheme::SlMpp5, Exec::Simd);
+            let diff = scalar.l1_distance(&simd) / scalar.len() as f64;
+            assert!(diff < 1e-5, "axis u{d}: mean |Δ| = {diff}");
+        }
+    }
+
+    #[test]
+    fn lat_matches_strided_simd_on_uz() {
+        let mut accel = Field3::zeros([8, 8, 8]);
+        for (i, v) in accel.as_mut_slice().iter_mut().enumerate() {
+            *v = 0.5 * ((i as f64 * 0.31).cos());
+        }
+        let mut simd = test_ps();
+        let mut lat = test_ps();
+        sweep_velocity(&mut simd, 2, &accel, Scheme::SlMpp5, Exec::Simd);
+        sweep_velocity(&mut lat, 2, &accel, Scheme::SlMpp5, Exec::Lat);
+        let diff = simd.l1_distance(&lat);
+        assert!(diff < 1e-4, "LAT vs strided SIMD differ: {diff}");
+    }
+
+    #[test]
+    fn spatial_sweep_conserves_mass() {
+        let cfl: Vec<f64> = (0..8).map(|k| 0.3 * (k as f64 - 3.5)).collect();
+        for exec in [Exec::Scalar, Exec::Simd] {
+            let mut ps = test_ps();
+            let m0 = total(&ps);
+            for d in 0..3 {
+                sweep_spatial(&mut ps, d, &cfl, Scheme::SlMpp5, exec);
+            }
+            let m1 = total(&ps);
+            assert!((m1 - m0).abs() < 1e-2 * m0, "{exec:?}: {m0} -> {m1}");
+        }
+    }
+
+    #[test]
+    fn spatial_sweep_with_uniform_velocity_translates() {
+        // cfl = 1 for every velocity: exact one-cell shift along x.
+        let cfl = vec![1.0; 8];
+        let mut ps = test_ps();
+        let orig = ps.clone();
+        sweep_spatial(&mut ps, 0, &cfl, Scheme::SlMpp5, Exec::Simd);
+        for ix in 0..8 {
+            let src = (ix + 7) % 8;
+            for iu in 0..8 {
+                let a = ps.get([ix, 3, 4], [iu, 2, 5]);
+                let b = orig.get([src, 3, 4], [iu, 2, 5]);
+                assert!((a - b).abs() < 1e-6, "ix {ix}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_sweep_shifts_distribution_peak() {
+        let vg = VelocityGrid::cubic(16, 2.0);
+        let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
+        ps.fill_with(|_, u| (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.25).exp());
+        let mut accel = Field3::zeros([2, 2, 2]);
+        accel.fill(4.0); // shift +4 cells = +1.0 in u units (du = 0.25)
+        sweep_velocity(&mut ps, 0, &accel, Scheme::SlMpp5, Exec::Simd);
+        // The peak along ux should now sit at u ≈ +1.0 (index 11 or 12).
+        let mut best = (0, -1.0f32);
+        for iux in 0..16 {
+            let v = ps.get([0, 0, 0], [iux, 8, 8]);
+            if v > best.1 {
+                best = (iux, v);
+            }
+        }
+        // u = 1.0 lies at index (1.0 + 2.0)/0.25 - 0.5 = 11.5 → 11 or 12.
+        assert!(best.0 == 11 || best.0 == 12, "peak at {}", best.0);
+    }
+
+    #[test]
+    fn velocity_sweep_drains_mass_at_large_accel() {
+        let vg = VelocityGrid::cubic(8, 1.0);
+        let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
+        ps.fill_with(|_, _| 1.0);
+        let mut accel = Field3::zeros([2, 2, 2]);
+        accel.fill(3.0);
+        let m0 = total(&ps);
+        sweep_velocity(&mut ps, 1, &accel, Scheme::SlMpp5, Exec::Scalar);
+        // 3 of 8 cells' content pushed past the +V edge.
+        let m1 = total(&ps);
+        assert!(m1 < m0 * 0.70, "{m0} -> {m1}");
+        assert!(m1 > m0 * 0.55);
+    }
+
+    #[test]
+    fn sweeps_preserve_positivity() {
+        let mut ps = test_ps();
+        let cfl: Vec<f64> = (0..8).map(|k| 0.45 * (k as f64 - 3.5) / 3.5).collect();
+        let mut accel = Field3::zeros([8, 8, 8]);
+        for (i, v) in accel.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 37) % 17) as f64 / 17.0 - 0.5;
+        }
+        for _ in 0..3 {
+            for d in 0..3 {
+                sweep_spatial(&mut ps, d, &cfl, Scheme::SlMpp5, Exec::Simd);
+                sweep_velocity(&mut ps, d, &accel, Scheme::SlMpp5, Exec::Lat);
+            }
+        }
+        assert!(ps.min_value() >= 0.0, "min = {}", ps.min_value());
+    }
+}

@@ -1,0 +1,56 @@
+//! Host crate for the repository-level `examples/` binaries and `tests/`
+//! integration suites (wired in via path entries in `Cargo.toml`).
+//!
+//! A few formatting helpers shared by the example binaries live here.
+
+/// Format a fixed-width table row.
+pub fn table_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Render a header + rule line for a table.
+pub fn table_header(names: &[&str], widths: &[usize]) -> String {
+    let head = table_row(&names.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let rule = "-".repeat(head.len());
+    format!("{head}\n{rule}")
+}
+
+/// Human-readable large numbers (e.g. `4.00e14` → `400.0 trillion`).
+pub fn human_count(x: f64) -> String {
+    if x >= 1e12 {
+        format!("{:.1} trillion", x / 1e12)
+    } else if x >= 1e9 {
+        format!("{:.1} billion", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1} million", x / 1e6)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting() {
+        let row = table_row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(row, "  a    bb");
+        let header = table_header(&["x", "y"], &[3, 4]);
+        assert!(header.contains("x"));
+        assert!(header.lines().count() == 2);
+    }
+
+    #[test]
+    fn human_counts() {
+        assert_eq!(human_count(4.0e14), "400.0 trillion");
+        assert_eq!(human_count(3.3e11), "330.0 billion");
+        assert_eq!(human_count(2.5e6), "2.5 million");
+        assert_eq!(human_count(42.0), "42");
+    }
+}

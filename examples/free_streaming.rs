@@ -1,0 +1,95 @@
+//! Free-streaming validation: gravity off, the Vlasov equation has the exact
+//! solution `f(x, u, t) = f0(x - u·D(t), u)` with `D = ∫dt/a²`.
+//!
+//! A pure-neutrino run with the potential zeroed must reproduce it; we also
+//! show the physical observable — collisionless (Landau-type) damping of a
+//! density wave: δ(k, t) decays as the Fourier transform of the velocity
+//! distribution, `δ ∝ exp(-k²σ²D²/2)` for a Gaussian — the very mechanism by
+//! which relic neutrinos suppress small-scale structure.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-suite --example free_streaming
+//! ```
+
+use vlasov6d_advection::line::Scheme;
+use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace, VelocityGrid};
+
+fn main() {
+    let nx = 32;
+    let nu = 16;
+    let sigma = 0.08; // velocity dispersion (box units / Hubble time)
+    let amp = 0.02;
+    let vg = VelocityGrid::cubic(nu, 5.0 * sigma);
+    let mut ps = PhaseSpace::zeros([nx, nx, nx], vg);
+    // Plane-wave density perturbation × Maxwellian velocity distribution.
+    let k = 2.0 * std::f64::consts::PI; // fundamental mode
+    ps.fill_with(|s, u| {
+        let x = (s[0] as f64 + 0.5) / nx as f64;
+        let g = (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / (2.0 * sigma * sigma)).exp();
+        (1.0 + amp * (k * x).cos()) * g
+    });
+
+    let rho0 = moments::density(&ps);
+    let amp0 = wave_amplitude(&rho0, nx);
+    println!("free streaming of a δ ∝ cos(2πx) wave with Maxwellian velocities (σ = {sigma}):\n");
+    println!(
+        "{}",
+        vlasov6d_suite::table_header(&["D (drift)", "δ measured", "δ analytic", "rel err"], &[10, 12, 12, 9])
+    );
+
+    let dt = 0.25; // drift per step in code time (a = 1 static background)
+    let mut d_total = 0.0;
+    for step in 0..=12 {
+        if step > 0 {
+            for axis in 0..3 {
+                let cfl: Vec<f64> = (0..nu)
+                    .map(|j| vg.center(axis, j) * dt * nx as f64)
+                    .collect();
+                sweep::sweep_spatial(&mut ps, axis, &cfl, Scheme::SlMpp5, Exec::Simd);
+            }
+            d_total += dt;
+        }
+        let rho = moments::density(&ps);
+        let a_meas = wave_amplitude(&rho, nx) / amp0 * amp;
+        // Collisionless damping: the k-mode decays by the 1-D velocity FT,
+        // exp(-k²σ²D²/2).
+        let a_exact = amp * (-0.5 * (k * sigma * d_total).powi(2)).exp();
+        let rel = if a_exact.abs() > 1e-9 {
+            (a_meas - a_exact).abs() / a_exact
+        } else {
+            0.0
+        };
+        println!(
+            "{}",
+            vlasov6d_suite::table_row(
+                &[
+                    format!("{d_total:.2}"),
+                    format!("{a_meas:.3e}"),
+                    format!("{a_exact:.3e}"),
+                    format!("{:.1}%", 100.0 * rel),
+                ],
+                &[10, 12, 12, 9]
+            )
+        );
+    }
+    println!("\nThe wave damps without any collisions — phase mixing in the 6-D phase");
+    println!("space, resolved smoothly by the grid (an N-body representation of the");
+    println!("same wave drowns this decay in shot noise long before D ≈ 1).");
+}
+
+/// Amplitude of the fundamental cos mode of the x-averaged density.
+fn wave_amplitude(rho: &vlasov6d_mesh::Field3, nx: usize) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..nx {
+        let x = (i as f64 + 0.5) / nx as f64;
+        // Average over y, z.
+        let mut line = 0.0;
+        for j in 0..nx {
+            for l in 0..nx {
+                line += rho.at(i, j, l);
+            }
+        }
+        acc += line / (nx * nx) as f64 * (2.0 * std::f64::consts::PI * x).cos();
+    }
+    2.0 * acc / nx as f64
+}

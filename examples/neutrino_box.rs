@@ -1,0 +1,75 @@
+//! Fig. 4 workload: two hybrid runs differing only in the neutrino mass
+//! (Mν = 0.4 eV vs 0.2 eV), producing projected density maps of the CDM and
+//! neutrino components and the mass-dependent clustering statistics.
+//!
+//! Writes `fig4_{cdm,nu04,nu02}.pgm` and `.csv` maps into `target/figures/`.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-suite --example neutrino_box
+//! ```
+
+use std::path::PathBuf;
+use vlasov6d::{maps, HybridSimulation, SimulationConfig};
+use vlasov6d_cosmology::CosmologyParams;
+
+fn main() {
+    let out_dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let z_final = 3.0; // deep enough for visible structure at laptop scale
+
+    let mut results = Vec::new();
+    for (label, cosmo) in [
+        ("nu04", CosmologyParams::planck2015()),
+        ("nu02", CosmologyParams::planck2015_light_nu()),
+    ] {
+        let mut config = SimulationConfig::laptop_s();
+        config.cosmology = cosmo;
+        config.z_init = 10.0;
+        println!(
+            "running Mν = {} eV box to z = {z_final} ...",
+            config.cosmology.m_nu_total_ev
+        );
+        let mut sim = HybridSimulation::new(config);
+        sim.run_to_redshift(z_final, |_| {});
+
+        let nu_rho = sim.neutrino_density().unwrap();
+        let cdm_rho = sim.cdm_density().unwrap();
+
+        // Projected log-scaled maps (Fig. 4 style).
+        let (nu_map, dims) = maps::log_projection(&nu_rho, 1.0);
+        maps::write_pgm(&out_dir.join(format!("fig4_{label}.pgm")), &nu_map, dims).unwrap();
+        maps::write_csv(&out_dir.join(format!("fig4_{label}.csv")), &nu_map, dims).unwrap();
+        if label == "nu04" {
+            let (cdm_map, dims) = maps::log_projection(&cdm_rho, 2.5);
+            maps::write_pgm(&out_dir.join("fig4_cdm.pgm"), &cdm_map, dims).unwrap();
+        }
+
+        // Clustering amplitude: rms density contrast of each component.
+        let rms = |f: &vlasov6d_mesh::Field3| {
+            let m = f.mean();
+            (f.as_slice().iter().map(|v| (v / m - 1.0).powi(2)).sum::<f64>() / f.len() as f64)
+                .sqrt()
+        };
+        let (d_nu, d_cdm) = (rms(&nu_rho), rms(&cdm_rho));
+        println!(
+            "  Mν = {} eV: δ_rms(CDM) = {d_cdm:.3}, δ_rms(ν) = {d_nu:.4}, ratio = {:.4}",
+            sim.config.cosmology.m_nu_total_ev,
+            d_nu / d_cdm
+        );
+        results.push((label, sim.config.cosmology.m_nu_total_ev, d_nu, d_cdm));
+    }
+
+    // The paper's Fig. 4 point: lighter neutrinos are faster and cluster
+    // *less* relative to CDM... wait — lighter ν have LARGER thermal
+    // velocities, hence weaker clustering. Verify the ordering:
+    let (_, m_a, d_nu_a, d_cdm_a) = results[0]; // 0.4 eV
+    let (_, m_b, d_nu_b, d_cdm_b) = results[1]; // 0.2 eV
+    println!("\nsummary (paper Fig. 4):");
+    println!("  heavier ν ({m_a} eV): relative clustering {:.4}", d_nu_a / d_cdm_a);
+    println!("  lighter ν ({m_b} eV): relative clustering {:.4}", d_nu_b / d_cdm_b);
+    println!(
+        "  → heavier (slower) neutrinos trace the CDM more closely: {}",
+        if d_nu_a / d_cdm_a > d_nu_b / d_cdm_b { "reproduced ✓" } else { "NOT reproduced ✗" }
+    );
+    println!("\nmaps written to target/figures/fig4_*.pgm");
+}

@@ -1,0 +1,133 @@
+//! §8 extension: the same 6-D Vlasov machinery applied to electrostatic
+//! plasma — linear Landau damping.
+//!
+//! The paper closes by noting the solver applies unchanged to plasma
+//! problems. We flip the sign of the Poisson coupling (repulsion between
+//! electrons on a neutralising ion background) and evolve the classic Landau
+//! test: a Maxwellian electron plasma with a small density wave,
+//!
+//! ```text
+//! f(x, u, 0) = (1 + A cos(kx)) · Maxwell(u; v_th),    k λ_D = 0.5
+//! ```
+//!
+//! Linear theory: the field energy oscillates at ω ≈ 1.4156 ω_p and decays at
+//! γ ≈ 0.1533 ω_p — collisionless damping by phase mixing, the kinetic effect
+//! par excellence. We fit both from the simulation and compare.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-suite --example plasma_landau
+//! ```
+
+use vlasov6d_advection::line::Scheme;
+use vlasov6d_mesh::Field3;
+use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace, VelocityGrid};
+use vlasov6d_poisson::PoissonSolver;
+
+fn main() {
+    // Units: ω_p = 1, λ_D = v_th = 1. Box length L = 2π/k with k = 0.5
+    // ⇒ L = 4π λ_D. Our solver works on the unit box, so lengths scale by L.
+    let k_phys = 0.5;
+    let box_l = 2.0 * std::f64::consts::PI / k_phys;
+    let v_th = 1.0;
+    let amp = 0.01;
+
+    let nx = 32usize;
+    let vmax_phys = 6.0 * v_th;
+    // The problem is uniform in y and z, so those axes carry token grids and
+    // the resolution goes where the physics is: 64 cells along u_x.
+    // Velocity in box units: u_code = u_phys / box_l (time unit 1/ω_p).
+    let vg = VelocityGrid::new([64, 8, 8], vmax_phys / box_l);
+    let mut ps = PhaseSpace::zeros([nx, 4, 4], vg);
+    let vth_code = v_th / box_l;
+    let norm = 1.0 / ((2.0 * std::f64::consts::PI).powf(1.5) * vth_code.powi(3));
+    ps.fill_with(|s, u| {
+        let x = (s[0] as f64 + 0.5) / nx as f64;
+        let g = (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / (2.0 * vth_code * vth_code)).exp();
+        (1.0 + amp * (2.0 * std::f64::consts::PI * x).cos()) * norm * g
+    });
+
+    // Electron Poisson: ∇²_code φ = (n_e - 1)·L²  (code Laplacian carries
+    // 1/L² relative to physical), electron acceleration a_phys = +∂φ/∂x_phys.
+    let solver = PoissonSolver::new([nx, 4, 4]);
+    let dt = 0.05; // in 1/ω_p
+    let steps = 400;
+    println!("Landau damping: k λ_D = {k_phys}, {nx}×4×4 × 64×8×8 grid, dt = {dt}/ω_p\n");
+    println!("  t [1/ω_p]   field energy");
+
+    let mut energy_series = Vec::with_capacity(steps + 1);
+    for step in 0..=steps {
+        // Density and field.
+        let mut rho = moments::density(&ps);
+        let mean = rho.to_density_contrast();
+        debug_assert!(mean > 0.0);
+        // ∇²_phys φ = δn  ⇒  ∇²_code φ = δn · L².
+        let phi = solver.solve(&rho, box_l * box_l);
+        let force = PoissonSolver::force_from_potential(&phi); // -∂φ/∂x_code
+        // Field energy ∝ Σ |∇φ|² (physical gradient = code gradient / L).
+        let e2: f64 = force[0]
+            .as_slice()
+            .iter()
+            .map(|f| (f / box_l) * (f / box_l))
+            .sum::<f64>()
+            / (nx * 16) as f64;
+        energy_series.push((step as f64 * dt, e2));
+        if step % 40 == 0 {
+            println!("  {:>8.2}   {e2:.4e}", step as f64 * dt);
+        }
+        if step == steps {
+            break;
+        }
+
+        // Strang step: half kick, full drift, half kick (field refreshed).
+        // Electron acceleration in code velocity units per code length:
+        // a_code = +∂φ/∂x_code / L² (two powers: one from u = L·u_phys-ish
+        // bookkeeping, folded into the chosen normalisation; validated by the
+        // measured ω ≈ ω_p below).
+        // Symmetry: the state is uniform in y and z, so spatial sweeps along
+        // those axes and velocity kicks along u_y, u_z are exactly the
+        // identity — only x and u_x evolve.
+        let half_kick = |ps: &mut PhaseSpace, force: &[Field3; 3], dt2: f64| {
+            let du = ps.vgrid.du(0);
+            let mut cfl = force[0].clone();
+            // electrons: a = -(-∂φ/∂x) = +∂φ/∂x ⇒ flip the stored field.
+            cfl.scale(-dt2 / du / (box_l * box_l));
+            sweep::sweep_velocity(ps, 0, &cfl, Scheme::SlMpp5, Exec::Simd);
+        };
+        half_kick(&mut ps, &force, 0.5 * dt);
+        {
+            let cfl: Vec<f64> =
+                (0..ps.vgrid.n[0]).map(|j| ps.vgrid.center(0, j) * dt * nx as f64).collect();
+            sweep::sweep_spatial(&mut ps, 0, &cfl, Scheme::SlMpp5, Exec::Simd);
+        }
+        let mut rho2 = moments::density(&ps);
+        rho2.to_density_contrast();
+        let phi2 = solver.solve(&rho2, box_l * box_l);
+        let force2 = PoissonSolver::force_from_potential(&phi2);
+        half_kick(&mut ps, &force2, 0.5 * dt);
+    }
+
+    // Extract γ and ω from the peaks of the energy oscillation.
+    let peaks: Vec<(f64, f64)> = energy_series
+        .windows(3)
+        .filter(|w| w[1].1 > w[0].1 && w[1].1 > w[2].1)
+        .map(|w| w[1])
+        .collect();
+    if peaks.len() >= 4 {
+        let first = peaks[1];
+        let last = peaks[peaks.len() - 1];
+        let n_between = (peaks.len() - 2) as f64;
+        let gamma = -0.5 * (last.1 / first.1).ln() / (last.0 - first.0);
+        // Energy peaks come every half oscillation period: Δt = π/ω.
+        let omega = std::f64::consts::PI * n_between / (last.0 - first.0);
+        println!("\nmeasured:  γ = {gamma:.4} ω_p   ω = {omega:.4} ω_p");
+        println!("theory:    γ = 0.1533 ω_p   ω = 1.4156 ω_p");
+        println!(
+            "γ error {:.0}%, ω error {:.0}% — collisionless damping on a 6-D grid,",
+            100.0 * (gamma / 0.1533 - 1.0).abs(),
+            100.0 * (omega / 1.4156 - 1.0).abs()
+        );
+        println!("no particles, no noise floor (the paper's §8 'electrostatic plasma' claim).");
+    } else {
+        println!("\n(too few energy peaks found for a fit — increase steps)");
+    }
+}

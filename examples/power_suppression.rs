@@ -1,0 +1,90 @@
+//! The science target of the paper's programme: massive neutrinos suppress
+//! the small-scale matter power spectrum, and the suppression measures Mν.
+//!
+//! Two runs from identical seeds: (a) hybrid with Mν = 0.4 eV neutrinos,
+//! (b) CDM-only carrying the full Ω_m. We measure the total-matter P(k) at
+//! the final epoch and print the suppression ratio per k bin — expected to
+//! grow toward high k and approach the linear-theory `ΔP/P ≈ -8 f_ν` deep in
+//! the free-streaming regime.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-suite --example power_suppression
+//! ```
+
+use vlasov6d::{HybridSimulation, SimulationConfig, Spectrum};
+use vlasov6d_mesh::Field3;
+use vlasov6d_suite::{table_header, table_row};
+
+fn total_matter_density(sim: &HybridSimulation) -> Field3 {
+    let nx = sim.config.nx;
+    let mut rho = Field3::zeros([nx, nx, nx]);
+    if let Some(cdm) = sim.cdm_density() {
+        rho.axpy(1.0, &cdm);
+    }
+    if let Some(nu) = sim.neutrino_density() {
+        rho.axpy(1.0, &nu);
+    }
+    rho
+}
+
+fn main() {
+    let z_final = 3.0;
+    let n_bins = 8;
+    let mut base = SimulationConfig::laptop_s();
+    base.z_init = 10.0;
+    base.seed = 20_21; // the SC year
+
+    println!("running Mν = 0.4 eV hybrid ...");
+    let mut with_nu = HybridSimulation::new(base.clone());
+    with_nu.run_to_redshift(z_final, |_| {});
+    let p_nu = Spectrum::of_density(&total_matter_density(&with_nu), n_bins);
+
+    println!("running massless-ν control (CDM carries all of Ω_m) ...");
+    let mut control_cfg = base;
+    control_cfg.with_neutrinos = false;
+    control_cfg.cosmology.m_nu_total_ev = 0.0;
+    let mut control = HybridSimulation::new(control_cfg);
+    control.run_to_redshift(z_final, |_| {});
+    let p_0 = Spectrum::of_density(&total_matter_density(&control), n_bins);
+
+    let fnu = with_nu.config.cosmology.f_nu();
+    println!(
+        "\ntotal-matter power at z = {z_final}: suppression by Mν = 0.4 eV (f_ν = {fnu:.4})\n"
+    );
+    let w = [12, 13, 13, 12];
+    println!("{}", table_header(&["k [h/Mpc]", "P_ν(k)", "P_0(k)", "P_ν/P_0"], &w));
+    let ratio = p_nu.ratio(&p_0);
+    let box_l = with_nu.config.box_mpc_h;
+    let mut ratios = Vec::new();
+    for i in 0..n_bins {
+        if p_nu.modes[i] < 20 {
+            continue;
+        }
+        let k_h = p_nu.k[i] / (2.0 * std::f64::consts::PI) * 2.0 * std::f64::consts::PI / box_l;
+        println!(
+            "{}",
+            table_row(
+                &[
+                    format!("{k_h:.3}"),
+                    format!("{:.3e}", p_nu.p[i]),
+                    format!("{:.3e}", p_0.p[i]),
+                    format!("{:.3}", ratio[i]),
+                ],
+                &w
+            )
+        );
+        ratios.push(ratio[i]);
+    }
+    let first = ratios.first().copied().unwrap_or(1.0);
+    let last = ratios.last().copied().unwrap_or(1.0);
+    println!("\nlinear-theory asymptote: 1 - 8 f_ν = {:.3}", 1.0 - 8.0 * fnu);
+    println!(
+        "suppression deepens toward small scales: {:.3} (large) → {:.3} (small) {}",
+        first,
+        last,
+        if last < first { "✓" } else { "✗ (resolution-limited)" }
+    );
+    println!("\nThis k-dependent suppression, free of shot noise in the ν component,");
+    println!("is the observable future galaxy surveys will use to weigh the neutrino —");
+    println!("the motivation the paper opens with.");
+}

@@ -1,0 +1,137 @@
+//! Regenerates the paper's Table 2 (run configurations), Table 3 (weak
+//! scaling), Table 4 (strong scaling) and the §7.2 time-to-solution
+//! comparison from the calibrated Fugaku performance model.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-suite --example scaling_report
+//! ```
+
+use vlasov6d_perfmodel::model::{step_time, time_to_solution};
+use vlasov6d_perfmodel::runs::{paper_runs, run, PAPER_STRONG_SCALING, PAPER_WEAK_SCALING};
+use vlasov6d_perfmodel::{MachineModel, ScalingReport};
+use vlasov6d_suite::{table_header, table_row};
+
+fn main() {
+    let machine = MachineModel::fugaku_per_cmg();
+    let runs = paper_runs();
+
+    // ---- Table 2 + modelled per-step decomposition.
+    println!("=== Table 2 runs with modelled per-step times (Fig. 7 series) ===\n");
+    let widths = [7, 6, 9, 8, 13, 9, 9, 9, 9];
+    println!(
+        "{}",
+        table_header(
+            &["id", "Nx", "N_CDM", "nodes", "(nx,ny,nz)", "total[s]", "vlasov", "tree", "pm"],
+            &widths
+        )
+    );
+    for r in &runs {
+        let t = step_time(r, &machine);
+        println!(
+            "{}",
+            table_row(
+                &[
+                    r.id.to_string(),
+                    format!("{}³", r.nx),
+                    format!("{}³", r.n_cdm),
+                    r.nodes.to_string(),
+                    format!("({},{},{})", r.procs[0], r.procs[1], r.procs[2]),
+                    format!("{:.3}", t.total()),
+                    format!("{:.3}", t.vlasov),
+                    format!("{:.3}", t.tree),
+                    format!("{:.3}", t.pm),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let report = ScalingReport::for_runs(&runs, &machine);
+
+    // ---- Table 3: weak scaling.
+    println!("\n=== Table 3: weak scaling efficiencies (model vs paper) ===\n");
+    let w = [10, 9, 9, 9, 9];
+    println!("{}", table_header(&["chain", "total", "Vlasov", "tree", "PM"], &w));
+    for (chain, p_tot, p_v, p_t, p_pm) in PAPER_WEAK_SCALING {
+        let (from, to) = chain.split_once('-').unwrap();
+        let [total, vlasov, tree, pm] = report.weak_efficiency(from, to);
+        println!(
+            "{}",
+            table_row(
+                &[
+                    chain.to_string(),
+                    format!("{:.1}%", 100.0 * total),
+                    format!("{:.1}%", 100.0 * vlasov),
+                    format!("{:.1}%", 100.0 * tree),
+                    format!("{:.1}%", 100.0 * pm),
+                ],
+                &w
+            )
+        );
+        println!(
+            "{}",
+            table_row(
+                &[
+                    "(paper)".to_string(),
+                    format!("{p_tot:.1}%"),
+                    format!("{p_v:.1}%"),
+                    format!("{p_t:.1}%"),
+                    format!("{p_pm:.1}%"),
+                ],
+                &w
+            )
+        );
+    }
+
+    // ---- Table 4: strong scaling.
+    println!("\n=== Table 4: strong scaling efficiencies (model vs paper) ===\n");
+    println!("{}", table_header(&["group", "total", "Vlasov", "tree", "PM"], &w));
+    let group_ends = [("S", "S1", "S4"), ("M", "M8", "M32"), ("L", "L48", "L256"), ("H", "H384", "H1024")];
+    for ((group, from, to), (_, p_tot, p_v, p_t, p_pm)) in group_ends.iter().zip(PAPER_STRONG_SCALING) {
+        let [total, vlasov, tree, pm] = report.strong_efficiency(from, to);
+        println!(
+            "{}",
+            table_row(
+                &[
+                    group.to_string(),
+                    format!("{:.1}%", 100.0 * total),
+                    format!("{:.1}%", 100.0 * vlasov),
+                    format!("{:.1}%", 100.0 * tree),
+                    format!("{:.1}%", 100.0 * pm),
+                ],
+                &w
+            )
+        );
+        println!(
+            "{}",
+            table_row(
+                &[
+                    "(paper)".to_string(),
+                    format!("{p_tot:.1}%"),
+                    format!("{p_v:.1}%"),
+                    format!("{p_t:.1}%"),
+                    format!("{p_pm:.1}%"),
+                ],
+                &w
+            )
+        );
+    }
+
+    // ---- §7.2 time-to-solution.
+    println!("\n=== §7.2 time-to-solution (model, z = 10 → 0) ===\n");
+    for (id, steps, paper_exec, paper_io) in [("H1024", 5000, 6183.0, 733.0), ("U1024", 5000, 20342.0, 782.0)] {
+        let (exec, io) = time_to_solution(&run(id), steps, &machine);
+        println!(
+            "{id}: modelled exec = {exec:.0} s, io = {io:.0} s   (paper: {paper_exec:.0} s exec, {paper_io:.0} s io)"
+        );
+        let tian_nu_hours = 52.0;
+        println!(
+            "      speedup over TianNu's {tian_nu_hours} h: modelled ×{:.1} (paper: ×{:.1})",
+            tian_nu_hours * 3600.0 / (exec + io),
+            tian_nu_hours * 3600.0 / (paper_exec + paper_io)
+        );
+    }
+    println!("\nThe model is calibrated to datasheet rates plus one all-to-all contention");
+    println!("constant; see DESIGN.md for the substitution rationale and EXPERIMENTS.md");
+    println!("for the measured-vs-paper record.");
+}

@@ -1,0 +1,141 @@
+//! Distributed (rank-decomposed) execution must agree with serial execution —
+//! the property that lets the scaling study trust the mpisim replicas.
+
+use vlasov6d_advection::line::Scheme;
+use vlasov6d_mesh::{Decomp3, Field3};
+use vlasov6d_mpisim::{Cart3, Universe};
+use vlasov6d_phase_space::exchange::{sweep_spatial_distributed, GHOST_WIDTH};
+use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace, VelocityGrid};
+
+fn fill(s: [usize; 3], u: [f64; 3]) -> f64 {
+    let sx = (s[0] as f64 * 0.5).sin() + (s[1] as f64 * 0.3).cos() + (s[2] as f64 * 0.7).sin();
+    (3.5 + sx) * (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.5).exp() + 0.01
+}
+
+#[test]
+fn multi_sweep_distributed_run_matches_serial() {
+    let sglobal = [12usize, 12, 12];
+    let vg = VelocityGrid::cubic(8, 1.0);
+    let cfl_of = |d: usize, round: usize| -> Vec<f64> {
+        (0..8)
+            .map(|k| 0.3 * (k as f64 - 3.5) / 3.5 * (1.0 + 0.1 * d as f64 + 0.05 * round as f64))
+            .collect()
+    };
+
+    // Serial reference: three rounds of x/y/z sweeps.
+    let mut serial = PhaseSpace::zeros(sglobal, vg);
+    serial.fill_with(fill);
+    for round in 0..3 {
+        for d in 0..3 {
+            sweep::sweep_spatial(&mut serial, d, &cfl_of(d, round), Scheme::SlMpp5, Exec::Scalar);
+        }
+    }
+    let serial_density = moments::density(&serial);
+
+    // Distributed on 2×3×2 = 12 ranks.
+    let decomp = Decomp3::new(sglobal, [2, 3, 2]);
+    let blocks = Universe::run(12, move |comm| {
+        let cart = Cart3::new(comm, decomp);
+        let mut ps = PhaseSpace::zeros_block(cart.local_dims(), cart.local_offset(), sglobal, vg);
+        ps.fill_with(fill);
+        for round in 0..3 {
+            for d in 0..3 {
+                sweep_spatial_distributed(
+                    &mut ps,
+                    &cart,
+                    d,
+                    &cfl_of(d, round),
+                    Scheme::SlMpp5,
+                    (round * 10 + d) as u64 * 4,
+                );
+                cart.comm().barrier();
+            }
+        }
+        (cart.local_offset(), cart.local_dims(), moments::density(&ps))
+    });
+
+    for (off, dims, local_density) in blocks {
+        for l0 in 0..dims[0] {
+            for l1 in 0..dims[1] {
+                for l2 in 0..dims[2] {
+                    let got = local_density.at(l0, l1, l2);
+                    let want = serial_density.at(off[0] + l0, off[1] + l1, off[2] + l2);
+                    assert!(
+                        (got - want).abs() < 1e-5 * want.abs().max(1.0),
+                        "block {off:?} cell ({l0},{l1},{l2}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn global_mass_is_conserved_across_ranks() {
+    let sglobal = [8usize, 8, 8];
+    let vg = VelocityGrid::cubic(8, 1.0);
+    let decomp = Decomp3::new(sglobal, [2, 2, 2]);
+    let masses = Universe::run(8, move |comm| {
+        let cart = Cart3::new(comm, decomp);
+        let mut ps = PhaseSpace::zeros_block(cart.local_dims(), cart.local_offset(), sglobal, vg);
+        ps.fill_with(fill);
+        let before = comm.allreduce_sum(ps.total_mass());
+        let cfl: Vec<f64> = (0..8).map(|k| 0.4 * (k as f64 - 3.5) / 3.5).collect();
+        for d in 0..3 {
+            sweep_spatial_distributed(&mut ps, &cart, d, &cfl, Scheme::SlMpp5, d as u64 * 4);
+            cart.comm().barrier();
+        }
+        let after = comm.allreduce_sum(ps.total_mass());
+        (before, after)
+    });
+    for (before, after) in masses {
+        assert!(
+            (after / before - 1.0).abs() < 1e-6,
+            "global mass {before} → {after}"
+        );
+    }
+}
+
+#[test]
+fn ghost_width_matches_stencil_requirement() {
+    // The exchange must ship at least the SL-MPP5 half-stencil.
+    assert!(GHOST_WIDTH >= 3);
+}
+
+#[test]
+fn traffic_accounting_sees_ghost_volume() {
+    let sglobal = [8usize, 8, 8];
+    let vg = VelocityGrid::cubic(8, 1.0);
+    let decomp = Decomp3::new(sglobal, [2, 1, 1]);
+    let (_, traffic) = Universe::run_with_traffic(2, move |comm| {
+        let cart = Cart3::new(comm, decomp);
+        let mut ps = PhaseSpace::zeros_block(cart.local_dims(), cart.local_offset(), sglobal, vg);
+        ps.fill_with(fill);
+        let cfl = vec![0.25; 8];
+        sweep_spatial_distributed(&mut ps, &cart, 0, &cfl, Scheme::SlMpp5, 0);
+    });
+    // Each rank ships 2 × 3 planes of 8×8 spatial cells × 8³ velocity × 4 B.
+    let expected = 2 * 3 * 8 * 8 * 8 * 8 * 8 * 4;
+    let got = traffic.bytes_between(0, 1);
+    assert_eq!(got, expected as u64, "ghost bytes {got} vs {expected}");
+}
+
+#[test]
+fn distributed_moments_need_no_communication() {
+    // The paper's §5.1.3 point: velocity space is never decomposed, so the
+    // density is a purely local reduction. Verify traffic stays at ghost
+    // volume only when computing moments.
+    let sglobal = [8usize, 8, 8];
+    let vg = VelocityGrid::cubic(8, 1.0);
+    let decomp = Decomp3::new(sglobal, [2, 1, 1]);
+    let (_, traffic) = Universe::run_with_traffic(2, move |comm| {
+        let cart = Cart3::new(comm, decomp);
+        let mut ps = PhaseSpace::zeros_block(cart.local_dims(), cart.local_offset(), sglobal, vg);
+        ps.fill_with(fill);
+        let d: Field3 = moments::density(&ps);
+        let p = moments::momentum(&ps, 0);
+        let s = moments::velocity_dispersion(&ps, 1e-12);
+        let _ = (d.sum(), p.sum(), s.sum());
+    });
+    assert_eq!(traffic.total_bytes(), 0, "moments must be communication-free");
+}

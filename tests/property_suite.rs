@@ -1,0 +1,291 @@
+//! Property-based tests (proptest) on the core numerical invariants.
+
+use proptest::prelude::*;
+use vlasov6d_advection::line::{advect_line, LineWork, Scheme};
+use vlasov6d_advection::Boundary;
+use vlasov6d_fft::{Complex64, FftPlan};
+use vlasov6d_mesh::assign::{deposit_equal_mass, interpolate, Scheme as AssignScheme};
+use vlasov6d_mesh::{Decomp3, Field3};
+
+fn line_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..10.0, 16..96)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mass is conserved by every scheme on periodic lines, for any CFL.
+    #[test]
+    fn advection_conserves_mass(line in line_strategy(), cfl in -4.0f64..4.0) {
+        for scheme in [Scheme::Upwind1, Scheme::Sl3, Scheme::Sl5, Scheme::SlMpp5] {
+            let mut l = line.clone();
+            let m0: f64 = l.iter().map(|&v| v as f64).sum();
+            advect_line(scheme, &mut l, cfl, Boundary::Periodic, &mut LineWork::new());
+            let m1: f64 = l.iter().map(|&v| v as f64).sum();
+            prop_assert!((m1 - m0).abs() < 1e-3 * m0.abs().max(1.0),
+                "{scheme:?}: {m0} -> {m1}");
+        }
+    }
+
+    /// SL-MPP5 never produces negative values from non-negative data.
+    #[test]
+    fn slmpp5_preserves_positivity(line in line_strategy(), cfl in -3.0f64..3.0) {
+        let mut l = line;
+        advect_line(Scheme::SlMpp5, &mut l, cfl, Boundary::Periodic, &mut LineWork::new());
+        for (i, &v) in l.iter().enumerate() {
+            prop_assert!(v >= 0.0, "cell {i}: {v}");
+        }
+    }
+
+    /// Monotone profiles stay inside their range (the Suresh–Huynh "MP"
+    /// property — the sense in which the paper's scheme is monotone).
+    #[test]
+    fn slmpp5_preserves_monotone_profiles(
+        mut line in line_strategy(),
+        cfl in 0.0f64..1.0,
+    ) {
+        line.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        line[0] = 0.0; // monotone ramp starting at the inflow value
+        let hi = *line.last().unwrap();
+        let mut l = line;
+        advect_line(Scheme::SlMpp5, &mut l, cfl, Boundary::Zero, &mut LineWork::new());
+        for (i, &v) in l.iter().enumerate() {
+            prop_assert!(v >= 0.0, "cell {i}: {v}");
+            prop_assert!(v <= hi + 1e-4 * hi.max(1.0), "cell {i}: {v} > {hi}");
+        }
+    }
+
+    /// On arbitrary rough data MP5-family limiters allow transient local
+    /// overshoots (they protect smooth extrema by construction — this is
+    /// true of Suresh & Huynh's original scheme too); what must hold is
+    /// that the overshoot stays bounded and positivity is never lost.
+    #[test]
+    fn slmpp5_rough_data_overshoot_is_bounded(line in line_strategy(), cfl in -1.0f64..1.0) {
+        let lo = line.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = line.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let range = (hi - lo).max(1e-6);
+        let mut l = line;
+        advect_line(Scheme::SlMpp5, &mut l, cfl, Boundary::Periodic, &mut LineWork::new());
+        for &v in &l {
+            prop_assert!(v >= 0.0, "positivity is strict: {v}");
+            prop_assert!(v >= lo - 0.25 * range, "undershoot {v} ≪ {lo}");
+            prop_assert!(v <= hi + 0.25 * range, "overshoot {v} ≫ {hi}");
+        }
+    }
+
+    /// Zero-BC lines never gain mass.
+    #[test]
+    fn outflow_lines_lose_mass_monotonically(line in line_strategy(), cfl in -2.0f64..2.0) {
+        let mut l = line;
+        let m0: f64 = l.iter().map(|&v| v as f64).sum();
+        advect_line(Scheme::SlMpp5, &mut l, cfl, Boundary::Zero, &mut LineWork::new());
+        let m1: f64 = l.iter().map(|&v| v as f64).sum();
+        prop_assert!(m1 <= m0 + 1e-3 * m0.max(1.0), "mass grew: {m0} -> {m1}");
+    }
+
+    /// FFT round trip is the identity for arbitrary lengths and data.
+    #[test]
+    fn fft_round_trip(values in prop::collection::vec(-100.0f64..100.0, 2..64)) {
+        let n = values.len();
+        let plan = FftPlan::new(n);
+        let sig: Vec<Complex64> = values.iter().map(|&v| Complex64::new(v, -0.5 * v)).collect();
+        let mut buf = sig.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&sig) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Parseval holds for every plan.
+    #[test]
+    fn fft_parseval(values in prop::collection::vec(-10.0f64..10.0, 4..48)) {
+        let n = values.len();
+        let plan = FftPlan::new(n);
+        let sig: Vec<Complex64> = values.iter().map(|&v| Complex64::real(v)).collect();
+        let mut buf = sig.clone();
+        plan.forward(&mut buf);
+        let t: f64 = sig.iter().map(|z| z.norm_sqr()).sum();
+        let f: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((t - f).abs() < 1e-8 * t.max(1.0));
+    }
+
+    /// CIC deposit conserves mass for arbitrary particle positions
+    /// (including out-of-box positions that must wrap).
+    #[test]
+    fn cic_deposit_mass(
+        positions in prop::collection::vec(
+            (-1.0f64..2.0, -1.0f64..2.0, -1.0f64..2.0), 1..100),
+        mass in 0.01f64..10.0,
+    ) {
+        let ps: Vec<[f64; 3]> = positions.iter().map(|&(a, b, c)| [a, b, c]).collect();
+        let mut f = Field3::zeros_cubic(8);
+        deposit_equal_mass(&mut f, AssignScheme::Cic, &ps, mass);
+        let total = f.sum();
+        let expect = mass * ps.len() as f64;
+        prop_assert!((total - expect).abs() < 1e-9 * expect);
+    }
+
+    /// Interpolation is bounded by the field extrema (CIC weights ≥ 0 sum 1).
+    #[test]
+    fn cic_interpolation_is_bounded(
+        x in 0.0f64..1.0, y in 0.0f64..1.0, z in 0.0f64..1.0,
+        cells in prop::collection::vec(-5.0f64..5.0, 64..=64),
+    ) {
+        let f = Field3::from_vec([4, 4, 4], cells);
+        let lo = f.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = f.as_slice().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = interpolate(&f, AssignScheme::Cic, [x, y, z]);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Block decomposition covers every cell exactly once for any shape.
+    #[test]
+    fn decomposition_partitions_domain(
+        n0 in 4usize..20, n1 in 4usize..20, n2 in 4usize..20,
+        p0 in 1usize..4, p1 in 1usize..4, p2 in 1usize..4,
+    ) {
+        prop_assume!(p0 <= n0 && p1 <= n1 && p2 <= n2);
+        let d = Decomp3::new([n0, n1, n2], [p0, p1, p2]);
+        let mut covered = vec![false; n0 * n1 * n2];
+        for r in 0..d.n_ranks() {
+            let off = d.local_offset(r);
+            let dims = d.local_dims(r);
+            for i in 0..dims[0] {
+                for j in 0..dims[1] {
+                    for k in 0..dims[2] {
+                        let g = ((off[0] + i) * n1 + off[1] + j) * n2 + off[2] + k;
+                        prop_assert!(!covered[g], "cell covered twice");
+                        covered[g] = true;
+                    }
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Owner lookup agrees with block membership.
+    #[test]
+    fn owner_is_consistent_with_blocks(
+        g0 in 0usize..16, g1 in 0usize..16, g2 in 0usize..16,
+    ) {
+        let d = Decomp3::new([16, 16, 16], [2, 3, 2]);
+        let owner = d.owner_of_cell([g0, g1, g2]);
+        let off = d.local_offset(owner);
+        let dims = d.local_dims(owner);
+        prop_assert!(g0 >= off[0] && g0 < off[0] + dims[0]);
+        prop_assert!(g1 >= off[1] && g1 < off[1] + dims[1]);
+        prop_assert!(g2 >= off[2] && g2 < off[2] + dims[2]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fifth-order SL flux weights integrate a constant exactly: Σw = s.
+    #[test]
+    fn sl5_weights_partition(s in 0.0f64..1.0) {
+        let w = vlasov6d_advection::flux::sl5_weights(s);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - s).abs() < 1e-12);
+    }
+
+    /// The CFL-aware MP steepness keeps the Suresh–Huynh monotonicity bound
+    /// α·s ≤ 1 wherever it binds (s > 0.2).
+    #[test]
+    fn mp_alpha_respects_monotonicity_bound(s in 0.2f64..1.0) {
+        let a = vlasov6d_advection::flux::mp_alpha(s);
+        prop_assert!(a * s <= 1.0 + 1e-12, "α·s = {}", a * s);
+        prop_assert!(a >= 0.0);
+    }
+
+    /// The 8×8 register transpose is an involution on arbitrary data.
+    #[test]
+    fn transpose_is_involution(vals in prop::collection::vec(-1e6f32..1e6, 64..=64)) {
+        use vlasov6d_advection::simd::{f32x8, transpose8x8};
+        let mut rows: [f32x8; 8] =
+            core::array::from_fn(|r| f32x8(core::array::from_fn(|c| vals[r * 8 + c])));
+        let orig = rows;
+        transpose8x8(&mut rows);
+        for r in 0..8 {
+            for c in 0..8 {
+                prop_assert_eq!(rows[r].0[c], orig[c].0[r]);
+            }
+        }
+        transpose8x8(&mut rows);
+        prop_assert_eq!(rows, orig);
+    }
+
+    /// The 8-lane kernel agrees with eight independent scalar-line updates.
+    #[test]
+    fn lanes_kernel_matches_scalar_lines(
+        seed in 0u64..1000,
+        cfl in -2.0f64..2.0,
+    ) {
+        use vlasov6d_advection::lanes::{advect_lanes, LanesWork};
+        use vlasov6d_advection::simd::f32x8;
+        let n = 32;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 + 0.05
+        };
+        let lines: Vec<Vec<f32>> = (0..8).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let mut bundle: Vec<f32x8> = (0..n)
+            .map(|i| f32x8(core::array::from_fn(|l| lines[l][i])))
+            .collect();
+        advect_lanes(Scheme::SlMpp5, &mut bundle, cfl, Boundary::Periodic, &mut LanesWork::new());
+        let mut work = LineWork::new();
+        for (l, line) in lines.iter().enumerate() {
+            let mut scalar = line.clone();
+            advect_line(Scheme::SlMpp5, &mut scalar, cfl, Boundary::Periodic, &mut work);
+            for i in 0..n {
+                prop_assert!(
+                    (bundle[i].0[l] - scalar[i]).abs() < 3e-4,
+                    "lane {l} cell {i}: {} vs {}", bundle[i].0[l], scalar[i]
+                );
+            }
+        }
+    }
+
+    /// Fermi–Dirac inverse-CDF sampling covers the support monotonically and
+    /// lands its median near the analytic ~2.84 u_T.
+    #[test]
+    fn fd_sampler_quantiles(q in 0.001f64..0.999) {
+        use vlasov6d_ic::FermiDiracSampler;
+        let s = FermiDiracSampler::new();
+        let x = s.speed(q);
+        prop_assert!(x > 0.0 && x < 25.0);
+        if (q - 0.5).abs() < 1e-3 {
+            prop_assert!((x - 2.84).abs() < 0.1, "median {x}");
+        }
+    }
+}
+
+/// Deterministic (non-proptest) invariants that complete the suite.
+#[test]
+fn integer_shifts_compose() {
+    let mut work = LineWork::new();
+    let base: Vec<f32> = (0..32).map(|i| ((i * 13) % 7) as f32 + 0.5).collect();
+    // shift by 5 then 3 == shift by 8.
+    let mut a = base.clone();
+    advect_line(Scheme::Sl5, &mut a, 5.0, Boundary::Periodic, &mut work);
+    advect_line(Scheme::Sl5, &mut a, 3.0, Boundary::Periodic, &mut work);
+    let mut b = base.clone();
+    advect_line(Scheme::Sl5, &mut b, 8.0, Boundary::Periodic, &mut work);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn forward_then_backward_fractional_shift_is_nearly_identity() {
+    let mut work = LineWork::new();
+    let base: Vec<f32> = (0..64)
+        .map(|i| (2.0 + (2.0 * std::f64::consts::PI * i as f64 / 64.0).sin()) as f32)
+        .collect();
+    let mut l = base.clone();
+    advect_line(Scheme::Sl5, &mut l, 0.37, Boundary::Periodic, &mut work);
+    advect_line(Scheme::Sl5, &mut l, -0.37, Boundary::Periodic, &mut work);
+    for (x, y) in l.iter().zip(&base) {
+        assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+    }
+}
