@@ -1,0 +1,173 @@
+//! Offline mini property-testing engine exposing the `proptest` API subset
+//! this workspace uses: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), range / tuple / `prop::collection::vec`
+//! strategies, and `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Sampling is plain uniform-random (no shrinking); seeds derive from the
+//! test name, so every run of a given test replays the same cases.
+
+pub mod strategy;
+
+pub use strategy::{Strategy, TestRng};
+
+/// Per-block configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Strategy, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        let __prop_ok: bool = $cond;
+        if !__prop_ok {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __prop_ok: bool = $cond;
+        if !__prop_ok {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let __prop_ok: bool = $cond;
+        if !__prop_ok {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest `{}` case {}/{} failed: {}",
+                        stringify!($name), __case + 1, __config.cases, __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(0.0f64..1.0, 2..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..3.0, n in 1usize..8) {
+            prop_assert!((-2.0..3.0).contains(&x), "x = {x}");
+            prop_assert!((1..8).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in doubled(), w in prop::collection::vec(0i32..5, 4..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn tuples_and_assume((a, b, c) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)) {
+            prop_assume!(a > 0.01);
+            prop_assert!(a + b + c < 3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails`")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

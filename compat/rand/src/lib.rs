@@ -1,0 +1,207 @@
+//! Offline shim for the `rand` API subset this workspace uses.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen` and
+//! `Rng::gen_range` backed by xoshiro256++ seeded through SplitMix64. The
+//! stream differs from upstream `StdRng` (which is ChaCha12), but every
+//! consumer in this workspace only relies on deterministic, well-mixed
+//! uniform variates — not on a particular stream.
+
+/// Construction from integer seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface. `R::next_u64` is the only primitive.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` over its standard domain (`[0,1)` for floats).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Uniform sample in `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_bits(bits: u64) -> f32 {
+        (bits >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_bits(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: $t = rng.gen();
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "gen_range: empty range");
+                let u: $t = rng.gen();
+                a + u * (b - a)
+            }
+        }
+    };
+}
+float_range!(f64);
+float_range!(f32);
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "gen_range: empty range");
+                let span = (b - a) as u64 + 1;
+                a + (rng.next_u64() % span) as $t
+            }
+        }
+    };
+}
+int_range!(usize);
+int_range!(u64);
+int_range!(u32);
+int_range!(i64);
+int_range!(i32);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — fast, well-mixed, 2^256-period.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = a.gen();
+            let y: f64 = b.gen();
+            assert_eq!(x, y);
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = c.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let n = c.gen_range(0usize..10);
+            assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Sequential drop-in shim for the `rayon` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! stands in for rayon: `par_iter()` and friends return a thin wrapper over
+//! the corresponding *sequential* iterator, exposing the rayon adapter names
+//! (`for_each`, `for_each_init`, `map`, `zip`, `reduce(identity, op)`, …).
+//! Call sites keep rayon's shape, so swapping the real crate back in when a
+//! registry is available is a one-line `Cargo.toml` change.
+
+use std::iter::Sum;
+
+/// Wrapper marking an iterator as "parallel" (executed sequentially here).
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's `for_each_init`: one scratch state per worker — here a single
+    /// state reused across all items.
+    #[inline]
+    pub fn for_each_init<T, INIT, F>(self, mut init: INIT, mut f: F)
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut state = init();
+        for item in self.0 {
+            f(&mut state, item);
+        }
+    }
+
+    #[inline]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    #[inline]
+    pub fn sum<S: Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// rayon's `reduce(identity, op)` (identity is the fold seed).
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    #[inline]
+    pub fn fold<T, ID, F>(self, identity: ID, f: F) -> Par<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(std::iter::once(self.0.fold(identity(), f)))
+    }
+
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> Par<I> {
+    #[inline]
+    pub fn copied(self) -> Par<std::iter::Copied<I>> {
+        Par(self.0.copied())
+    }
+}
+
+impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> Par<I> {
+    #[inline]
+    pub fn cloned(self) -> Par<std::iter::Cloned<I>> {
+        Par(self.0.cloned())
+    }
+}
+
+/// `into_par_iter()` on owned collections / ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter()` / `par_chunks()` on shared slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    #[inline]
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+/// `par_iter_mut()` / `par_chunks_mut()` on exclusive slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+    #[inline]
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+/// rayon's `join`: run both closures (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    #[allow(clippy::useless_vec)] // exercising the Vec-based adapter paths
+    fn adapters_match_sequential_results() {
+        let v = vec![1.0f64, 2.0, 3.0, 4.0];
+        let s: f64 = v.par_iter().map(|&x| x * x).sum();
+        assert_eq!(s, 30.0);
+        let m = v.par_iter().copied().reduce(|| f64::NEG_INFINITY, f64::max);
+        assert_eq!(m, 4.0);
+        let mut out = vec![0usize; 4];
+        out.par_iter_mut().enumerate().for_each(|(i, o)| *o = i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    #[allow(clippy::useless_vec)] // exercising the Vec-based adapter paths
+    fn chunks_and_ranges() {
+        let mut v = vec![0u32; 8];
+        v.par_chunks_mut(4).enumerate().for_each(|(c, chunk)| {
+            for x in chunk {
+                *x = c as u32;
+            }
+        });
+        assert_eq!(&v[..4], &[0; 4]);
+        assert_eq!(&v[4..], &[1; 4]);
+        let mut hits = 0;
+        (0..5usize)
+            .into_par_iter()
+            .for_each_init(|| 10usize, |s, i| hits += *s + i);
+        assert_eq!(hits, 60);
+    }
+}

@@ -179,7 +179,9 @@ mod tests {
         // Cell averages of p(x) = x⁴ over [k-1, k]; exact swept integral
         // ∫_{-s}^{0} p = s⁵/5 ... compute both sides for several s.
         let prim = |x: f64| x.powi(5) / 5.0; // primitive of x⁴
-        let avg: Vec<f64> = (-2i32..=2).map(|k| prim(k as f64) - prim(k as f64 - 1.0)).collect();
+        let avg: Vec<f64> = (-2i32..=2)
+            .map(|k| prim(k as f64) - prim(k as f64 - 1.0))
+            .collect();
         for &s in &[0.2, 0.5, 0.8, 1.0] {
             let w = sl5_weights(s);
             let flux: f64 = w.iter().zip(&avg).map(|(wk, fk)| wk * fk).sum();
@@ -191,7 +193,9 @@ mod tests {
     #[test]
     fn sl3_flux_exact_for_quadratic_cell_averages() {
         let prim = |x: f64| x.powi(3) / 3.0;
-        let avg: Vec<f64> = (-1i32..=1).map(|k| prim(k as f64) - prim(k as f64 - 1.0)).collect();
+        let avg: Vec<f64> = (-1i32..=1)
+            .map(|k| prim(k as f64) - prim(k as f64 - 1.0))
+            .collect();
         for &s in &[0.3, 0.6, 1.0] {
             let w = sl3_weights(s);
             let flux: f64 = w.iter().zip(&avg).map(|(wk, fk)| wk * fk).sum();

@@ -117,8 +117,13 @@ fn advect_lanes_positive(
         let two = f32x8::splat(2.0);
         let zero = f32x8::ZERO;
         for (j, fl) in work.flux.iter_mut().enumerate() {
-            let (g0, g1, g2, g3, g4) =
-                (ghost[j], ghost[j + 1], ghost[j + 2], ghost[j + 3], ghost[j + 4]);
+            let (g0, g1, g2, g3, g4) = (
+                ghost[j],
+                ghost[j + 1],
+                ghost[j + 2],
+                ghost[j + 3],
+                ghost[j + 4],
+            );
             let f_high = (((g0 * w[0] + g1 * w[1]) + g2 * w[2]) + g3 * w[3]) + g4 * w[4];
             match scheme {
                 Scheme::Sl5 => *fl = f_high,
@@ -171,7 +176,9 @@ mod tests {
     fn make_lines(n: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) as f32
         };
         (0..8)
@@ -238,7 +245,11 @@ mod tests {
         }
         for l in 0..8 {
             let m1: f64 = bundle.iter().map(|v| v.0[l] as f64).sum();
-            assert!((m1 - m0[l]).abs() < 1e-3 * m0[l], "lane {l}: {} -> {m1}", m0[l]);
+            assert!(
+                (m1 - m0[l]).abs() < 1e-3 * m0[l],
+                "lane {l}: {} -> {m1}",
+                m0[l]
+            );
         }
     }
 
@@ -249,7 +260,13 @@ mod tests {
         let mut work = LanesWork::new();
         for step in 0..100 {
             let cfl = 0.15 + 0.8 * ((step as f64 * 0.377) % 1.0);
-            advect_lanes(Scheme::SlMpp5, &mut bundle, cfl, Boundary::Periodic, &mut work);
+            advect_lanes(
+                Scheme::SlMpp5,
+                &mut bundle,
+                cfl,
+                Boundary::Periodic,
+                &mut work,
+            );
             for (i, v) in bundle.iter().enumerate() {
                 for (l, &x) in v.0.iter().enumerate() {
                     assert!(x >= 0.0, "step {step} cell {i} lane {l}: {x}");

@@ -7,7 +7,7 @@
 //! single precision); flux weights and the limiter run in `f64` so the update
 //! itself contributes the only rounding.
 
-use crate::flux::{mp5_bracket, median_clip, sl3_weights, sl5_weights, Boundary};
+use crate::flux::{median_clip, mp5_bracket, sl3_weights, sl5_weights, Boundary};
 
 /// Single-stage conservative SL schemes (see crate docs for the ladder).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,7 +122,13 @@ fn advect_positive(scheme: Scheme, line: &mut [f32], cfl: f64, bc: Boundary, wor
                 let inv_s = 1.0 / s;
                 let alpha = crate::flux::mp_alpha(s);
                 for (j, fl) in work.flux.iter_mut().enumerate() {
-                    let stencil = [ghost[j], ghost[j + 1], ghost[j + 2], ghost[j + 3], ghost[j + 4]];
+                    let stencil = [
+                        ghost[j],
+                        ghost[j + 1],
+                        ghost[j + 2],
+                        ghost[j + 3],
+                        ghost[j + 4],
+                    ];
                     let f_high = w[0] * stencil[0]
                         + w[1] * stencil[1]
                         + w[2] * stencil[2]
@@ -170,7 +176,10 @@ mod tests {
 
     fn sine_line(n: usize) -> Vec<f32> {
         (0..n)
-            .map(|i| (2.0 * (2.0 * std::f64::consts::PI * (i as f64 + 0.5) / n as f64).sin() + 2.5) as f32)
+            .map(|i| {
+                (2.0 * (2.0 * std::f64::consts::PI * (i as f64 + 0.5) / n as f64).sin() + 2.5)
+                    as f32
+            })
             .collect()
     }
 
@@ -235,7 +244,13 @@ mod tests {
             reversed_input[7] += 1.0;
             reversed_input.reverse();
             let mut work2 = LineWork::new();
-            advect_line(scheme, &mut reversed_input, -0.4, Boundary::Periodic, &mut work2);
+            advect_line(
+                scheme,
+                &mut reversed_input,
+                -0.4,
+                Boundary::Periodic,
+                &mut work2,
+            );
             for (a, b) in mirrored.iter().zip(&reversed_input) {
                 assert!((a - b).abs() < 1e-6, "{scheme:?}");
             }
@@ -273,7 +288,13 @@ mod tests {
             let cfl = 0.4;
             let steps = (n as f64 / cfl).round() as usize; // one full period
             for _ in 0..steps {
-                advect_line(Scheme::Sl5, &mut line, n as f64 / steps as f64, Boundary::Periodic, &mut work);
+                advect_line(
+                    Scheme::Sl5,
+                    &mut line,
+                    n as f64 / steps as f64,
+                    Boundary::Periodic,
+                    &mut work,
+                );
             }
             line.iter()
                 .zip(&orig)
@@ -295,10 +316,16 @@ mod tests {
         }
         let mut work = LineWork::new();
         for _ in 0..200 {
-            advect_line(Scheme::SlMpp5, &mut line, 0.45, Boundary::Periodic, &mut work);
+            advect_line(
+                Scheme::SlMpp5,
+                &mut line,
+                0.45,
+                Boundary::Periodic,
+                &mut work,
+            );
         }
         for (i, &v) in line.iter().enumerate() {
-            assert!(v >= -1e-6 && v <= 1.0 + 1e-5, "cell {i}: {v}");
+            assert!((-1e-6..=1.0 + 1e-5).contains(&v), "cell {i}: {v}");
         }
         assert!((mass(&line) - 16.0).abs() < 1e-3);
     }
@@ -306,7 +333,9 @@ mod tests {
     #[test]
     fn unlimited_sl5_overshoots_where_slmpp5_does_not() {
         let n = 64;
-        let step: Vec<f32> = (0..n).map(|i| if (16..32).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let step: Vec<f32> = (0..n)
+            .map(|i| if (16..32).contains(&i) { 1.0 } else { 0.0 })
+            .collect();
         let overshoot = |scheme: Scheme| {
             let mut line = step.clone();
             let mut work = LineWork::new();
@@ -317,7 +346,10 @@ mod tests {
         };
         let unlimited = overshoot(Scheme::Sl5);
         let limited = overshoot(Scheme::SlMpp5);
-        assert!(unlimited > 1e-2, "SL5 should visibly overshoot: {unlimited}");
+        assert!(
+            unlimited > 1e-2,
+            "SL5 should visibly overshoot: {unlimited}"
+        );
         assert!(limited < 1e-5, "SL-MPP5 must not: {limited}");
     }
 
@@ -325,14 +357,22 @@ mod tests {
     fn positivity_preserved_on_random_nonnegative_data() {
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) as f32
         };
         let mut line: Vec<f32> = (0..96).map(|_| next() * next()).collect();
         let mut work = LineWork::new();
         for step in 0..300 {
             let cfl = 0.1 + 0.8 * ((step as f64 * 0.618) % 1.0);
-            advect_line(Scheme::SlMpp5, &mut line, cfl, Boundary::Periodic, &mut work);
+            advect_line(
+                Scheme::SlMpp5,
+                &mut line,
+                cfl,
+                Boundary::Periodic,
+                &mut work,
+            );
             for (i, &v) in line.iter().enumerate() {
                 assert!(v >= 0.0, "step {step}, cell {i}: {v}");
             }
@@ -359,7 +399,13 @@ mod tests {
         let mut line = sine_line(32);
         let orig = line.clone();
         let mut work = LineWork::new();
-        advect_line(Scheme::SlMpp5, &mut line, 0.0, Boundary::Periodic, &mut work);
+        advect_line(
+            Scheme::SlMpp5,
+            &mut line,
+            0.0,
+            Boundary::Periodic,
+            &mut work,
+        );
         assert_eq!(line, orig);
     }
 
@@ -372,8 +418,20 @@ mod tests {
         // One step of CFL 3.3 ...
         advect_line(Scheme::Sl5, &mut line, 3.3, Boundary::Periodic, &mut work);
         // ... equals integer shift 3 followed by fractional 0.3.
-        advect_line(Scheme::Sl5, &mut reference, 3.0, Boundary::Periodic, &mut work);
-        advect_line(Scheme::Sl5, &mut reference, 0.3, Boundary::Periodic, &mut work);
+        advect_line(
+            Scheme::Sl5,
+            &mut reference,
+            3.0,
+            Boundary::Periodic,
+            &mut work,
+        );
+        advect_line(
+            Scheme::Sl5,
+            &mut reference,
+            0.3,
+            Boundary::Periodic,
+            &mut work,
+        );
         for (a, b) in line.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-5);
         }

@@ -9,7 +9,7 @@
 //! same storage — so the measured 1-vs-3 flux-stage cost ratio (and the
 //! accuracy parity on smooth data) is an apples-to-apples comparison.
 
-use crate::flux::{mp5_bracket, median_clip, Boundary};
+use crate::flux::{median_clip, mp5_bracket, Boundary};
 use crate::line::GHOST;
 
 /// Flux (spatial-operator) evaluations per time step — the quantity the
@@ -47,6 +47,7 @@ pub fn step_mp5_rk3(line: &mut [f32], cfl: f64, bc: Boundary, work: &mut MolWork
     if n == 0 || cfl == 0.0 {
         return;
     }
+    let _obs = vlasov6d_obs::span!("advection.mol_rk3", vlasov6d_obs::Bucket::Vlasov);
     assert!(n >= 2 * GHOST, "line too short: {n}");
     assert!(cfl.abs() <= 1.0, "MP5+RK3 is CFL-limited; got {cfl}");
     work.prepare(n);
@@ -70,7 +71,12 @@ pub fn step_mp5_rk3(line: &mut [f32], cfl: f64, bc: Boundary, work: &mut MolWork
 }
 
 fn rhs_inplace(cfl: f64, bc: Boundary, work: &mut MolWork, combine: impl Fn(f64, f64, f64) -> f64) {
-    let MolWork { u0, u1, rhs: r, ghost } = work;
+    let MolWork {
+        u0,
+        u1,
+        rhs: r,
+        ghost,
+    } = work;
     rhs(u1, cfl, bc, ghost, r);
     for i in 0..u1.len() {
         u1[i] = combine(u0[i], u1[i], r[i]);
@@ -129,7 +135,9 @@ mod tests {
 
     fn sine_line(n: usize) -> Vec<f32> {
         (0..n)
-            .map(|i| ((2.0 * std::f64::consts::PI * (i as f64 + 0.5) / n as f64).sin() + 2.0) as f32)
+            .map(|i| {
+                ((2.0 * std::f64::consts::PI * (i as f64 + 0.5) / n as f64).sin() + 2.0) as f32
+            })
             .collect()
     }
 
@@ -188,8 +196,9 @@ mod tests {
     #[test]
     fn step_function_stays_bounded() {
         let n = 64;
-        let mut line: Vec<f32> =
-            (0..n).map(|i| if (16..32).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let mut line: Vec<f32> = (0..n)
+            .map(|i| if (16..32).contains(&i) { 1.0 } else { 0.0 })
+            .collect();
         let mut work = MolWork::new();
         for _ in 0..150 {
             step_mp5_rk3(&mut line, 0.3, Boundary::Periodic, &mut work);
@@ -216,7 +225,13 @@ mod tests {
         let mut swork = LineWork::new();
         for _ in 0..50 {
             step_mp5_rk3(&mut mol_line, 0.4, Boundary::Periodic, &mut mwork);
-            advect_line(Scheme::SlMpp5, &mut sl_line, 0.4, Boundary::Periodic, &mut swork);
+            advect_line(
+                Scheme::SlMpp5,
+                &mut sl_line,
+                0.4,
+                Boundary::Periodic,
+                &mut swork,
+            );
         }
         for (a, b) in mol_line.iter().zip(&sl_line) {
             assert!((a - b).abs() < 5e-3, "{a} vs {b}");

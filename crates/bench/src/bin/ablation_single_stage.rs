@@ -67,18 +67,26 @@ fn main() {
 
     println!("=== §5.2 ablation: single-stage SL-MPP5 vs MP5+RK3 ===\n");
     println!("cost per step ({n}-cell line, CFL {cfl}):");
-    println!("  SL-MPP5 (1 flux stage) : {:.2} µs", t_sl / reps as f64 * 1e6);
+    println!(
+        "  SL-MPP5 (1 flux stage) : {:.2} µs",
+        t_sl / reps as f64 * 1e6
+    );
     println!(
         "  MP5+RK3 ({FLUX_EVALS_PER_STEP} flux stages): {:.2} µs",
         t_mol / reps as f64 * 1e6
     );
-    println!("  cost ratio             : ×{:.2} (paper's structural claim: ×3)\n", t_mol / t_sl);
+    println!(
+        "  cost ratio             : ×{:.2} (paper's structural claim: ×3)\n",
+        t_mol / t_sl
+    );
 
     // --- Accuracy on a smooth profile, one full period.
     let e_sl = accuracy(n, cfl, &mut |l, c| {
         advect_line(Scheme::SlMpp5, l, c, Boundary::Periodic, &mut lwork)
     });
-    let e_mol = accuracy(n, cfl, &mut |l, c| step_mp5_rk3(l, c, Boundary::Periodic, &mut mwork));
+    let e_mol = accuracy(n, cfl, &mut |l, c| {
+        step_mp5_rk3(l, c, Boundary::Periodic, &mut mwork)
+    });
     println!("accuracy (max error, sine advected one period):");
     println!("  SL-MPP5 : {e_sl:.3e}");
     println!("  MP5+RK3 : {e_mol:.3e}");
@@ -89,7 +97,13 @@ fn main() {
 
     // --- Large-CFL capability: SL takes shifts > 1 outright.
     let mut big = sine_line(n);
-    advect_line(Scheme::SlMpp5, &mut big, 3.7, Boundary::Periodic, &mut lwork);
+    advect_line(
+        Scheme::SlMpp5,
+        &mut big,
+        3.7,
+        Boundary::Periodic,
+        &mut lwork,
+    );
     println!("CFL freedom: SL-MPP5 advanced a CFL = 3.7 step in one go ✓ (RK3 is bound to ≲ 1).\n");
 
     // --- Scheme ladder at a coarse resolution where truncation error (not
@@ -106,6 +120,9 @@ fn main() {
         let e = accuracy(n_ladder, cfl, &mut |l, c| {
             advect_line(scheme, l, c, Boundary::Periodic, &mut lwork)
         });
-        println!("{}", table_row(&[name.to_string(), format!("{e:.3e}")], &[10, 12]));
+        println!(
+            "{}",
+            table_row(&[name.to_string(), format!("{e:.3e}")], &[10, 12])
+        );
     }
 }

@@ -13,7 +13,12 @@ use vlasov6d_cosmology::CosmologyParams;
 
 fn contrast_rms(f: &vlasov6d_mesh::Field3) -> f64 {
     let m = f.mean();
-    (f.as_slice().iter().map(|v| (v / m - 1.0).powi(2)).sum::<f64>() / f.len() as f64).sqrt()
+    (f.as_slice()
+        .iter()
+        .map(|v| (v / m - 1.0).powi(2))
+        .sum::<f64>()
+        / f.len() as f64)
+        .sqrt()
 }
 
 fn main() {
@@ -45,9 +50,7 @@ fn main() {
             maps::write_pgm(&out_dir.join("fig4_bench_cdm.pgm"), &map, dims).unwrap();
         }
         let ratio = contrast_rms(&nu_rho) / contrast_rms(&cdm_rho);
-        println!(
-            "  δ_rms(ν)/δ_rms(CDM) = {ratio:.4}   (ν field much smoother than CDM ✓)"
-        );
+        println!("  δ_rms(ν)/δ_rms(CDM) = {ratio:.4}   (ν field much smoother than CDM ✓)");
         ratios.push((mnu, ratio));
     }
     println!("\nFig. 4 shape check — heavier (slower) neutrinos cluster more:");
@@ -55,7 +58,11 @@ fn main() {
         "  0.4 eV: {:.4}  vs  0.2 eV: {:.4}  → {}",
         ratios[0].1,
         ratios[1].1,
-        if ratios[0].1 > ratios[1].1 { "reproduced ✓" } else { "NOT reproduced ✗" }
+        if ratios[0].1 > ratios[1].1 {
+            "reproduced ✓"
+        } else {
+            "NOT reproduced ✗"
+        }
     );
     println!("maps: target/figures/fig4_bench_*.pgm");
 }

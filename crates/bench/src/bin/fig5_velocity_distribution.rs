@@ -25,7 +25,13 @@ fn main() {
     let (nx, nu) = (8usize, 24usize);
     let vg = VelocityGrid::cubic(nu, 3.0 * fd.rms_speed() / units.velocity_unit_kms());
     let mut ps = PhaseSpace::zeros([nx, nx, nx], vg);
-    load_neutrino_phase_space(&mut ps, ut, cosmo.omega_nu(), &Field3::zeros([nx, nx, nx]), None);
+    load_neutrino_phase_space(
+        &mut ps,
+        ut,
+        cosmo.omega_nu(),
+        &Field3::zeros([nx, nx, nx]),
+        None,
+    );
 
     // Particle comparison: 2× the spatial resolution (paper ratio).
     let particles = sample_neutrino_particles(2 * nx, cosmo.omega_nu(), ut, None, 7);
@@ -58,7 +64,10 @@ fn main() {
     .unwrap();
 
     println!("Fig. 5 (one spatial cell of the {nx}³ grid):");
-    println!("  Vlasov grid resolves f(|u|) on {} velocity cells — smooth FD tail;", nu * nu * nu);
+    println!(
+        "  Vlasov grid resolves f(|u|) on {} velocity cells — smooth FD tail;",
+        nu * nu * nu
+    );
     println!("  N-body puts {in_cell} particles in the same cell;");
     let populated = hist.iter().filter(|&&h| h > 0.0).count();
     println!("  particle histogram populates {populated}/{n_bins} speed bins.");
@@ -71,7 +80,11 @@ fn main() {
         "  FD tail at u = {:.0} km/s: Vlasov f = {:.2e} (resolved), particles: {} (lost)",
         centers_kms[tail_bin],
         f_vlasov[tail_bin],
-        if hist[tail_bin] == 0.0 { "0 samples" } else { "few samples" }
+        if hist[tail_bin] == 0.0 {
+            "0 samples"
+        } else {
+            "few samples"
+        }
     );
     println!("\nseries written to target/figures/fig5.csv");
 }

@@ -14,7 +14,9 @@ use std::path::PathBuf;
 use vlasov6d::{fields, maps, noise};
 use vlasov6d_advection::line::Scheme;
 use vlasov6d_cosmology::{CosmologyParams, FermiDirac, PowerSpectrum, TransferFunction, Units};
-use vlasov6d_ic::{load_neutrino_phase_space, sample_neutrino_particles, GaussianField, ZeldovichIc};
+use vlasov6d_ic::{
+    load_neutrino_phase_space, sample_neutrino_particles, GaussianField, ZeldovichIc,
+};
 use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace, VelocityGrid};
 use vlasov6d_suite::{table_header, table_row};
 
@@ -37,7 +39,11 @@ fn main() {
     let zel = ZeldovichIc::new(delta.clone());
     let bulk = {
         let f = 0.5; // velocity factor (arbitrary consistent scale for the demo)
-        [scale(&zel.psi[0], f), scale(&zel.psi[1], f), scale(&zel.psi[2], f)]
+        [
+            scale(&zel.psi[0], f),
+            scale(&zel.psi[1], f),
+            scale(&zel.psi[2], f),
+        ]
     };
 
     // Vlasov representation.
@@ -83,7 +89,13 @@ fn main() {
     let c_rho = noise::compare_fields(&rho_v, &rho_p);
 
     let w = [22, 13, 13, 12];
-    println!("{}", table_header(&["moment", "correlation", "rms rel diff", "empty cells"], &w));
+    println!(
+        "{}",
+        table_header(
+            &["moment", "correlation", "rms rel diff", "empty cells"],
+            &w
+        )
+    );
     println!(
         "{}",
         table_row(

@@ -53,7 +53,12 @@ fn main() {
         wn.push(r.nodes as f64);
         wt.push(t.total());
     }
-    write_series(&out_dir.join("fig7_weak.csv"), &["nodes", "total_s"], &[&wn, &wt]).unwrap();
+    write_series(
+        &out_dir.join("fig7_weak.csv"),
+        &["nodes", "total_s"],
+        &[&wn, &wt],
+    )
+    .unwrap();
 
     // ASCII rendition of the strong-scaling panel (log-log flavour).
     println!("Fig. 7 (model): step time vs nodes — ideal scaling is a flat");

@@ -6,8 +6,8 @@
 //! ```
 
 use std::path::PathBuf;
-use std::time::Instant;
 use vlasov6d::{maps, HybridSimulation, SimulationConfig};
+use vlasov6d_obs::Stopwatch;
 
 fn main() {
     let out_dir = PathBuf::from("target/figures");
@@ -24,7 +24,7 @@ fn main() {
         vlasov6d_suite::human_count(cells as f64),
         format_args!("{:.1e}×", cells as f64 / 4.0e14)
     );
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut sim = HybridSimulation::new(config);
     sim.run_to_redshift(2.0, |s| {
         let r = s.records.last().unwrap();
@@ -32,7 +32,11 @@ fn main() {
             println!("  step {:>3}: z = {:.2}", r.step, r.redshift());
         }
     });
-    println!("finished in {:.1}s ({} steps)", t0.elapsed().as_secs_f64(), sim.step_count);
+    println!(
+        "finished in {:.1}s ({} steps)",
+        t0.elapsed_secs(),
+        sim.step_count
+    );
 
     let cdm = sim.cdm_density().unwrap();
     let nu = sim.neutrino_density().unwrap();

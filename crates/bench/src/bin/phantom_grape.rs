@@ -14,7 +14,9 @@ fn main() {
     let n_targets = 256;
     let mut state = 99u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let sources: Vec<[f64; 3]> = (0..n_sources).map(|_| [next(), next(), next()]).collect();

@@ -40,10 +40,21 @@ fn main() {
     let widths = [10, 14, 14, 14, 12];
     println!(
         "{}",
-        table_header(&["direction", "scalar[Gf/s]", "SIMD[Gf/s]", "LAT[Gf/s]", "SIMD/scalar"], &widths)
+        table_header(
+            &[
+                "direction",
+                "scalar[Gf/s]",
+                "SIMD[Gf/s]",
+                "LAT[Gf/s]",
+                "SIMD/scalar"
+            ],
+            &widths
+        )
     );
 
-    let spatial_cfl: Vec<f64> = (0..nu).map(|k| 0.35 * (k as f64 - nu as f64 / 2.0) / nu as f64).collect();
+    let spatial_cfl: Vec<f64> = (0..nu)
+        .map(|k| 0.35 * (k as f64 - nu as f64 / 2.0) / nu as f64)
+        .collect();
     let mut accel = Field3::zeros([nx, nx, nx]);
     for (i, v) in accel.as_mut_slice().iter_mut().enumerate() {
         *v = 0.4 * ((i as f64 * 0.17).sin());
@@ -58,20 +69,32 @@ fn main() {
     // Velocity directions first (paper order: ux, uy, uz, x, y, z).
     for d in 0..3 {
         let label = ["u_x", "u_y", "u_z"][d];
-        let t_scalar =
-            time_median(|| sweep::sweep_velocity(&mut ps, d, &accel, scheme, Exec::Scalar), 5);
-        let t_simd =
-            time_median(|| sweep::sweep_velocity(&mut ps, d, &accel, scheme, Exec::Simd), 5);
-        let t_lat = (d == 2)
-            .then(|| time_median(|| sweep::sweep_velocity(&mut ps, d, &accel, scheme, Exec::Lat), 5));
+        let t_scalar = time_median(
+            || sweep::sweep_velocity(&mut ps, d, &accel, scheme, Exec::Scalar),
+            5,
+        );
+        let t_simd = time_median(
+            || sweep::sweep_velocity(&mut ps, d, &accel, scheme, Exec::Simd),
+            5,
+        );
+        let t_lat = (d == 2).then(|| {
+            time_median(
+                || sweep::sweep_velocity(&mut ps, d, &accel, scheme, Exec::Lat),
+                5,
+            )
+        });
         results.push((label.into(), t_scalar, t_simd, t_lat));
     }
     for d in 0..3 {
         let label = ["x", "y", "z"][d];
-        let t_scalar =
-            time_median(|| sweep::sweep_spatial(&mut ps, d, &spatial_cfl, scheme, Exec::Scalar), 5);
-        let t_simd =
-            time_median(|| sweep::sweep_spatial(&mut ps, d, &spatial_cfl, scheme, Exec::Simd), 5);
+        let t_scalar = time_median(
+            || sweep::sweep_spatial(&mut ps, d, &spatial_cfl, scheme, Exec::Scalar),
+            5,
+        );
+        let t_simd = time_median(
+            || sweep::sweep_spatial(&mut ps, d, &spatial_cfl, scheme, Exec::Simd),
+            5,
+        );
         results.push((label.into(), t_scalar, t_simd, None));
     }
 
@@ -103,11 +126,19 @@ fn main() {
     println!("\npaper shape checks:");
     println!(
         "  SIMD lanes beat scalar on every axis:       {}",
-        if results.iter().all(|r| r.2 < r.1) { "✓" } else { "✗" }
+        if results.iter().all(|r| r.2 < r.1) {
+            "✓"
+        } else {
+            "✗"
+        }
     );
     println!(
         "  u_z strided-SIMD vs packed-lane u_x:        {uz_simd:.1} vs {ux_simd:.1} Gf/s {}",
-        if uz_simd < ux_simd { "(slower ✓)" } else { "(host caches hide the stride)" }
+        if uz_simd < ux_simd {
+            "(slower ✓)"
+        } else {
+            "(host caches hide the stride)"
+        }
     );
     println!(
         "  LAT u_z vs strided u_z / scalar u_z:        {uz_lat:.1} vs {uz_simd:.1} / {uz_scalar:.1} Gf/s {}",

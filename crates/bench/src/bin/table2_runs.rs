@@ -13,7 +13,17 @@ fn main() {
     println!(
         "{}",
         table_header(
-            &["id", "Nx", "Nu", "N_CDM", "nodes", "(nx,ny,nz)", "ppn", "cells/rank", "mem/rank"],
+            &[
+                "id",
+                "Nx",
+                "Nu",
+                "N_CDM",
+                "nodes",
+                "(nx,ny,nz)",
+                "ppn",
+                "cells/rank",
+                "mem/rank"
+            ],
             &widths
         )
     );

@@ -47,14 +47,31 @@ fn main() {
         for r in 0..n_ranks {
             let dims = decomp.local_dims(r);
             for d in 0..3 {
-                let face: usize = dims.iter().enumerate().filter(|(i, _)| *i != d).map(|(_, &v)| v).product();
+                let face: usize = dims
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != d)
+                    .map(|(_, &v)| v)
+                    .product();
                 modeled += (2 * 3 * face * nu * nu * nu * 4) as u64;
             }
         }
         let counted = traffic.total_bytes();
+        let sizes = traffic.msg_size_snapshot();
         println!(
             "  {procs:?}: counted {counted} B, modelled {modeled} B — {}",
-            if counted == modeled { "exact ✓" } else { "MISMATCH ✗" }
+            if counted == modeled {
+                "exact ✓"
+            } else {
+                "MISMATCH ✗"
+            }
+        );
+        println!(
+            "      {} messages, mean {:.0} B, p99 bin ≥{} B, imbalance {:.3}",
+            sizes.count,
+            sizes.mean(),
+            sizes.quantile_lower_edge(0.99),
+            traffic.imbalance()
         );
     }
 
@@ -63,7 +80,10 @@ fn main() {
     let report = ScalingReport::for_runs(&paper_runs(), &machine);
     println!("\n=== Table 3: weak scaling efficiency, model vs paper ===\n");
     let w = [11, 9, 9, 9, 9];
-    println!("{}", table_header(&["chain", "total", "Vlasov", "tree", "PM"], &w));
+    println!(
+        "{}",
+        table_header(&["chain", "total", "Vlasov", "tree", "PM"], &w)
+    );
     for (chain, p_tot, p_v, p_t, p_pm) in PAPER_WEAK_SCALING {
         let (from, to) = chain.split_once('-').unwrap();
         let [total, vlasov, tree, pm] = report.weak_efficiency(from, to);
@@ -71,7 +91,13 @@ fn main() {
         println!(
             "{}",
             table_row(
-                &[chain.to_string(), fmt(total), fmt(vlasov), fmt(tree), fmt(pm)],
+                &[
+                    chain.to_string(),
+                    fmt(total),
+                    fmt(vlasov),
+                    fmt(tree),
+                    fmt(pm)
+                ],
                 &w
             )
         );

@@ -21,7 +21,10 @@ fn main() {
     let widths = [7, 8, 10, 9, 9, 9];
     println!(
         "{}",
-        table_header(&["id", "nodes", "total[s]", "vlasov", "tree", "pm"], &widths)
+        table_header(
+            &["id", "nodes", "total[s]", "vlasov", "tree", "pm"],
+            &widths
+        )
     );
     for r in &runs {
         if r.id.starts_with('U') {
@@ -46,14 +49,31 @@ fn main() {
 
     println!("\n=== Table 4: strong scaling efficiency, model vs paper ===\n");
     let w = [7, 9, 9, 9, 9];
-    println!("{}", table_header(&["group", "total", "Vlasov", "tree", "PM"], &w));
-    let ends = [("S", "S1", "S4"), ("M", "M8", "M32"), ("L", "L48", "L256"), ("H", "H384", "H1024")];
+    println!(
+        "{}",
+        table_header(&["group", "total", "Vlasov", "tree", "PM"], &w)
+    );
+    let ends = [
+        ("S", "S1", "S4"),
+        ("M", "M8", "M32"),
+        ("L", "L48", "L256"),
+        ("H", "H384", "H1024"),
+    ];
     for ((group, from, to), (_, p_tot, p_v, p_t, p_pm)) in ends.iter().zip(PAPER_STRONG_SCALING) {
         let [total, vlasov, tree, pm] = report.strong_efficiency(from, to);
         let fmt = |x: f64| format!("{:.1}%", 100.0 * x);
         println!(
             "{}",
-            table_row(&[group.to_string(), fmt(total), fmt(vlasov), fmt(tree), fmt(pm)], &w)
+            table_row(
+                &[
+                    group.to_string(),
+                    fmt(total),
+                    fmt(vlasov),
+                    fmt(tree),
+                    fmt(pm)
+                ],
+                &w
+            )
         );
         println!(
             "{}",

@@ -14,11 +14,11 @@
 //! cargo run --release -p vlasov6d-bench --bin tts_time_to_solution
 //! ```
 
-use std::time::Instant;
 use vlasov6d::{fields, noise, HybridSimulation, SimulationConfig};
 use vlasov6d_cosmology::{Background, FermiDirac};
 use vlasov6d_ic::sample_neutrino_particles;
 use vlasov6d_nbody::{integrator, TreePm};
+use vlasov6d_obs::{RunReport, Stopwatch};
 use vlasov6d_perfmodel::model::time_to_solution;
 use vlasov6d_perfmodel::runs::run;
 use vlasov6d_perfmodel::MachineModel;
@@ -36,19 +36,33 @@ fn main() {
     let z_final = 3.0;
 
     println!("=== head-to-head: hybrid Vlasov-ν vs particle-ν N-body (z 6 → 3) ===\n");
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut hybrid = HybridSimulation::new(config.clone());
     hybrid.run_to_redshift(z_final, |_| {});
-    let t_hybrid = t0.elapsed().as_secs_f64();
+    let t_hybrid = t0.elapsed_secs();
     let rho_vlasov = hybrid.neutrino_density().unwrap();
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let rho_particle = particle_neutrino_run(&config, z_final);
-    let t_particle = t0.elapsed().as_secs_f64();
+    let t_particle = t0.elapsed_secs();
 
-    println!("wall time: hybrid {t_hybrid:.1}s ({} steps), particle-ν {t_particle:.1}s", hybrid.step_count);
+    // Structured telemetry of the hybrid run: the span layer's Table 3/4
+    // decomposition plus the hotspot ranking.
+    let mut report = RunReport::new();
+    for record in &hybrid.records {
+        report.add(record.to_event(0));
+    }
+    println!("{}", report.render());
+
+    println!(
+        "wall time: hybrid {t_hybrid:.1}s ({} steps), particle-ν {t_particle:.1}s",
+        hybrid.step_count
+    );
     let cmp = noise::compare_fields(&rho_vlasov, &rho_particle);
-    println!("ν density fields: correlation {:.3}, rms relative difference {:.3}", cmp.correlation, cmp.rms_relative_diff);
+    println!(
+        "ν density fields: correlation {:.3}, rms relative difference {:.3}",
+        cmp.correlation, cmp.rms_relative_diff
+    );
     let smoothness = |f: &vlasov6d_mesh::Field3| {
         // cell-to-cell graininess: rms of nearest-neighbour differences.
         let [n, _, _] = f.dims();
@@ -64,7 +78,10 @@ fn main() {
         (acc / f.len() as f64).sqrt() / f.mean()
     };
     let (g_v, g_p) = (smoothness(&rho_vlasov), smoothness(&rho_particle));
-    println!("cell-to-cell graininess: Vlasov {g_v:.4}, particles {g_p:.4} (×{:.0} noisier)", g_p / g_v);
+    println!(
+        "cell-to-cell graininess: Vlasov {g_v:.4}, particles {g_p:.4} (×{:.0} noisier)",
+        g_p / g_v
+    );
     println!(
         "→ comparable resources, the Vlasov field is the noise-free one (paper §5.4) {}",
         if g_p > 2.0 * g_v { "✓" } else { "✗" }
@@ -73,7 +90,13 @@ fn main() {
     // ---- Part 2: Eq. 9–10 equivalence.
     println!("\n=== Eq. 9–10: N-body effective resolution at required S/N ===\n");
     let w = [12, 9, 17, 17];
-    println!("{}", table_header(&["N_ν per dim", "S/N", "eff. resolution", "≈ Vlasov grid"], &w));
+    println!(
+        "{}",
+        table_header(
+            &["N_ν per dim", "S/N", "eff. resolution", "≈ Vlasov grid"],
+            &w
+        )
+    );
     for s_over_n in [100.0, 50.0] {
         let n = 13824; // TianNu
         let dl = noise::effective_resolution(n, s_over_n);

@@ -1,6 +1,5 @@
 //! Simulation configuration.
 
-use serde::{Deserialize, Serialize};
 use vlasov6d_advection::line::Scheme;
 use vlasov6d_cosmology::CosmologyParams;
 use vlasov6d_phase_space::Exec;
@@ -11,7 +10,7 @@ use vlasov6d_phase_space::Exec;
 /// `N_u = nu³` velocity cells, `N_CDM = n_cdm³` particles and an
 /// `n_pm³` PM mesh (their production ratio is `n_pm = 3·nx`,
 /// `n_cdm = 9·nx`; laptop-scale configs use gentler ratios).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimulationConfig {
     pub cosmology: CosmologyParams,
     /// Comoving box size \[Mpc/h\].
@@ -35,10 +34,8 @@ pub struct SimulationConfig {
     /// Maximum Δln a per step.
     pub max_dln_a: f64,
     /// Advection scheme (SL-MPP5 in production).
-    #[serde(skip, default)]
     pub scheme: Scheme,
     /// Kernel execution variant.
-    #[serde(skip, default)]
     pub exec: Exec,
     /// Random seed for the initial conditions.
     pub seed: u64,
@@ -123,13 +120,19 @@ impl SimulationConfig {
     pub fn validate(&self) -> Result<(), String> {
         self.cosmology.validate()?;
         if self.nx < 4 || self.nu < 8 {
-            return Err(format!("grid too small: nx = {}, nu = {}", self.nx, self.nu));
+            return Err(format!(
+                "grid too small: nx = {}, nu = {}",
+                self.nx, self.nu
+            ));
         }
         if self.nu % 8 != 0 && !matches!(self.exec, Exec::Scalar) {
             return Err("SIMD execution requires nu divisible by 8".into());
         }
         if !(0.0 < self.cfl_spatial && self.cfl_spatial < 1.0) {
-            return Err(format!("cfl_spatial must be in (0, 1), got {}", self.cfl_spatial));
+            return Err(format!(
+                "cfl_spatial must be in (0, 1), got {}",
+                self.cfl_spatial
+            ));
         }
         if self.z_init <= 0.0 {
             return Err("z_init must be positive".into());

@@ -1,12 +1,17 @@
 //! Per-step records: timings (the paper's Table 3/4 decomposition) and
 //! conservation diagnostics.
+//!
+//! Timings come from the `vlasov6d-obs` span layer: the stepper runs under a
+//! [`vlasov6d_obs::StepScope`] and folds the recorded span tree into the
+//! four-bucket [`StepTimers`] via self-time attribution, so the structured
+//! trace and the paper-style decomposition are always consistent.
 
-use serde::{Deserialize, Serialize};
+use vlasov6d_obs::{BucketTotals, SpanNode, StepEvent};
 
 /// Wall-clock decomposition of one step, in seconds — the same four buckets
 /// the paper reports (Vlasov, tree, PM, plus our explicit "moments/coupling"
 /// overhead bucket).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StepTimers {
     /// Spatial + velocity sweeps of the distribution function.
     pub vlasov: f64,
@@ -24,8 +29,30 @@ impl StepTimers {
     }
 }
 
+impl From<BucketTotals> for StepTimers {
+    fn from(b: BucketTotals) -> StepTimers {
+        StepTimers {
+            vlasov: b.vlasov,
+            tree: b.tree,
+            pm: b.pm,
+            other: b.other,
+        }
+    }
+}
+
+impl From<StepTimers> for BucketTotals {
+    fn from(t: StepTimers) -> BucketTotals {
+        BucketTotals {
+            vlasov: t.vlasov,
+            tree: t.tree,
+            pm: t.pm,
+            other: t.other,
+        }
+    }
+}
+
 /// One time step's record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StepRecord {
     pub step: usize,
     /// Scale factor after the step.
@@ -33,6 +60,8 @@ pub struct StepRecord {
     /// Step size in code time (1/H0).
     pub dt: f64,
     pub timers: StepTimers,
+    /// Root spans of the step's timing tree (`timers` is their fold).
+    pub spans: Vec<SpanNode>,
     /// Total neutrino mass on the grid (code units) — drains only through
     /// the velocity-space boundary.
     pub nu_mass: f64,
@@ -46,11 +75,28 @@ impl StepRecord {
     pub fn redshift(&self) -> f64 {
         1.0 / self.a - 1.0
     }
+
+    /// Convert to the observability layer's JSONL-serialisable event.
+    /// `rank` is 0 for single-rank runs.
+    pub fn to_event(&self, rank: usize) -> StepEvent {
+        StepEvent {
+            step: self.step as u64,
+            rank,
+            a: self.a,
+            dt: self.dt,
+            buckets: self.timers.into(),
+            spans: self.spans.clone(),
+            metrics: Vec::new(),
+            nu_mass: self.nu_mass,
+            f_min: self.f_min as f64,
+            momentum: self.momentum,
+        }
+    }
 }
 
 /// Aggregate timing over a run, mirroring the paper's elapsed-time-per-step
 /// tables.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunTimings {
     pub steps: usize,
     pub vlasov: f64,
@@ -61,7 +107,10 @@ pub struct RunTimings {
 
 impl RunTimings {
     pub fn accumulate(records: &[StepRecord]) -> Self {
-        let mut t = Self { steps: records.len(), ..Default::default() };
+        let mut t = Self {
+            steps: records.len(),
+            ..Default::default()
+        };
         for r in records {
             t.vlasov += r.timers.vlasov;
             t.tree += r.timers.tree;
@@ -94,8 +143,28 @@ mod tests {
 
     #[test]
     fn timers_total_sums_buckets() {
-        let t = StepTimers { vlasov: 1.0, tree: 0.5, pm: 0.25, other: 0.25 };
+        let t = StepTimers {
+            vlasov: 1.0,
+            tree: 0.5,
+            pm: 0.25,
+            other: 0.25,
+        };
         assert_eq!(t.total(), 2.0);
+    }
+
+    #[test]
+    fn timers_round_trip_through_bucket_totals() {
+        let t = StepTimers {
+            vlasov: 1.0,
+            tree: 0.5,
+            pm: 0.25,
+            other: 0.125,
+        };
+        let b: BucketTotals = t.into();
+        assert_eq!(b.total(), t.total());
+        let back: StepTimers = b.into();
+        assert_eq!(back.total(), t.total());
+        assert_eq!(back.tree, 0.5);
     }
 
     #[test]
@@ -104,7 +173,13 @@ mod tests {
             step: 0,
             a: 0.5,
             dt: 0.01,
-            timers: StepTimers { vlasov: v, tree: 1.0, pm: 0.5, other: 0.0 },
+            timers: StepTimers {
+                vlasov: v,
+                tree: 1.0,
+                pm: 0.5,
+                other: 0.0,
+            },
+            spans: Vec::new(),
             nu_mass: 0.01,
             f_min: 0.0,
             momentum: [0.0; 3],
@@ -124,10 +199,41 @@ mod tests {
             a: 0.25,
             dt: 0.0,
             timers: StepTimers::default(),
+            spans: Vec::new(),
             nu_mass: 0.0,
             f_min: 0.0,
             momentum: [0.0; 3],
         };
         assert!((r.redshift() - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn record_converts_to_obs_event_and_back_through_jsonl() {
+        let r = StepRecord {
+            step: 7,
+            a: 0.5,
+            dt: 0.01,
+            timers: StepTimers {
+                vlasov: 1.0,
+                tree: 0.5,
+                pm: 0.25,
+                other: 0.0,
+            },
+            spans: vec![SpanNode {
+                name: "drift.nu".into(),
+                bucket: vlasov6d_obs::Bucket::Vlasov,
+                elapsed: 1.0,
+                children: Vec::new(),
+            }],
+            nu_mass: 0.05,
+            f_min: 0.0,
+            momentum: [1e-9, 0.0, -1e-9],
+        };
+        let event = r.to_event(3);
+        assert_eq!(event.rank, 3);
+        assert_eq!(event.buckets.vlasov, 1.0);
+        let back = StepEvent::parse(&event.to_jsonl()).unwrap();
+        assert_eq!(back.spans[0].name, "drift.nu");
+        assert_eq!(back.step, 7);
     }
 }

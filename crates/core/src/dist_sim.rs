@@ -13,11 +13,12 @@
 //! the paper reports at 94–99 %.
 
 use crate::diagnostics::StepTimers;
-use std::time::Instant;
 use vlasov6d_advection::line::Scheme;
 use vlasov6d_cosmology::Background;
 use vlasov6d_mesh::{Decomp3, Field3};
-use vlasov6d_mpisim::{Cart3, Comm};
+use vlasov6d_mpisim::{Cart3, Comm, Traffic};
+use vlasov6d_obs::metrics::MetricValue;
+use vlasov6d_obs::{span, Bucket, StepEvent, StepScope, StepSpans};
 use vlasov6d_phase_space::exchange::sweep_spatial_distributed;
 use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace};
 use vlasov6d_poisson::DistPoisson;
@@ -36,6 +37,17 @@ pub struct DistributedVlasov {
     pub cfl_spatial: f64,
     pub max_dln_a: f64,
     tag_counter: u64,
+    step_index: u64,
+}
+
+/// Per-rank timing record of one distributed step: the structured span tree
+/// plus its paper-style four-bucket fold.
+#[derive(Debug, Clone)]
+pub struct StepTelemetry {
+    /// Hierarchical span tree recorded on this rank during the step.
+    pub spans: StepSpans,
+    /// The legacy four-bucket decomposition, folded from `spans`.
+    pub timers: StepTimers,
 }
 
 impl DistributedVlasov {
@@ -69,6 +81,7 @@ impl DistributedVlasov {
             cfl_spatial: 0.45,
             max_dln_a: 0.08,
             tag_counter: 1,
+            step_index: 0,
         }
     }
 
@@ -79,94 +92,183 @@ impl DistributedVlasov {
     }
 
     /// Local force fields `-∂φ/∂x_d` at the Vlasov cells of this rank's slab.
-    fn gravity(&mut self, comm: &Comm, timers: &mut StepTimers) -> [Field3; 3] {
-        let t0 = Instant::now();
-        let rho = moments::density(&self.ps);
+    fn gravity(&mut self, comm: &Comm) -> [Field3; 3] {
+        let _s = span!("gravity", Bucket::Pm);
+        let rho = {
+            let _s = span!("gravity.moments");
+            moments::density(&self.ps)
+        };
         // Poisson source: ρ - ρ̄ with the exact global mean.
         let local_sum: f64 = rho.as_slice().iter().sum();
         let n_cells: f64 = (self.ps.sglobal[0] * self.ps.sglobal[1] * self.ps.sglobal[2]) as f64;
         let mean = comm.allreduce_sum(local_sum) / n_cells;
         let source: Vec<f64> = rho.as_slice().iter().map(|v| v - mean).collect();
         let tag = self.next_tags(4);
-        let phi_slab = self.solver.solve(comm, &source, 1.5 / self.a, tag);
+        let phi_slab = {
+            let _s = span!("gravity.poisson");
+            self.solver.solve(comm, &source, 1.5 / self.a, tag)
+        };
         let phi = Field3::from_vec(self.ps.sdims, phi_slab);
 
         // 4-point gradient: axes 1, 2 are global within the slab (periodic
         // wrap is correct); axis 0 needs two ghost planes from each
         // neighbour.
-        let force = gradient_with_ghosts(comm, &self.decomp, &phi, tag + 2);
-        timers.pm += t0.elapsed().as_secs_f64();
-        force
+        let _g = span!("gravity.gradient");
+        gradient_with_ghosts(comm, &self.decomp, &phi, tag + 2)
     }
 
     /// One Strang-split step; returns `(a_new, Δt_code)`.
     pub fn step(&mut self, comm: &Comm) -> (f64, f64) {
-        let mut timers = StepTimers::default();
-        let force = self.gravity(comm, &mut timers);
+        let (a2, dt, _) = self.step_traced(comm);
+        (a2, dt)
+    }
+
+    /// One Strang-split step with per-rank telemetry: returns
+    /// `(a_new, Δt_code, telemetry)` where the telemetry carries this rank's
+    /// span tree and its four-bucket fold.
+    pub fn step_traced(&mut self, comm: &Comm) -> (f64, f64, StepTelemetry) {
+        self.step_index += 1;
+        let scope = StepScope::begin(self.step_index);
+        let force = self.gravity(comm);
 
         // Global Δa control: spatial CFL < limit, velocity CFL ≤ ~1.
-        let a1 = self.a;
-        let mut a2 = a1 * (1.0 + self.max_dln_a);
-        let nx = self.ps.sglobal[0] as f64;
-        let local_fmax = force.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
-        let fmax = comm.allreduce_max(local_fmax);
-        for _ in 0..60 {
-            let drift = self.background.drift_factor(a1, a2);
-            let kick = self.background.kick_factor(a1, a2);
-            let ok_space = self.ps.vgrid.vmax * drift * nx < self.cfl_spatial;
-            let ok_vel = fmax * 0.5 * kick / self.ps.vgrid.du(0) <= 1.0;
-            if ok_space && ok_vel {
-                break;
+        let (a1, a2, k1, k2, drift) = {
+            let _s = span!("dt_control", Bucket::Other);
+            let a1 = self.a;
+            let mut a2 = a1 * (1.0 + self.max_dln_a);
+            let nx = self.ps.sglobal[0] as f64;
+            let local_fmax = force.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
+            let fmax = comm.allreduce_max(local_fmax);
+            for _ in 0..60 {
+                let drift = self.background.drift_factor(a1, a2);
+                let kick = self.background.kick_factor(a1, a2);
+                let ok_space = self.ps.vgrid.vmax * drift * nx < self.cfl_spatial;
+                let ok_vel = fmax * 0.5 * kick / self.ps.vgrid.du(0) <= 1.0;
+                if ok_space && ok_vel {
+                    break;
+                }
+                a2 = a1 + 0.5 * (a2 - a1);
             }
-            a2 = a1 + 0.5 * (a2 - a1);
-        }
-        let am = {
-            let t = 0.5 * (self.background.time_of_a(a1) + self.background.time_of_a(a2));
-            self.background.a_of_time(t)
+            let am = {
+                let t = 0.5 * (self.background.time_of_a(a1) + self.background.time_of_a(a2));
+                self.background.a_of_time(t)
+            };
+            let k1 = self.background.kick_factor(a1, am);
+            let k2 = self.background.kick_factor(am, a2);
+            (a1, a2, k1, k2, self.background.drift_factor(a1, a2))
         };
-        let k1 = self.background.kick_factor(a1, am);
-        let k2 = self.background.kick_factor(am, a2);
-        let drift = self.background.drift_factor(a1, a2);
 
-        self.kick(&force, k1, &mut timers);
-        // Drift: axis 0 distributed, axes 1/2 rank-local periodic sweeps.
-        let t0 = Instant::now();
-        let tag = self.next_tags(8);
-        let cfl0: Vec<f64> = (0..self.ps.vgrid.n[0])
-            .map(|k| self.ps.vgrid.center(0, k) * drift * nx)
-            .collect();
-        sweep_spatial_distributed(&mut self.ps, &Cart3::new(comm, self.decomp), 0, &cfl0, self.scheme, tag);
-        for d in 1..3 {
-            let n_d = self.ps.sglobal[d] as f64;
-            let cfl: Vec<f64> = (0..self.ps.vgrid.n[d])
-                .map(|k| self.ps.vgrid.center(d, k) * drift * n_d)
+        self.kick(&force, k1);
+        {
+            // Drift: axis 0 distributed, axes 1/2 rank-local periodic sweeps.
+            let _s = span!("drift", Bucket::Vlasov);
+            let nx = self.ps.sglobal[0] as f64;
+            let tag = self.next_tags(8);
+            let cfl0: Vec<f64> = (0..self.ps.vgrid.n[0])
+                .map(|k| self.ps.vgrid.center(0, k) * drift * nx)
                 .collect();
-            sweep::sweep_spatial(&mut self.ps, d, &cfl, self.scheme, Exec::Simd);
+            sweep_spatial_distributed(
+                &mut self.ps,
+                &Cart3::new(comm, self.decomp),
+                0,
+                &cfl0,
+                self.scheme,
+                tag,
+            );
+            for d in 1..3 {
+                let n_d = self.ps.sglobal[d] as f64;
+                let cfl: Vec<f64> = (0..self.ps.vgrid.n[d])
+                    .map(|k| self.ps.vgrid.center(d, k) * drift * n_d)
+                    .collect();
+                sweep::sweep_spatial(&mut self.ps, d, &cfl, self.scheme, Exec::Simd);
+            }
         }
-        timers.vlasov += t0.elapsed().as_secs_f64();
 
         self.a = a2;
-        let force = self.gravity(comm, &mut timers);
-        self.kick(&force, k2, &mut timers);
-        (a2, self.background.kick_factor(a1, a2))
+        let force = self.gravity(comm);
+        self.kick(&force, k2);
+        let spans = scope.finish();
+        let telemetry = StepTelemetry {
+            timers: spans.buckets.into(),
+            spans,
+        };
+        (a2, self.background.kick_factor(a1, a2), telemetry)
     }
 
     /// Velocity sweeps with the given kick factor (the caller passes the
     /// half-interval factors k1/k2 of the Strang split).
-    fn kick(&mut self, force: &[Field3; 3], kick: f64, timers: &mut StepTimers) {
-        let t0 = Instant::now();
+    fn kick(&mut self, force: &[Field3; 3], kick: f64) {
+        let _s = span!("kick", Bucket::Vlasov);
         for d in 0..3 {
             let du = self.ps.vgrid.du(d);
             let mut cfl = force[d].clone();
             cfl.scale(kick / du);
             sweep::sweep_velocity(&mut self.ps, d, &cfl, self.scheme, Exec::Simd);
         }
-        timers.vlasov += t0.elapsed().as_secs_f64();
     }
 
     /// Global component mass (allreduced).
     pub fn total_mass(&self, comm: &Comm) -> f64 {
         comm.allreduce_sum(self.ps.total_mass())
+    }
+
+    /// Assemble this rank's JSONL-ready [`StepEvent`] for one traced step.
+    ///
+    /// Collective: every rank must call it (the conservation diagnostics are
+    /// allreduced). `traffic` is an interval's worth of communication
+    /// counters — typically `comm.traffic().diff(&mark)` with `mark` taken
+    /// before the step — and feeds the per-rank byte gauges, the global
+    /// message-size histogram and the communication-imbalance gauge.
+    pub fn step_event(
+        &self,
+        comm: &Comm,
+        dt: f64,
+        telemetry: &StepTelemetry,
+        traffic: Option<&Traffic>,
+    ) -> StepEvent {
+        let nu_mass = self.total_mass(comm);
+        let f_min = comm.allreduce_min(self.ps.min_value() as f64);
+        let n_cells: f64 = (self.ps.sglobal[0] * self.ps.sglobal[1] * self.ps.sglobal[2]) as f64;
+        let mut momentum = [0.0f64; 3];
+        for (i, p) in momentum.iter_mut().enumerate() {
+            *p = comm.allreduce_sum(moments::momentum(&self.ps, i).sum()) / n_cells;
+        }
+        let mut metrics = Vec::new();
+        if let Some(t) = traffic {
+            let rank = comm.rank();
+            metrics.push((
+                "comm.sent_bytes".to_string(),
+                MetricValue::Counter(t.bytes_sent_by(rank)),
+            ));
+            metrics.push((
+                "comm.recv_bytes".to_string(),
+                MetricValue::Counter(t.bytes_received_by(rank)),
+            ));
+            metrics.push((
+                "comm.messages".to_string(),
+                MetricValue::Counter(t.total_messages()),
+            ));
+            metrics.push((
+                "comm.imbalance".to_string(),
+                MetricValue::Gauge(t.imbalance()),
+            ));
+            metrics.push((
+                "comm.msg_size_bytes".to_string(),
+                MetricValue::Histogram(t.msg_size_snapshot()),
+            ));
+        }
+        StepEvent {
+            step: telemetry.spans.step,
+            rank: comm.rank(),
+            a: self.a,
+            dt,
+            buckets: telemetry.spans.buckets,
+            spans: telemetry.spans.roots.clone(),
+            metrics,
+            nu_mass,
+            f_min,
+            momentum,
+        }
     }
 }
 
@@ -208,8 +310,10 @@ fn gradient_with_ghosts(comm: &Comm, decomp: &Decomp3, phi: &Field3, tag: u64) -
         }
     }
     // Axes 1, 2 are fully local (the slab spans them).
-    let mut f1 = vlasov6d_mesh::stencil::gradient_axis(phi, 1, vlasov6d_mesh::stencil::GradientOrder::Four);
-    let mut f2 = vlasov6d_mesh::stencil::gradient_axis(phi, 2, vlasov6d_mesh::stencil::GradientOrder::Four);
+    let mut f1 =
+        vlasov6d_mesh::stencil::gradient_axis(phi, 1, vlasov6d_mesh::stencil::GradientOrder::Four);
+    let mut f2 =
+        vlasov6d_mesh::stencil::gradient_axis(phi, 2, vlasov6d_mesh::stencil::GradientOrder::Four);
     f1.scale(-1.0);
     f2.scale(-1.0);
     [f0, f1, f2]
@@ -224,7 +328,8 @@ mod tests {
     use vlasov6d_poisson::PoissonSolver;
 
     fn fill(s: [usize; 3], u: [f64; 3]) -> f64 {
-        let sx = (s[0] as f64 * 0.55).sin() + (s[1] as f64 * 0.35).cos() + (s[2] as f64 * 0.75).sin();
+        let sx =
+            (s[0] as f64 * 0.55).sin() + (s[1] as f64 * 0.35).cos() + (s[2] as f64 * 0.75).sin();
         0.002 * (2.5 + sx) * (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.03).exp()
     }
 

@@ -51,7 +51,12 @@ pub fn sample_at_coarse_centers(pm_field: &Field3, coarse_dims: [usize; 3]) -> F
 pub fn particle_density(positions: &[[f64; 3]], particle_mass: f64, dims: [usize; 3]) -> Field3 {
     let cell_volume = 1.0 / (dims[0] * dims[1] * dims[2]) as f64;
     let mut rho = Field3::zeros(dims);
-    deposit_equal_mass_par(&mut rho, Scheme::Cic, positions, particle_mass / cell_volume);
+    deposit_equal_mass_par(
+        &mut rho,
+        Scheme::Cic,
+        positions,
+        particle_mass / cell_volume,
+    );
     rho
 }
 
@@ -60,7 +65,11 @@ pub fn particle_density(positions: &[[f64; 3]], particle_mass: f64, dims: [usize
 pub fn filter_kspace<T: Fn(f64) -> f64>(field: &Field3, t: T) -> Field3 {
     let [n, n1, n2] = field.dims();
     assert!(n == n1 && n == n2);
-    let mut data: Vec<Complex64> = field.as_slice().iter().map(|&v| Complex64::real(v)).collect();
+    let mut data: Vec<Complex64> = field
+        .as_slice()
+        .iter()
+        .map(|&v| Complex64::real(v))
+        .collect();
     let plan = Fft3::new([n, n, n]);
     plan.forward(&mut data);
     let two_pi = 2.0 * std::f64::consts::PI;
@@ -180,7 +189,13 @@ mod tests {
             }
         }
         // Low-pass below k = 2π·3.
-        let lp = filter_kspace(&f, |k| if k < 2.0 * std::f64::consts::PI * 3.0 { 1.0 } else { 0.0 });
+        let lp = filter_kspace(&f, |k| {
+            if k < 2.0 * std::f64::consts::PI * 3.0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
         for i0 in 0..n {
             let x = i0 as f64 / n as f64;
             let expect = (2.0 * std::f64::consts::PI * x).sin();

@@ -23,7 +23,10 @@ pub fn write_pgm(path: &Path, data: &[f64], dims: [usize; 2]) -> std::io::Result
     assert_eq!(data.len(), dims[0] * dims[1]);
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "P5\n{} {}\n255", dims[1], dims[0])?;
-    let bytes: Vec<u8> = data.iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0) as u8).collect();
+    let bytes: Vec<u8> = data
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0) as u8)
+        .collect();
     f.write_all(&bytes)?;
     Ok(())
 }

@@ -81,7 +81,11 @@ pub fn compare_fields(a: &Field3, b: &Field3) -> FieldComparison {
     }
     FieldComparison {
         rms_relative_diff: (diff2 / n).sqrt(),
-        correlation: if va > 0.0 && vb > 0.0 { cov / (va * vb).sqrt() } else { 0.0 },
+        correlation: if va > 0.0 && vb > 0.0 {
+            cov / (va * vb).sqrt()
+        } else {
+            0.0
+        },
         empty_fraction_b: empty as f64 / n,
     }
 }

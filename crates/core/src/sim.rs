@@ -15,14 +15,14 @@
 //! components see identical drift/kick phases.
 
 use crate::config::SimulationConfig;
-use crate::diagnostics::{StepRecord, StepTimers};
+use crate::diagnostics::StepRecord;
 use crate::fields;
-use std::time::Instant;
 use vlasov6d_cosmology::{Background, FermiDirac, Growth, PowerSpectrum, TransferFunction, Units};
 use vlasov6d_ic::{load_neutrino_phase_space, GaussianField, ZeldovichIc};
 use vlasov6d_mesh::Field3;
 use vlasov6d_nbody::integrator;
 use vlasov6d_nbody::{ParticleSet, TreePm};
+use vlasov6d_obs::{span, Bucket, StepScope};
 use vlasov6d_phase_space::{moments, sweep, PhaseSpace, VelocityGrid};
 use vlasov6d_poisson::PoissonSolver;
 
@@ -70,7 +70,11 @@ impl HybridSimulation {
         let delta_pm = GaussianField::new(config.n_pm, config.seed).generate(p_code);
 
         // CDM: Zel'dovich-displaced lattice.
-        let omega_nu = if config.with_neutrinos { config.cosmology.omega_nu() } else { 0.0 };
+        let omega_nu = if config.with_neutrinos {
+            config.cosmology.omega_nu()
+        } else {
+            0.0
+        };
         let cdm = config.with_cdm.then(|| {
             let zel = ZeldovichIc::new(delta_pm.clone());
             zel.load_particles(
@@ -101,13 +105,20 @@ impl HybridSimulation {
                 &delta_nu_pm,
                 [config.nx; 3],
             ));
-            let vel_factor = a_init * a_init * background.hubble(a_init) * growth.growth_rate(a_init);
+            let vel_factor =
+                a_init * a_init * background.hubble(a_init) * growth.growth_rate(a_init);
             let bulk = [
                 scaled(&zel_nu.psi[0], vel_factor),
                 scaled(&zel_nu.psi[1], vel_factor),
                 scaled(&zel_nu.psi[2], vel_factor),
             ];
-            load_neutrino_phase_space(&mut ps, ut, config.cosmology.omega_nu(), &delta_nu, Some(&bulk));
+            load_neutrino_phase_space(
+                &mut ps,
+                ut,
+                config.cosmology.omega_nu(),
+                &delta_nu,
+                Some(&bulk),
+            );
             (Some(ps), ut)
         } else {
             (None, 0.0)
@@ -131,8 +142,7 @@ impl HybridSimulation {
             nu_force: None,
             u_thermal_code,
         };
-        let mut timers = StepTimers::default();
-        sim.compute_gravity(&mut timers);
+        sim.compute_gravity();
         sim
     }
 
@@ -145,7 +155,10 @@ impl HybridSimulation {
     pub fn total_density_pm(&self) -> Field3 {
         let mut rho = Field3::zeros([self.config.n_pm; 3]);
         if let Some(cdm) = &self.cdm {
-            rho.axpy(1.0, &fields::particle_density(&cdm.pos, cdm.mass, rho.dims()));
+            rho.axpy(
+                1.0,
+                &fields::particle_density(&cdm.pos, cdm.mass, rho.dims()),
+            );
         }
         if let Some(nu) = &self.neutrinos {
             let rho_nu = moments::density(nu);
@@ -167,43 +180,50 @@ impl HybridSimulation {
     }
 
     /// Recompute the shared gravity: CDM TreePM accelerations and the force
-    /// fields driving the ν velocity sweeps.
-    fn compute_gravity(&mut self, timers: &mut StepTimers) {
-        let t0 = Instant::now();
-        let rho_nu_pm = self.neutrinos.as_ref().map(|nu| {
-            let rho = moments::density(nu);
-            fields::deposit_density_to_pm(&rho, [self.config.n_pm; 3])
-        });
-        let deposit_time = t0.elapsed().as_secs_f64();
+    /// fields driving the ν velocity sweeps. Timing is recorded through the
+    /// span layer when the caller runs under a `StepScope`.
+    fn compute_gravity(&mut self) {
+        let rho_nu_pm = {
+            let _s = span!("gravity.nu_deposit", Bucket::Pm);
+            self.neutrinos.as_ref().map(|nu| {
+                let rho = moments::density(nu);
+                fields::deposit_density_to_pm(&rho, [self.config.n_pm; 3])
+            })
+        };
 
         // CDM: TreePM with the ν density sharing the mesh.
         if let Some(cdm) = &self.cdm {
-            let t_pm = Instant::now();
-            let mut rho = self.treepm.deposit_density(cdm);
-            if let Some(nu) = &rho_nu_pm {
-                rho.axpy(1.0, nu);
-            }
-            let phi_long = self.treepm.long_range_potential(&rho, self.a);
-            let mut acc = self.treepm.pm_accelerations(&phi_long, &cdm.pos);
-            timers.pm += t_pm.elapsed().as_secs_f64();
+            let mut acc = {
+                let _s = span!("gravity.cdm.pm", Bucket::Pm);
+                let mut rho = self.treepm.deposit_density(cdm);
+                if let Some(nu) = &rho_nu_pm {
+                    rho.axpy(1.0, nu);
+                }
+                let phi_long = self.treepm.long_range_potential(&rho, self.a);
+                self.treepm.pm_accelerations(&phi_long, &cdm.pos)
+            };
 
-            let t_tree = Instant::now();
-            let tree_acc = self.treepm.tree_accelerations(cdm, self.a);
-            for (a, t) in acc.iter_mut().zip(&tree_acc) {
-                for i in 0..3 {
-                    a[i] += t[i];
+            {
+                let _s = span!("gravity.cdm.tree", Bucket::Tree);
+                let tree_acc = self.treepm.tree_accelerations(cdm, self.a);
+                for (a, t) in acc.iter_mut().zip(&tree_acc) {
+                    for i in 0..3 {
+                        a[i] += t[i];
+                    }
                 }
             }
-            timers.tree += t_tree.elapsed().as_secs_f64();
             self.cdm_accel = acc;
         }
 
         // ν: full (untapered) potential for the velocity sweeps.
         if self.neutrinos.is_some() {
-            let t_pm = Instant::now();
+            let _s = span!("gravity.nu.pm", Bucket::Pm);
             let mut rho = Field3::zeros([self.config.n_pm; 3]);
             if let Some(cdm) = &self.cdm {
-                rho.axpy(1.0, &fields::particle_density(&cdm.pos, cdm.mass, rho.dims()));
+                rho.axpy(
+                    1.0,
+                    &fields::particle_density(&cdm.pos, cdm.mass, rho.dims()),
+                );
             }
             if let Some(nu) = &rho_nu_pm {
                 rho.axpy(1.0, nu);
@@ -219,7 +239,6 @@ impl HybridSimulation {
                 fields::sample_at_coarse_centers(&force_pm[1], [self.config.nx; 3]),
                 fields::sample_at_coarse_centers(&force_pm[2], [self.config.nx; 3]),
             ]);
-            timers.pm += t_pm.elapsed().as_secs_f64() + deposit_time;
         }
     }
 
@@ -235,7 +254,9 @@ impl HybridSimulation {
             };
             let ok_velocity = match (&self.neutrinos, &self.nu_force) {
                 (Some(nu), Some(force)) => {
-                    let kick_half = self.background.kick_factor(self.a, mid_a(&self.background, self.a, a2));
+                    let kick_half = self
+                        .background
+                        .kick_factor(self.a, mid_a(&self.background, self.a, a2));
                     let fmax = force[0]
                         .max_abs()
                         .max(force[1].max_abs())
@@ -254,23 +275,27 @@ impl HybridSimulation {
 
     /// Advance one full Strang-split step. Returns the record.
     pub fn step(&mut self) -> &StepRecord {
-        let a1 = self.a;
-        let a2 = self.next_scale_factor();
-        let am = mid_a(&self.background, a1, a2);
+        let scope = StepScope::begin(self.step_count as u64 + 1);
+        let (a1, a2, am) = {
+            let _s = span!("dt_control", Bucket::Other);
+            let a1 = self.a;
+            let a2 = self.next_scale_factor();
+            (a1, a2, mid_a(&self.background, a1, a2))
+        };
         let k1 = self.background.kick_factor(a1, am);
         let k2 = self.background.kick_factor(am, a2);
         let drift = self.background.drift_factor(a1, a2);
-        let mut timers = StepTimers::default();
 
         // --- first half kick (cached forces at a1) ---
-        self.kick_neutrinos(k1, &mut timers);
+        self.kick_neutrinos(k1);
         if let (Some(cdm), false) = (&mut self.cdm, self.cdm_accel.is_empty()) {
+            let _s = span!("kick.cdm", Bucket::Other);
             integrator::kick(cdm, &self.cdm_accel, k1);
         }
 
         // --- drift ---
-        let t = Instant::now();
         if let Some(nu) = &mut self.neutrinos {
+            let _s = span!("drift.nu", Bucket::Vlasov);
             for d in 0..3 {
                 let n_d = self.config.nx as f64;
                 let cfl: Vec<f64> = (0..nu.vgrid.n[d])
@@ -279,34 +304,40 @@ impl HybridSimulation {
                 sweep::sweep_spatial(nu, d, &cfl, self.config.scheme, self.config.exec);
             }
         }
-        timers.vlasov += t.elapsed().as_secs_f64();
         if let Some(cdm) = &mut self.cdm {
+            let _s = span!("drift.cdm", Bucket::Other);
             integrator::drift(cdm, drift);
         }
 
         // --- gravity at the new positions ---
         self.a = a2;
-        self.compute_gravity(&mut timers);
+        self.compute_gravity();
 
         // --- second half kick ---
-        self.kick_neutrinos(k2, &mut timers);
+        self.kick_neutrinos(k2);
         if let (Some(cdm), false) = (&mut self.cdm, self.cdm_accel.is_empty()) {
+            let _s = span!("kick.cdm", Bucket::Other);
             integrator::kick(cdm, &self.cdm_accel, k2);
         }
 
         // --- record ---
         self.step_count += 1;
-        let (nu_mass, f_min) = match &self.neutrinos {
-            Some(nu) => (nu.total_mass(), nu.min_value()),
-            None => (0.0, 0.0),
+        let (nu_mass, f_min, momentum) = {
+            let _s = span!("diagnostics", Bucket::Other);
+            let (nu_mass, f_min) = match &self.neutrinos {
+                Some(nu) => (nu.total_mass(), nu.min_value()),
+                None => (0.0, 0.0),
+            };
+            (nu_mass, f_min, self.total_momentum())
         };
-        let momentum = self.total_momentum();
         let dt = self.background.kick_factor(a1, a2);
+        let spans = scope.finish();
         self.records.push(StepRecord {
             step: self.step_count,
             a: self.a,
             dt,
-            timers,
+            timers: spans.buckets.into(),
+            spans: spans.roots,
             nu_mass,
             f_min,
             momentum,
@@ -314,11 +345,11 @@ impl HybridSimulation {
         self.records.last().unwrap()
     }
 
-    fn kick_neutrinos(&mut self, kick: f64, timers: &mut StepTimers) {
+    fn kick_neutrinos(&mut self, kick: f64) {
         let (Some(nu), Some(force)) = (&mut self.neutrinos, &self.nu_force) else {
             return;
         };
-        let t = Instant::now();
+        let _s = span!("kick.nu", Bucket::Vlasov);
         for d in 0..3 {
             // cfl = -∂φ/∂x · K / Δu  (force fields already hold -∂φ/∂x).
             let du = nu.vgrid.du(d);
@@ -326,7 +357,6 @@ impl HybridSimulation {
             cfl.scale(kick / du);
             sweep::sweep_velocity(nu, d, &cfl, self.config.scheme, self.config.exec);
         }
-        timers.vlasov += t.elapsed().as_secs_f64();
     }
 
     /// Total canonical momentum: CDM `m Σu` plus the ν momentum integral.
@@ -405,7 +435,11 @@ mod tests {
         assert!(rec.f_min >= 0.0, "SL-MPP5 must keep f ≥ 0: {}", rec.f_min);
         // ν mass can only drain through the velocity boundary — tiny for a
         // well-sized velocity box.
-        assert!((rec.nu_mass / m0 - 1.0).abs() < 1e-3, "ν mass {m0} → {}", rec.nu_mass);
+        assert!(
+            (rec.nu_mass / m0 - 1.0).abs() < 1e-3,
+            "ν mass {m0} → {}",
+            rec.nu_mass
+        );
         assert_eq!(sim.step_count, 1);
     }
 
@@ -419,8 +453,7 @@ mod tests {
         assert!(rec.a > 0.2 && rec.a <= 1.0);
         assert!(rec.f_min >= 0.0);
         // Momentum stays near zero (isotropic ICs, opposite kicks cancel).
-        let p_scale = sim.neutrinos.as_ref().unwrap().vgrid.vmax
-            * sim.config.cosmology.omega_nu();
+        let p_scale = sim.neutrinos.as_ref().unwrap().vgrid.vmax * sim.config.cosmology.omega_nu();
         for c in rec.momentum {
             assert!(c.abs() < 0.05 * p_scale, "momentum {c} vs scale {p_scale}");
         }
@@ -468,5 +501,29 @@ mod tests {
         assert!(t.vlasov > 0.0);
         assert!(t.pm > 0.0);
         assert!(t.tree > 0.0);
+    }
+
+    #[test]
+    fn step_records_span_tree_consistent_with_timers() {
+        let mut sim = HybridSimulation::new(tiny_config());
+        sim.step();
+        let rec = &sim.records[0];
+        // The structured trace is present and covers the expected phases.
+        let names: Vec<&str> = rec.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"drift.nu"), "roots: {names:?}");
+        assert!(names.contains(&"kick.nu"), "roots: {names:?}");
+        assert!(names.contains(&"gravity.cdm.tree"), "roots: {names:?}");
+        // Folding the tree reproduces the four-bucket timers exactly —
+        // they are two views of the same measurement.
+        let fold = vlasov6d_obs::span::fold_buckets(&rec.spans);
+        assert!((fold.vlasov - rec.timers.vlasov).abs() < 1e-12);
+        assert!((fold.tree - rec.timers.tree).abs() < 1e-12);
+        assert!((fold.pm - rec.timers.pm).abs() < 1e-12);
+        assert!((fold.other - rec.timers.other).abs() < 1e-12);
+        // And the record exports to a parseable JSONL event.
+        let line = rec.to_event(0).to_jsonl();
+        let back = vlasov6d_obs::StepEvent::parse(&line).unwrap();
+        assert_eq!(back.step, 1);
+        assert!(back.buckets.vlasov > 0.0);
     }
 }

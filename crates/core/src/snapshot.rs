@@ -55,7 +55,11 @@ pub fn phase_space_from_bytes(mut data: Bytes) -> Result<PhaseSpace, String> {
         return Err(err("not a phase-space payload"));
     }
     let read3 = |data: &mut Bytes| -> [usize; 3] {
-        [data.get_u64_le() as usize, data.get_u64_le() as usize, data.get_u64_le() as usize]
+        [
+            data.get_u64_le() as usize,
+            data.get_u64_le() as usize,
+            data.get_u64_le() as usize,
+        ]
     };
     let sdims = read3(&mut data);
     let soffset = read3(&mut data);
@@ -181,7 +185,11 @@ mod tests {
         let cut = bytes.slice(0..bytes.len() - 4);
         assert!(phase_space_from_bytes(cut).is_err());
         // Wrong kind.
-        let p = ParticleSet { pos: vec![[0.0; 3]], vel: vec![[0.0; 3]], mass: 1.0 };
+        let p = ParticleSet {
+            pos: vec![[0.0; 3]],
+            vel: vec![[0.0; 3]],
+            mass: 1.0,
+        };
         assert!(phase_space_from_bytes(particles_to_bytes(&p)).is_err());
     }
 

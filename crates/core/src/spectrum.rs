@@ -110,7 +110,10 @@ mod tests {
             .zip(&spec.modes)
             .map(|(&p, &c)| p * c as f64)
             .sum();
-        assert!((binned / (amp * amp / 4.0 * 2.0) - 1.0).abs() < 1e-9, "{binned}");
+        assert!(
+            (binned / (amp * amp / 4.0 * 2.0) - 1.0).abs() < 1e-9,
+            "{binned}"
+        );
     }
 
     #[test]
@@ -129,7 +132,11 @@ mod tests {
         let s2 = Spectrum::of_density(&strong, 8);
         let r = s2.ratio(&s1);
         // Power ratio = amplitude² ratio = 4 in the populated bin.
-        let (i_max, _) = s1.p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+        let (i_max, _) =
+            s1.p.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
         assert!((r[i_max] - 4.0).abs() < 1e-6, "{}", r[i_max]);
     }
 

@@ -63,11 +63,19 @@ impl Background {
             t_of_a.push(t);
             prev_ln = cur_ln;
         }
-        Self { params, nu, ln_a, t_of_a }
+        Self {
+            params,
+            nu,
+            ln_a,
+            t_of_a,
+        }
     }
 
     fn e_squared_static(p: &CosmologyParams, nu: &NeutrinoBackground, a: f64) -> f64 {
-        p.omega_r / (a * a * a * a) + p.omega_cb() / (a * a * a) + nu.omega_nu_of_a(a) + p.omega_lambda()
+        p.omega_r / (a * a * a * a)
+            + p.omega_cb() / (a * a * a)
+            + nu.omega_nu_of_a(a)
+            + p.omega_lambda()
     }
 
     /// `E²(a) = H²(a)/H0²`.
@@ -118,23 +126,37 @@ impl Background {
                 hi = mid;
             }
         }
-        let w = if ts[hi] > ts[lo] { (t - ts[lo]) / (ts[hi] - ts[lo]) } else { 0.0 };
+        let w = if ts[hi] > ts[lo] {
+            (t - ts[lo]) / (ts[hi] - ts[lo])
+        } else {
+            0.0
+        };
         (self.ln_a[lo] * (1.0 - w) + self.ln_a[hi] * w).exp()
     }
 
     /// Exact comoving drift integral `∫ dt/a² = ∫ da / (a³ E(a))` over
     /// `[a1, a2]`: a canonical velocity `u` displaces by `u × drift`.
     pub fn drift_factor(&self, a1: f64, a2: f64) -> f64 {
-        quad::simpson_adaptive(|ln_a| {
-            let a = ln_a.exp();
-            1.0 / (a * a * self.e_of_a(a))
-        }, a1.ln(), a2.ln(), 1e-11)
+        quad::simpson_adaptive(
+            |ln_a| {
+                let a = ln_a.exp();
+                1.0 / (a * a * self.e_of_a(a))
+            },
+            a1.ln(),
+            a2.ln(),
+            1e-11,
+        )
     }
 
     /// Cosmic-time interval `Δt = ∫ da/(a E(a))`: in canonical variables the
     /// kick is `Δu = -∇φ × kick_factor`.
     pub fn kick_factor(&self, a1: f64, a2: f64) -> f64 {
-        quad::simpson_adaptive(|ln_a| 1.0 / self.e_of_a(ln_a.exp()), a1.ln(), a2.ln(), 1e-11)
+        quad::simpson_adaptive(
+            |ln_a| 1.0 / self.e_of_a(ln_a.exp()),
+            a1.ln(),
+            a2.ln(),
+            1e-11,
+        )
     }
 
     /// Scale factor a time `dt` (code units) after `a` — single Runge–Kutta-4
@@ -229,8 +251,14 @@ mod tests {
         let drift = bg.drift_factor(a1, a2);
         let kick_exact = 2.0 / 3.0 * (a2.powf(1.5) - a1.powf(1.5));
         let drift_exact = 2.0 * (a1.powf(-0.5) - a2.powf(-0.5));
-        assert!((kick - kick_exact).abs() < 1e-8, "kick {kick} vs {kick_exact}");
-        assert!((drift - drift_exact).abs() < 1e-8, "drift {drift} vs {drift_exact}");
+        assert!(
+            (kick - kick_exact).abs() < 1e-8,
+            "kick {kick} vs {kick_exact}"
+        );
+        assert!(
+            (drift - drift_exact).abs() < 1e-8,
+            "drift {drift} vs {drift_exact}"
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub const T_NU_K: f64 = 1.945_368_839_175_084; // (4/11)^(1/3) * 2.7255
 
 /// Critical density today divided by h² \[M☉ / Mpc³\]:
 /// `ρ_crit = 3 H0² / (8πG)` with `H0 = 100 km/s/Mpc`.
-pub const RHO_CRIT_H2_MSUN_MPC3: f64 = 3.0 * 100.0 * 100.0 / (8.0 * core::f64::consts::PI * G_MPC_KMS2_MSUN);
+pub const RHO_CRIT_H2_MSUN_MPC3: f64 =
+    3.0 * 100.0 * 100.0 / (8.0 * core::f64::consts::PI * G_MPC_KMS2_MSUN);
 
 /// `Ω_ν h² = M_ν / NU_OMEGA_EV` for non-relativistic neutrinos
 /// (the familiar 93.14 eV rule; Lesgourgues & Pastor 2006).

@@ -42,9 +42,15 @@ impl FermiDirac {
     /// Panics if the mass is not strictly positive — a massless species never
     /// becomes non-relativistic and cannot be put on the velocity grid.
     pub fn new(m_nu_ev: f64) -> Self {
-        assert!(m_nu_ev > 0.0, "FermiDirac requires a positive neutrino mass");
+        assert!(
+            m_nu_ev > 0.0,
+            "FermiDirac requires a positive neutrino mass"
+        );
         let kt_ev = K_B_EV_K * T_NU_K;
-        Self { u_thermal_kms: kt_ev / m_nu_ev * C_KM_S, m_nu_ev }
+        Self {
+            u_thermal_kms: kt_ev / m_nu_ev * C_KM_S,
+            m_nu_ev,
+        }
     }
 
     /// Unnormalised occupation `1/(exp(u/u_T) + 1)` at canonical speed `u` \[km/s\].
@@ -125,7 +131,13 @@ impl NeutrinoBackground {
             table_ln_a.push(ln_a);
             table_ratio.push(Self::energy_ratio(m_nu_ev, ln_a.exp()));
         }
-        Self { omega_nu_nr, m_nu_ev, n_species: params.n_nu_species, table_ln_a, table_ratio }
+        Self {
+            omega_nu_nr,
+            m_nu_ev,
+            n_species: params.n_nu_species,
+            table_ln_a,
+            table_ratio,
+        }
     }
 
     /// `<E(a)> / (m c²)`: mean neutrino energy in units of its rest mass.
@@ -210,7 +222,11 @@ mod tests {
         let expect_ut = K_B_EV_K * T_NU_K / 0.1 * C_KM_S;
         assert!((fd.u_thermal_kms - expect_ut).abs() < 1e-9);
         // Mean speed for 0.1 eV neutrinos today is ~1500-1600 km/s.
-        assert!(fd.mean_speed() > 1400.0 && fd.mean_speed() < 1700.0, "{}", fd.mean_speed());
+        assert!(
+            fd.mean_speed() > 1400.0 && fd.mean_speed() < 1700.0,
+            "{}",
+            fd.mean_speed()
+        );
     }
 
     #[test]

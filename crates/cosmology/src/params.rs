@@ -1,7 +1,6 @@
 //! Cosmological parameter sets.
 
 use crate::constants::NU_OMEGA_EV;
-use serde::{Deserialize, Serialize};
 
 /// A flat ΛCDM + massive-neutrino parameter set.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Fig. 4). [`CosmologyParams::planck2015`] reproduces that setup.
 ///
 /// Flatness is enforced: `Ω_Λ = 1 - Ω_cb - Ω_ν - Ω_r`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CosmologyParams {
     /// Normalised Hubble constant `h = H0 / (100 km/s/Mpc)`.
     pub h: f64,
@@ -49,7 +48,10 @@ impl CosmologyParams {
     /// Same background, lighter neutrinos (`M_ν = 0.2 eV`) — the right-hand
     /// panel of the paper's Fig. 4.
     pub fn planck2015_light_nu() -> Self {
-        Self { m_nu_total_ev: 0.2, ..Self::planck2015() }
+        Self {
+            m_nu_total_ev: 0.2,
+            ..Self::planck2015()
+        }
     }
 
     /// An Einstein–de-Sitter toy cosmology (`Ω_m = 1`, no Λ, no ν) — handy in
@@ -69,7 +71,11 @@ impl CosmologyParams {
 
     /// Mass of one neutrino eigenstate \[eV\].
     pub fn m_nu_ev(&self) -> f64 {
-        if self.n_nu_species == 0 { 0.0 } else { self.m_nu_total_ev / self.n_nu_species as f64 }
+        if self.n_nu_species == 0 {
+            0.0
+        } else {
+            self.m_nu_total_ev / self.n_nu_species as f64
+        }
     }
 
     /// Neutrino density parameter today (non-relativistic limit),
@@ -152,7 +158,10 @@ mod tests {
         assert!(p.validate().is_ok());
         p.m_nu_total_ev = -1.0;
         assert!(p.validate().is_err());
-        p = CosmologyParams { omega_m: 2.0, ..CosmologyParams::planck2015() };
+        p = CosmologyParams {
+            omega_m: 2.0,
+            ..CosmologyParams::planck2015()
+        };
         assert!(p.validate().is_err());
     }
 }

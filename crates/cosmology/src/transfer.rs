@@ -19,10 +19,9 @@
 use crate::constants::T_CMB_K;
 use crate::params::CosmologyParams;
 use crate::quad;
-use serde::{Deserialize, Serialize};
 
 /// Analytic transfer-function family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferFunction {
     /// BBKS (1986) CDM transfer function with the Sugiyama (1995) Γ.
     Bbks,
@@ -38,16 +37,13 @@ impl TransferFunction {
         }
         match self {
             TransferFunction::Bbks => {
-                let gamma = p.omega_m * p.h
+                let gamma = p.omega_m
+                    * p.h
                     * (-p.omega_b - (2.0 * p.h).sqrt() * p.omega_b / p.omega_m).exp();
                 let q = k_h_mpc / gamma;
                 let l = (1.0 + 2.34 * q).ln() / (2.34 * q);
-                l * (1.0
-                    + 3.89 * q
-                    + (16.1 * q).powi(2)
-                    + (5.46 * q).powi(3)
-                    + (6.71 * q).powi(4))
-                .powf(-0.25)
+                l * (1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4))
+                    .powf(-0.25)
             }
             TransferFunction::EisensteinHu => {
                 let theta = T_CMB_K / 2.7;
@@ -57,11 +53,12 @@ impl TransferFunction {
                 // Sound horizon (EH98 eq. 26), Mpc.
                 let s = 44.5 * (9.83 / om_h2).ln() / (1.0 + 10.0 * ob_h2.powf(0.75)).sqrt();
                 // α_Γ (eq. 31).
-                let alpha = 1.0 - 0.328 * (431.0 * om_h2).ln() * fb
-                    + 0.38 * (22.3 * om_h2).ln() * fb * fb;
+                let alpha =
+                    1.0 - 0.328 * (431.0 * om_h2).ln() * fb + 0.38 * (22.3 * om_h2).ln() * fb * fb;
                 // Effective shape (eq. 30); k s with k in 1/Mpc = k_h * h.
                 let ks = k_h_mpc * p.h * s;
-                let gamma_eff = p.omega_m * p.h * (alpha + (1.0 - alpha) / (1.0 + (0.43 * ks).powi(4)));
+                let gamma_eff =
+                    p.omega_m * p.h * (alpha + (1.0 - alpha) / (1.0 + (0.43 * ks).powi(4)));
                 let q = k_h_mpc * theta * theta / gamma_eff;
                 let l0 = (2.0 * core::f64::consts::E + 1.8 * q).ln();
                 let c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);
@@ -86,7 +83,12 @@ pub struct PowerSpectrum {
 impl PowerSpectrum {
     /// Build and normalise to `params.sigma8`.
     pub fn new(params: CosmologyParams, transfer: TransferFunction) -> Self {
-        let mut ps = Self { params, transfer, amplitude: 1.0, nu_suppression: true };
+        let mut ps = Self {
+            params,
+            transfer,
+            amplitude: 1.0,
+            nu_suppression: true,
+        };
         let s8 = ps.sigma_r(8.0);
         ps.amplitude = (params.sigma8 / s8).powi(2);
         ps
@@ -212,9 +214,14 @@ mod tests {
 
     #[test]
     fn heavier_neutrinos_suppress_more() {
-        let heavy = PowerSpectrum::new(CosmologyParams::planck2015(), TransferFunction::EisensteinHu);
-        let light =
-            PowerSpectrum::new(CosmologyParams::planck2015_light_nu(), TransferFunction::EisensteinHu);
+        let heavy = PowerSpectrum::new(
+            CosmologyParams::planck2015(),
+            TransferFunction::EisensteinHu,
+        );
+        let light = PowerSpectrum::new(
+            CosmologyParams::planck2015_light_nu(),
+            TransferFunction::EisensteinHu,
+        );
         // At fixed σ8 both integrate to the same σ8, but the *shape* differs:
         // the ratio P_heavy/P_light decreases with k.
         let r_small = heavy.power(0.01) / light.power(0.01);

@@ -11,10 +11,8 @@
 //!
 //! Canonical velocities `u = a² dx/dt` use the same velocity unit.
 
-use serde::{Deserialize, Serialize};
-
 /// Converter between code units and physical units for one box size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Units {
     /// Comoving box size \[Mpc/h\].
     pub box_mpc_h: f64,

@@ -39,7 +39,10 @@ impl Complex64 {
 
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     #[inline]
@@ -54,7 +57,10 @@ impl Complex64 {
 
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Fused multiply-add: `self + a * b`, the FFT butterfly workhorse.
@@ -71,7 +77,10 @@ impl Add for Complex64 {
     type Output = Self;
     #[inline]
     fn add(self, o: Self) -> Self {
-        Self { re: self.re + o.re, im: self.im + o.im }
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -79,7 +88,10 @@ impl Sub for Complex64 {
     type Output = Self;
     #[inline]
     fn sub(self, o: Self) -> Self {
-        Self { re: self.re - o.re, im: self.im - o.im }
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -87,7 +99,10 @@ impl Mul for Complex64 {
     type Output = Self;
     #[inline]
     fn mul(self, o: Self) -> Self {
-        Self { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
 }
 
@@ -111,7 +126,10 @@ impl Neg for Complex64 {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -143,6 +161,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::neg_multiply)] // the expansion mirrors (a.re·b.re − a.im·b.im)
     fn arithmetic_identities() {
         let a = Complex64::new(3.0, -2.0);
         let b = Complex64::new(-1.0, 0.5);

@@ -38,7 +38,11 @@ impl DistFft3 {
         Self {
             dims,
             n_ranks,
-            plans: [FftPlan::new(dims[0]), FftPlan::new(dims[1]), FftPlan::new(dims[2])],
+            plans: [
+                FftPlan::new(dims[0]),
+                FftPlan::new(dims[1]),
+                FftPlan::new(dims[2]),
+            ],
         }
     }
 
@@ -68,6 +72,7 @@ impl DistFft3 {
 
     /// Forward transform: slab layout in, **transposed layout** out.
     pub fn forward(&self, comm: &Comm, local: &[Complex64], tag: u64) -> Vec<Complex64> {
+        let _obs = vlasov6d_obs::span!("fft.dist.forward");
         let [_, n1, n2] = self.dims;
         let p0 = self.slab_planes();
         assert_eq!(local.len(), self.slab_len());
@@ -116,6 +121,7 @@ impl DistFft3 {
     /// Inverse transform: transposed layout in, slab layout out
     /// (scaled by `1/(n0·n1·n2)`).
     pub fn inverse(&self, comm: &Comm, spectrum: &[Complex64], tag: u64) -> Vec<Complex64> {
+        let _obs = vlasov6d_obs::span!("fft.dist.inverse");
         let [n0, n1, n2] = self.dims;
         assert_eq!(spectrum.len(), self.transposed_len());
         let mut work = spectrum.to_vec();
@@ -288,7 +294,9 @@ mod tests {
     fn random_field(n: usize, seed: u64) -> Vec<Complex64> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n).map(|_| Complex64::new(next(), next())).collect()
@@ -308,8 +316,7 @@ mod tests {
                 let plan = DistFft3::new(dims, comm.size());
                 let p0 = plan.slab_planes();
                 let me = comm.rank();
-                let local: Vec<Complex64> =
-                    global[me * p0 * 64..(me + 1) * p0 * 64].to_vec();
+                let local: Vec<Complex64> = global[me * p0 * 64..(me + 1) * p0 * 64].to_vec();
                 let spec = plan.forward(comm, &local, 10);
                 for (flat, z) in spec.iter().enumerate() {
                     let [i1, i0, i2] = plan.transposed_coords(me, flat);

@@ -37,7 +37,14 @@ pub struct Fft3 {
 impl Fft3 {
     pub fn new(dims: [usize; 3]) -> Self {
         assert!(dims.iter().all(|&d| d >= 1));
-        Self { dims, plans: [FftPlan::new(dims[0]), FftPlan::new(dims[1]), FftPlan::new(dims[2])] }
+        Self {
+            dims,
+            plans: [
+                FftPlan::new(dims[0]),
+                FftPlan::new(dims[1]),
+                FftPlan::new(dims[2]),
+            ],
+        }
     }
 
     pub fn dims(&self) -> [usize; 3] {
@@ -54,11 +61,13 @@ impl Fft3 {
 
     /// In-place forward transform (unscaled).
     pub fn forward(&self, data: &mut [Complex64]) {
+        let _obs = vlasov6d_obs::span!("fft.c2c3d.forward");
         self.transform(data, false);
     }
 
     /// In-place inverse transform (scaled by `1/(n0·n1·n2)`).
     pub fn inverse(&self, data: &mut [Complex64]) {
+        let _obs = vlasov6d_obs::span!("fft.c2c3d.inverse");
         self.transform(data, true);
         let s = 1.0 / self.len() as f64;
         data.par_iter_mut().for_each(|z| *z = z.scale(s));
@@ -84,7 +93,8 @@ impl Fft3 {
         };
 
         // Axis 2: contiguous lines.
-        data.par_chunks_mut(n2).for_each(|line| run(&self.plans[2], line));
+        data.par_chunks_mut(n2)
+            .for_each(|line| run(&self.plans[2], line));
 
         // Axis 1: parallel over i0-planes, gather/scatter strided columns.
         data.par_chunks_mut(n1 * n2).for_each(|plane| {
@@ -105,6 +115,7 @@ impl Fft3 {
         // index sets are disjoint, satisfying SendMutPtr's contract.
         let base = SendMutPtr(data.as_mut_ptr());
         (0..n1).into_par_iter().for_each(|i1| {
+            #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
             let base = base;
             let mut buf = vec![Complex64::ZERO; n0];
             for i2 in 0..n2 {
@@ -133,7 +144,10 @@ pub struct RealFft3 {
 impl RealFft3 {
     /// `dims = [n0, n1, n2]` with even `n2`.
     pub fn new(dims: [usize; 3]) -> Self {
-        assert!(dims[2] % 2 == 0 && dims[2] >= 2, "innermost dimension must be even");
+        assert!(
+            dims[2] % 2 == 0 && dims[2] >= 2,
+            "innermost dimension must be even"
+        );
         Self {
             dims,
             rplan: RealFftPlan::new(dims[2]),
@@ -158,6 +172,7 @@ impl RealFft3 {
     /// Forward transform: real `[n0][n1][n2]` → complex `[n0][n1][n2/2+1]`.
     /// Unscaled.
     pub fn forward(&self, input: &[f64], spectrum: &mut [Complex64]) {
+        let _obs = vlasov6d_obs::span!("fft.r2c3d.forward");
         let [n0, n1, n2] = self.dims;
         let nzh = self.spectrum_n2();
         assert_eq!(input.len(), n0 * n1 * n2);
@@ -176,6 +191,7 @@ impl RealFft3 {
     /// Inverse transform: complex `[n0][n1][n2/2+1]` → real `[n0][n1][n2]`,
     /// scaled by `1/(n0·n1·n2)`. Consumes a scratch copy of the spectrum.
     pub fn inverse(&self, spectrum: &[Complex64], output: &mut [f64]) {
+        let _obs = vlasov6d_obs::span!("fft.r2c3d.inverse");
         let [n0, n1, n2] = self.dims;
         let nzh = self.spectrum_n2();
         assert_eq!(spectrum.len(), self.spectrum_len());
@@ -228,6 +244,7 @@ impl RealFft3 {
         // Axis 0 — same disjoint-by-i1 argument as in `Fft3::transform`.
         let base = SendMutPtr(data.as_mut_ptr());
         (0..n1).into_par_iter().for_each(|i1| {
+            #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
             let base = base;
             let mut buf = vec![Complex64::ZERO; n0];
             for i2 in 0..nzh {
@@ -252,7 +269,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(99);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect()
@@ -269,8 +288,8 @@ mod tests {
                     for j0 in 0..n0 {
                         for j1 in 0..n1 {
                             for j2 in 0..n2 {
-                                let phase = -2.0 * std::f64::consts::PI
-                                    * (j0 * k0) as f64 / n0 as f64
+                                let phase = -2.0 * std::f64::consts::PI * (j0 * k0) as f64
+                                    / n0 as f64
                                     - 2.0 * std::f64::consts::PI * (j1 * k1) as f64 / n1 as f64
                                     - 2.0 * std::f64::consts::PI * (j2 * k2) as f64 / n2 as f64;
                                 acc += input[(j0 * n1 + j1) * n2 + j2] * Complex64::cis(phase);
@@ -376,9 +395,8 @@ mod tests {
         for i0 in 0..8 {
             for i1 in 0..8 {
                 for i2 in 0..8 {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (k0 * i0 + k1 * i1 + k2 * i2) as f64
-                        / 8.0;
+                    let phase =
+                        2.0 * std::f64::consts::PI * (k0 * i0 + k1 * i1 + k2 * i2) as f64 / 8.0;
                     sig[(i0 * 8 + i1) * 8 + i2] = phase.cos();
                 }
             }

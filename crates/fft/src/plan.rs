@@ -94,11 +94,16 @@ impl Radix2Plan {
     fn new(n: usize) -> Self {
         debug_assert!(n.is_power_of_two() && n >= 2);
         let bits = n.trailing_zeros();
-        let rev: Vec<u32> = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let rev: Vec<u32> = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
         let twiddles: Vec<Complex64> = (0..n / 2)
             .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
-        Self { rev: rev.into(), twiddles: twiddles.into() }
+        Self {
+            rev: rev.into(),
+            twiddles: twiddles.into(),
+        }
     }
 
     fn run(&self, data: &mut [Complex64], inverse: bool) {
@@ -156,7 +161,11 @@ impl BluesteinPlan {
             kernel[m - j] = b;
         }
         inner.forward(&mut kernel);
-        Self { chirp, kernel_fft: kernel, inner }
+        Self {
+            chirp,
+            kernel_fft: kernel,
+            inner,
+        }
     }
 
     fn run(&self, data: &mut [Complex64], inverse: bool) {
@@ -174,7 +183,7 @@ impl BluesteinPlan {
         }
         self.inner.forward(&mut buf);
         for (z, k) in buf.iter_mut().zip(self.kernel_fft.iter()) {
-            *z = *z * *k;
+            *z *= *k;
         }
         self.inner.inverse(&mut buf);
         for j in 0..n {
@@ -199,7 +208,9 @@ mod tests {
         let mut out = vec![Complex64::ZERO; n];
         for (k, o) in out.iter_mut().enumerate() {
             for (j, &x) in input.iter().enumerate() {
-                let w = Complex64::cis(sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64);
+                let w = Complex64::cis(
+                    sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64,
+                );
                 *o += x * w;
             }
             if inverse {
@@ -213,14 +224,19 @@ mod tests {
         // Tiny deterministic LCG — keeps the test free of rand plumbing.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n).map(|_| Complex64::new(next(), next())).collect()
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -243,7 +259,11 @@ mod tests {
             let mut got = sig.clone();
             plan.forward(&mut got);
             let expect = dft(&sig, false);
-            assert!(max_err(&got, &expect) < 1e-8 * n as f64, "n = {n}: err {}", max_err(&got, &expect));
+            assert!(
+                max_err(&got, &expect) < 1e-8 * n as f64,
+                "n = {n}: err {}",
+                max_err(&got, &expect)
+            );
         }
     }
 
@@ -282,7 +302,10 @@ mod tests {
         plan.forward(&mut buf);
         for (k, z) in buf.iter().enumerate() {
             let expect = if k == k0 { n as f64 } else { 0.0 };
-            assert!((z.re - expect).abs() < 1e-9 && z.im.abs() < 1e-9, "bin {k}: {z:?}");
+            assert!(
+                (z.re - expect).abs() < 1e-9 && z.im.abs() < 1e-9,
+                "bin {k}: {z:?}"
+            );
         }
     }
 

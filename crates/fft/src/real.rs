@@ -22,12 +22,19 @@ pub struct RealFftPlan {
 
 impl RealFftPlan {
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "real FFT length must be even and ≥ 2, got {n}");
+        assert!(
+            n >= 2 && n % 2 == 0,
+            "real FFT length must be even and ≥ 2, got {n}"
+        );
         let half_plan = FftPlan::new(n / 2);
         let twiddles = (0..n / 2 + 1)
             .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
-        Self { n, half_plan, twiddles }
+        Self {
+            n,
+            half_plan,
+            twiddles,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -51,7 +58,9 @@ impl RealFftPlan {
         assert_eq!(output.len(), self.spectrum_len());
         let h = n / 2;
         // Pack x[2j] + i x[2j+1] and run the half-size complex FFT.
-        let mut z: Vec<Complex64> = (0..h).map(|j| Complex64::new(input[2 * j], input[2 * j + 1])).collect();
+        let mut z: Vec<Complex64> = (0..h)
+            .map(|j| Complex64::new(input[2 * j], input[2 * j + 1]))
+            .collect();
         self.half_plan.forward(&mut z);
         // Untangle: X_k = (Z_k + conj(Z_{h-k}))/2 - i w^k (Z_k - conj(Z_{h-k}))/2.
         for k in 0..=h {
@@ -102,7 +111,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect()

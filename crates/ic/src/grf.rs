@@ -95,7 +95,11 @@ pub fn measure_power(field: &Field3, n_bins: usize) -> (Vec<f64>, Vec<f64>, Vec<
     let [n, n1, n2] = field.dims();
     assert!(n == n1 && n == n2, "estimator assumes a cubic grid");
     let ntot = (n * n * n) as f64;
-    let mut data: Vec<Complex64> = field.as_slice().iter().map(|&v| Complex64::real(v)).collect();
+    let mut data: Vec<Complex64> = field
+        .as_slice()
+        .iter()
+        .map(|&v| Complex64::real(v))
+        .collect();
     Fft3::new([n, n, n]).forward(&mut data);
 
     let two_pi = 2.0 * std::f64::consts::PI;
@@ -195,9 +199,11 @@ mod tests {
         let n = 16;
         let g = GaussianField::new(n, 11);
         let f = g.generate(|_| p0);
-        let var: f64 =
-            f.as_slice().iter().map(|v| v * v).sum::<f64>() / f.len() as f64;
+        let var: f64 = f.as_slice().iter().map(|v| v * v).sum::<f64>() / f.len() as f64;
         let expect = p0 * (n.pow(3) - 1) as f64; // all modes except DC
-        assert!((var / expect - 1.0).abs() < 0.15, "var {var:e} vs {expect:e}");
+        assert!(
+            (var / expect - 1.0).abs() < 0.15,
+            "var {var:e} vs {expect:e}"
+        );
     }
 }

@@ -42,7 +42,11 @@ pub fn load_neutrino_phase_space(
     delta: &Field3,
     bulk: Option<&[Field3; 3]>,
 ) {
-    assert_eq!(delta.dims(), ps.sglobal, "delta must cover the global spatial grid");
+    assert_eq!(
+        delta.dims(),
+        ps.sglobal,
+        "delta must cover the global spatial grid"
+    );
     assert!(u_thermal_code > 0.0 && mean_density > 0.0);
     // Discrete norm of the occupation on this velocity grid (no truncation
     // bias): Σ occ(u) Δu³.
@@ -251,7 +255,11 @@ mod tests {
         let vg = VelocityGrid::cubic(24, 8.0 * ut);
         let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
         let delta = Field3::zeros([2, 2, 2]);
-        let mut bulk = [Field3::zeros([2, 2, 2]), Field3::zeros([2, 2, 2]), Field3::zeros([2, 2, 2])];
+        let mut bulk = [
+            Field3::zeros([2, 2, 2]),
+            Field3::zeros([2, 2, 2]),
+            Field3::zeros([2, 2, 2]),
+        ];
         bulk[1].fill(0.2);
         load_neutrino_phase_space(&mut ps, ut, 0.01, &delta, Some(&bulk));
         let uy = moments::bulk_velocity(&ps, 1, 1e-12);
@@ -277,7 +285,11 @@ mod tests {
         mean /= n as f64;
         mean_sq /= n as f64;
         assert!((mean / FD_MEAN_Q - 1.0).abs() < 0.01, "mean {mean}");
-        assert!((mean_sq.sqrt() / FD_RMS_Q - 1.0).abs() < 0.01, "rms {}", mean_sq.sqrt());
+        assert!(
+            (mean_sq.sqrt() / FD_RMS_Q - 1.0).abs() < 0.01,
+            "rms {}",
+            mean_sq.sqrt()
+        );
     }
 
     #[test]
@@ -287,10 +299,14 @@ mod tests {
         let mom = p.total_momentum();
         let typical = p.rms_speed() * p.mass * (p.len() as f64).sqrt();
         for c in mom {
-            assert!(c.abs() < 3.0 * typical / (p.len() as f64).sqrt() * (p.len() as f64).sqrt(), "momentum {c} vs {typical}");
+            assert!(
+                c.abs() < 3.0 * typical / (p.len() as f64).sqrt() * (p.len() as f64).sqrt(),
+                "momentum {c} vs {typical}"
+            );
         }
-        // RMS speed ≈ FD rms.
-        assert!((p.rms_speed() / (FD_RMS_Q * 0.3) - 1.0).abs() < 0.02);
+        // RMS speed ≈ FD rms. The sample standard error of the rms at
+        // 12³ = 1728 draws is ≈ 2%, so bound at 3σ to stay seed-robust.
+        assert!((p.rms_speed() / (FD_RMS_Q * 0.3) - 1.0).abs() < 0.06);
     }
 
     #[test]

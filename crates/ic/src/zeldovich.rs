@@ -86,11 +86,19 @@ fn displacement_from_delta(delta: &Field3) -> [Field3; 3] {
     assert!(n == n1 && n == n2, "IC grid must be cubic");
     let ntot = n * n * n;
     let plan = Fft3::new([n, n, n]);
-    let mut dk: Vec<Complex64> = delta.as_slice().iter().map(|&v| Complex64::real(v)).collect();
+    let mut dk: Vec<Complex64> = delta
+        .as_slice()
+        .iter()
+        .map(|&v| Complex64::real(v))
+        .collect();
     plan.forward(&mut dk);
 
     let two_pi = 2.0 * std::f64::consts::PI;
-    let mut out = [Field3::zeros([n, n, n]), Field3::zeros([n, n, n]), Field3::zeros([n, n, n])];
+    let mut out = [
+        Field3::zeros([n, n, n]),
+        Field3::zeros([n, n, n]),
+        Field3::zeros([n, n, n]),
+    ];
     for d in 0..3 {
         let mut comp = vec![Complex64::ZERO; ntot];
         for i0 in 0..n {

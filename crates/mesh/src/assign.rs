@@ -163,7 +163,9 @@ mod tests {
     fn random_positions(n: usize, seed: u64) -> Vec<[f64; 3]> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n).map(|_| [next(), next(), next()]).collect()
@@ -228,7 +230,10 @@ mod tests {
         f.fill(3.25);
         for scheme in [Scheme::Ngp, Scheme::Cic, Scheme::Tsc] {
             for p in random_positions(50, 9) {
-                assert!((interpolate(&f, scheme, p) - 3.25).abs() < 1e-12, "{scheme:?}");
+                assert!(
+                    (interpolate(&f, scheme, p) - 3.25).abs() < 1e-12,
+                    "{scheme:?}"
+                );
             }
         }
     }
@@ -284,7 +289,12 @@ mod tests {
             for p in random_positions(20, 123) {
                 let mut d = Field3::zeros_cubic(6);
                 deposit_equal_mass(&mut d, scheme, &[p], 2.0);
-                let lhs: f64 = d.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+                let lhs: f64 = d
+                    .as_slice()
+                    .iter()
+                    .zip(g.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let rhs = 2.0 * interpolate(&g, scheme, p);
                 assert!((lhs - rhs).abs() < 1e-10, "{scheme:?}: {lhs} vs {rhs}");
             }

@@ -7,10 +7,8 @@
 //! which cells" — both the thread-rank runtime and the performance model use
 //! it, so communication volumes counted in tests match the real exchanges.
 
-use serde::{Deserialize, Serialize};
-
 /// A 3-D block decomposition of a periodic grid over a process grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decomp3 {
     /// Global grid dimensions.
     pub global: [usize; 3],
@@ -216,7 +214,10 @@ mod tests {
     #[test]
     fn owner_of_position_wraps() {
         let d = Decomp3::new([16, 16, 16], [2, 2, 2]);
-        assert_eq!(d.owner_of_position([0.1, 0.1, 0.1]), d.owner_of_position([1.1, -0.9, 2.1]));
+        assert_eq!(
+            d.owner_of_position([0.1, 0.1, 0.1]),
+            d.owner_of_position([1.1, -0.9, 2.1])
+        );
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! A periodic 3-D scalar field.
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Row-major periodic 3-D field: `index = (i0·n1 + i1)·n2 + i2`.
 ///
 /// All index accessors accept *unwrapped* signed indices and apply periodic
 /// wrapping, which is what every stencil and assignment kernel wants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field3 {
     dims: [usize; 3],
     data: Vec<f64>,
@@ -17,7 +16,10 @@ impl Field3 {
     /// Zero-filled field.
     pub fn zeros(dims: [usize; 3]) -> Self {
         assert!(dims.iter().all(|&d| d >= 1), "dimensions must be ≥ 1");
-        Self { dims, data: vec![0.0; dims[0] * dims[1] * dims[2]] }
+        Self {
+            dims,
+            data: vec![0.0; dims[0] * dims[1] * dims[2]],
+        }
     }
 
     /// Cubic zero-filled field.
@@ -113,7 +115,10 @@ impl Field3 {
 
     /// Maximum absolute value.
     pub fn max_abs(&self) -> f64 {
-        self.data.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+        self.data
+            .par_iter()
+            .map(|v| v.abs())
+            .reduce(|| 0.0, f64::max)
     }
 
     /// RMS of all cells.
@@ -170,6 +175,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::identity_op)] // keep the full row-major index arithmetic visible
     fn indexing_is_row_major_with_last_axis_fastest() {
         let mut f = Field3::zeros([2, 3, 4]);
         *f.at_mut(1, 2, 3) = 5.0;

@@ -121,7 +121,9 @@ mod tests {
                     for i2 in 0..n {
                         let idx = [i0, i1, i2][axis];
                         let x = (idx as f64 + 0.5) / n as f64;
-                        let expect = kk * (kk * x / (2.0 * std::f64::consts::PI) * 2.0 * std::f64::consts::PI).cos();
+                        let expect = kk
+                            * (kk * x / (2.0 * std::f64::consts::PI) * 2.0 * std::f64::consts::PI)
+                                .cos();
                         max_err = max_err.max((g.at(i0, i1, i2) - expect).abs());
                     }
                 }

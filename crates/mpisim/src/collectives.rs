@@ -29,7 +29,12 @@ impl Comm {
     /// Reduce with a binary op; the result lands on `root` (`None` elsewhere).
     /// `op` must be associative and commutative (floating-point reductions are
     /// evaluated in rank order on the root, so results are deterministic).
-    pub fn reduce<T: Payload + Clone, F: Fn(T, T) -> T>(&self, root: usize, value: T, op: F) -> Option<T> {
+    pub fn reduce<T: Payload + Clone, F: Fn(T, T) -> T>(
+        &self,
+        root: usize,
+        value: T,
+        op: F,
+    ) -> Option<T> {
         let tag = self.next_collective_tag();
         if self.rank() == root {
             let mut acc = value;
@@ -139,7 +144,11 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone() {
         let out = Universe::run(4, |c| {
-            let v = if c.rank() == 2 { Some(vec![1.0f64, 2.0, 3.0]) } else { None };
+            let v = if c.rank() == 2 {
+                Some(vec![1.0f64, 2.0, 3.0])
+            } else {
+                None
+            };
             c.broadcast(2, v)
         });
         for v in out {
@@ -234,7 +243,11 @@ mod tests {
                 c.send(1, 5, 42u64);
             }
             let sum = c.allreduce_sum(1.0);
-            let recvd = if c.rank() == 1 { c.recv::<u64>(0, 5) } else { 0 };
+            let recvd = if c.rank() == 1 {
+                c.recv::<u64>(0, 5)
+            } else {
+                0
+            };
             (sum, recvd)
         });
         assert_eq!(out[0], (2.0, 0));

@@ -1,11 +1,10 @@
 //! Ranks, mailboxes and point-to-point messaging.
 
 use crate::traffic::Traffic;
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Types that can ride in a message. `byte_len` feeds the traffic counters —
 /// it should return the wire size an MPI implementation would move.
@@ -20,7 +19,22 @@ macro_rules! scalar_payload {
         })*
     };
 }
-scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+scalar_payload!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
+    ()
+);
 
 impl<T: Payload> Payload for Vec<T> {
     fn byte_len(&self) -> usize {
@@ -63,20 +77,20 @@ struct Mailbox {
 
 impl Mailbox {
     fn push(&self, key: Key, msg: Box<dyn Any + Send>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
         inner.queues.entry(key).or_default().push_back(msg);
         self.cond.notify_all();
     }
 
     fn pop_blocking(&self, key: Key) -> Box<dyn Any + Send> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
         loop {
             if let Some(q) = inner.queues.get_mut(&key) {
                 if let Some(msg) = q.pop_front() {
                     return msg;
                 }
             }
-            self.cond.wait(&mut inner);
+            inner = self.cond.wait(inner).expect("mailbox poisoned");
         }
     }
 }
@@ -124,7 +138,9 @@ impl Comm {
     }
 
     pub(crate) fn send_internal<T: Payload>(&self, dest: usize, tag: u64, value: T) {
-        self.shared.traffic.record(self.rank, dest, value.byte_len());
+        self.shared
+            .traffic
+            .record(self.rank, dest, value.byte_len());
         self.shared.mailboxes[dest].push((self.rank, tag), Box::new(value));
     }
 
@@ -151,7 +167,14 @@ impl Comm {
 
     /// Combined send-to-one / receive-from-another, the ghost-exchange motif.
     /// Safe against deadlock because sends never block.
-    pub fn sendrecv<T: Payload>(&self, dest: usize, send_tag: u64, value: T, source: usize, recv_tag: u64) -> T {
+    pub fn sendrecv<T: Payload>(
+        &self,
+        dest: usize,
+        send_tag: u64,
+        value: T,
+        source: usize,
+        recv_tag: u64,
+    ) -> T {
         self.send(dest, send_tag, value);
         self.recv(source, recv_tag)
     }
@@ -185,12 +208,12 @@ impl Universe {
             barrier: std::sync::Barrier::new(n),
         });
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, slot) in results.iter_mut().enumerate() {
                 let shared = Arc::clone(&shared);
                 let f = &f;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let comm = Comm {
                         rank,
                         size: n,
@@ -207,10 +230,15 @@ impl Universe {
                     std::panic::resume_unwind(payload);
                 }
             }
-        })
-        .expect("universe scope failed");
+        });
         let traffic = shared.traffic.clone_snapshot();
-        (results.into_iter().map(|r| r.expect("rank produced no result")).collect(), traffic)
+        (
+            results
+                .into_iter()
+                .map(|r| r.expect("rank produced no result"))
+                .collect(),
+            traffic,
+        )
     }
 
     /// Run `f` on `n` ranks, discarding traffic statistics.

@@ -16,7 +16,9 @@ pub struct TofuTorus {
 impl TofuTorus {
     /// The full Fugaku Tofu-D: 24 × 23 × 24 × 2 × 3 × 2 = 158,976 nodes.
     pub fn fugaku() -> Self {
-        Self { dims: [24, 23, 24, 2, 3, 2] }
+        Self {
+            dims: [24, 23, 24, 2, 3, 2],
+        }
     }
 
     /// A custom torus (for tests / smaller machines).
@@ -64,7 +66,9 @@ impl TofuTorus {
     /// dimension-ordered routing).
     pub fn hops(&self, a: usize, b: usize) -> usize {
         let (ca, cb) = (self.coords(a), self.coords(b));
-        (0..6).map(|axis| self.axis_distance(axis, ca[axis], cb[axis])).sum()
+        (0..6)
+            .map(|axis| self.axis_distance(axis, ca[axis], cb[axis]))
+            .sum()
     }
 
     /// Block placement of a 3-D process grid onto the torus: process
@@ -167,7 +171,10 @@ mod tests {
         // 12-wide block inside a 24-torus are farther, so measure interior:
         let idx = |i: usize, j: usize, k: usize| (i * 12 + j) * 2 + k;
         for i in 0..11 {
-            assert_eq!(t.hops(placement[idx(i, 0, 0)], placement[idx(i + 1, 0, 0)]), 1);
+            assert_eq!(
+                t.hops(placement[idx(i, 0, 0)], placement[idx(i + 1, 0, 0)]),
+                1
+            );
         }
     }
 

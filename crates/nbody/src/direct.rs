@@ -58,8 +58,8 @@ pub fn ewald_accel_factor(d: [f64; 3], rs: f64, n_img: i32, m_max: i32) -> [f64;
                 }
                 let r = r2.sqrt();
                 let x = r / (2.0 * rs);
-                let fac = (erfc(x) + r / (rs * std::f64::consts::PI.sqrt()) * (-x * x).exp())
-                    / (r2 * r);
+                let fac =
+                    (erfc(x) + r / (rs * std::f64::consts::PI.sqrt()) * (-x * x).exp()) / (r2 * r);
                 for i in 0..3 {
                     acc[i] += fac * s[i];
                 }
@@ -161,7 +161,12 @@ mod tests {
 
     #[test]
     fn total_momentum_change_vanishes_direct() {
-        let pos = vec![[0.1, 0.2, 0.3], [0.4, 0.5, 0.6], [0.75, 0.15, 0.9], [0.33, 0.88, 0.44]];
+        let pos = vec![
+            [0.1, 0.2, 0.3],
+            [0.4, 0.5, 0.6],
+            [0.75, 0.15, 0.9],
+            [0.33, 0.88, 0.44],
+        ];
         let acc = ewald_direct(&pos, 0.25);
         for i in 0..3 {
             let total: f64 = acc.iter().map(|a| a[i]).sum();

@@ -33,7 +33,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -185,7 +188,9 @@ mod tests {
     fn cluster_at(center: [f64; 3], n: usize, r: f64, seed: u64) -> Vec<[f64; 3]> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n)
@@ -201,7 +206,11 @@ mod tests {
 
     fn set(pos: Vec<[f64; 3]>) -> ParticleSet {
         let n = pos.len();
-        ParticleSet { pos, vel: vec![[0.0; 3]; n], mass: 1.0 / n as f64 }
+        ParticleSet {
+            pos,
+            vel: vec![[0.0; 3]; n],
+            mass: 1.0 / n as f64,
+        }
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct ParticleSet {
 impl ParticleSet {
     /// Empty set with a given per-particle mass.
     pub fn new(mass: f64) -> Self {
-        Self { pos: Vec::new(), vel: Vec::new(), mass }
+        Self {
+            pos: Vec::new(),
+            vel: Vec::new(),
+            mass,
+        }
     }
 
     /// `n³` particles on a regular lattice at rest, total mass `total_mass`.
@@ -38,7 +42,11 @@ impl ParticleSet {
                 }
             }
         }
-        Self { vel: vec![[0.0; 3]; n3], pos, mass: total_mass / n3 as f64 }
+        Self {
+            vel: vec![[0.0; 3]; n3],
+            pos,
+            mass: total_mass / n3 as f64,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -119,7 +127,10 @@ mod tests {
         let p = ParticleSet::lattice(4, 0.25);
         assert_eq!(p.len(), 64);
         assert!((p.total_mass() - 0.25).abs() < 1e-15);
-        assert!(p.pos.iter().all(|x| x.iter().all(|&c| (0.0..1.0).contains(&c))));
+        assert!(p
+            .pos
+            .iter()
+            .all(|x| x.iter().all(|&c| (0.0..1.0).contains(&c))));
         // Centre of mass sits at the box centre.
         let com: [f64; 3] = p.pos.iter().fold([0.0; 3], |mut acc, x| {
             for d in 0..3 {

@@ -71,7 +71,13 @@ impl PackedSources {
             zs[b].0[l] = s[2] as f32;
             ms[b].0[l] = mass as f32;
         }
-        Self { xs, ys, zs, ms, n_sources: n }
+        Self {
+            xs,
+            ys,
+            zs,
+            ms,
+            n_sources: n,
+        }
     }
 }
 
@@ -85,7 +91,7 @@ fn wrap_half(d: f32x8) -> f32x8 {
     // d > 0.5 → subtract 1; d < -0.5 → add 1.
     let gt = d.max(half) - half; // positive where d > 0.5
     let lt = d.min(neg_half) + half; // negative where d < -0.5
-    // Corrections are ±1 when triggered, 0 otherwise: use sign of the excess.
+                                     // Corrections are ±1 when triggered, 0 otherwise: use sign of the excess.
     let corr = gt.signum_or_zero() + lt.signum_or_zero();
     d - corr * one
 }
@@ -117,7 +123,11 @@ pub fn newton_simd(target: [f64; 3], packed: &PackedSources, eps: f64) -> [f64; 
         ay += f * dy;
         az += f * dz;
     }
-    [ax.horizontal_sum() as f64, ay.horizontal_sum() as f64, az.horizontal_sum() as f64]
+    [
+        ax.horizontal_sum() as f64,
+        ay.horizontal_sum() as f64,
+        az.horizontal_sum() as f64,
+    ]
 }
 
 /// Lane-wise reciprocal square root (one Newton iteration over the hardware
@@ -134,7 +144,9 @@ mod tests {
     fn random_sources(n: usize, seed: u64) -> Vec<[f64; 3]> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n).map(|_| [next(), next(), next()]).collect()
@@ -188,7 +200,12 @@ mod tests {
         let w = wrap_half(d);
         let expect = [-0.4, 0.4, 0.4, -0.4, 0.0, -0.01, 0.01, 0.5];
         for i in 0..8 {
-            assert!((w.0[i] - expect[i]).abs() < 1e-5, "lane {i}: {} vs {}", w.0[i], expect[i]);
+            assert!(
+                (w.0[i] - expect[i]).abs() < 1e-5,
+                "lane {i}: {} vs {}",
+                w.0[i],
+                expect[i]
+            );
         }
     }
 

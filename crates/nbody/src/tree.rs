@@ -42,12 +42,29 @@ pub struct Tree {
 impl Tree {
     /// Build from positions in the unit box.
     pub fn build(positions: &[[f64; 3]], mass: f64) -> Self {
-        assert!(!positions.is_empty(), "cannot build a tree over zero particles");
+        assert!(
+            !positions.is_empty(),
+            "cannot build a tree over zero particles"
+        );
         let mut idx: Vec<u32> = (0..positions.len() as u32).collect();
         let mut nodes = Vec::with_capacity(positions.len() / LEAF_SIZE * 2 + 16);
-        build_node(positions, mass, &mut idx, 0, positions.len(), [0.5; 3], 0.5, 0, &mut nodes);
+        build_node(
+            positions,
+            mass,
+            &mut idx,
+            0,
+            positions.len(),
+            [0.5; 3],
+            0.5,
+            0,
+            &mut nodes,
+        );
         let sorted_pos: Vec<[f64; 3]> = idx.iter().map(|&i| positions[i as usize]).collect();
-        Self { nodes, sorted_pos, mass }
+        Self {
+            nodes,
+            sorted_pos,
+            mass,
+        }
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -235,8 +252,17 @@ fn build_node(
             center[2] + if o & 1 != 0 { quarter } else { -quarter },
         ];
         let s = start + offsets[o];
-        let child =
-            build_node(positions, mass, idx, s, s + counts[o], sub_center, quarter, depth + 1, nodes);
+        let child = build_node(
+            positions,
+            mass,
+            idx,
+            s,
+            s + counts[o],
+            sub_center,
+            quarter,
+            depth + 1,
+            nodes,
+        );
         children[n_children as usize] = child;
         n_children += 1;
     }
@@ -253,7 +279,9 @@ mod tests {
     fn random_positions(n: usize, seed: u64) -> Vec<[f64; 3]> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n).map(|_| [next(), next(), next()]).collect()

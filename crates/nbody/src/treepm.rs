@@ -45,7 +45,14 @@ impl TreePm {
         let solver = PoissonSolver::cubic(pm_per_dim)
             .with_long_range_split(r_s)
             .with_cic_deconvolution();
-        Self { pm_dims: [pm_per_dim; 3], split, theta: 0.5, eps, r_cut, solver }
+        Self {
+            pm_dims: [pm_per_dim; 3],
+            split,
+            theta: 0.5,
+            eps,
+            r_cut,
+            solver,
+        }
     }
 
     pub fn with_theta(mut self, theta: f64) -> Self {
@@ -57,7 +64,12 @@ impl TreePm {
     pub fn deposit_density(&self, particles: &ParticleSet) -> Field3 {
         let mut rho = Field3::zeros(self.pm_dims);
         let cell_volume = 1.0 / (self.pm_dims[0] * self.pm_dims[1] * self.pm_dims[2]) as f64;
-        deposit_equal_mass_par(&mut rho, Scheme::Cic, &particles.pos, particles.mass / cell_volume);
+        deposit_equal_mass_par(
+            &mut rho,
+            Scheme::Cic,
+            &particles.pos,
+            particles.mass / cell_volume,
+        );
         rho
     }
 
@@ -93,7 +105,13 @@ impl TreePm {
     pub fn tree_accelerations(&self, particles: &ParticleSet, a: f64) -> Vec<[f64; 3]> {
         let tree = Tree::build(&particles.pos, particles.mass);
         let g = 3.0 / (8.0 * std::f64::consts::PI * a);
-        let mut acc = tree.short_range_many(&particles.pos, &self.split, self.theta, self.eps, self.r_cut);
+        let mut acc = tree.short_range_many(
+            &particles.pos,
+            &self.split,
+            self.theta,
+            self.eps,
+            self.r_cut,
+        );
         acc.par_iter_mut().for_each(|v| {
             for c in v.iter_mut() {
                 *c *= g;
@@ -114,17 +132,23 @@ impl TreePm {
     ) -> (Vec<[f64; 3]>, Field3) {
         let mut rho = self.deposit_density(particles);
         if let Some(extra) = extra_density {
-            assert_eq!(extra.dims(), self.pm_dims, "extra density must live on the PM mesh");
+            assert_eq!(
+                extra.dims(),
+                self.pm_dims,
+                "extra density must live on the PM mesh"
+            );
             rho.axpy(1.0, extra);
         }
         let phi = self.long_range_potential(&rho, a);
         let mut acc = self.pm_accelerations(&phi, &particles.pos);
         let tree_acc = self.tree_accelerations(particles, a);
-        acc.par_iter_mut().zip(tree_acc.par_iter()).for_each(|(a, t)| {
-            for i in 0..3 {
-                a[i] += t[i];
-            }
-        });
+        acc.par_iter_mut()
+            .zip(tree_acc.par_iter())
+            .for_each(|(a, t)| {
+                for i in 0..3 {
+                    a[i] += t[i];
+                }
+            });
         (acc, phi)
     }
 }
@@ -137,11 +161,17 @@ mod tests {
     fn random_particles(n: usize, seed: u64) -> ParticleSet {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let pos: Vec<[f64; 3]> = (0..n).map(|_| [next(), next(), next()]).collect();
-        ParticleSet { vel: vec![[0.0; 3]; n], pos, mass: 0.3 / n as f64 }
+        ParticleSet {
+            vel: vec![[0.0; 3]; n],
+            pos,
+            mass: 0.3 / n as f64,
+        }
     }
 
     #[test]
@@ -176,7 +206,10 @@ mod tests {
         let particles = ParticleSet::lattice(8, 0.3);
         let tp = TreePm::new(16, 1e-4);
         let (acc, _) = tp.accelerations(&particles, None, 1.0);
-        let max: f64 = acc.iter().flat_map(|a| a.iter().map(|c| c.abs())).fold(0.0, f64::max);
+        let max: f64 = acc
+            .iter()
+            .flat_map(|a| a.iter().map(|c| c.abs()))
+            .fold(0.0, f64::max);
         // Symmetric configuration: residual forces are discretisation noise,
         // far below the force of a typical perturbation (~0.1 in these units).
         assert!(max < 1e-3, "max residual force {max}");
@@ -216,8 +249,12 @@ mod tests {
         let particles = random_particles(128, 17);
         let tp = TreePm::new(32, 1e-4);
         let (acc, _) = tp.accelerations(&particles, None, 1.0);
-        let typical: f64 =
-            (acc.iter().flat_map(|a| a.iter().map(|c| c * c)).sum::<f64>() / acc.len() as f64).sqrt();
+        let typical: f64 = (acc
+            .iter()
+            .flat_map(|a| a.iter().map(|c| c * c))
+            .sum::<f64>()
+            / acc.len() as f64)
+            .sqrt();
         for i in 0..3 {
             let total: f64 = acc.iter().map(|a| a[i]).sum();
             assert!(

@@ -1,0 +1,329 @@
+//! End-of-run rendering of collected step events.
+//!
+//! [`RunReport`] aggregates [`StepEvent`]s from any number of steps and
+//! ranks and renders the run the way the paper reports it: a Table 3/4-style
+//! per-bucket wall-clock decomposition (seconds per step and share of
+//! total), a hotspot ranking over span self-times, per-rank load-imbalance
+//! (max over mean of per-rank busy time), and the conservation diagnostics'
+//! drift over the run.
+
+use crate::event::StepEvent;
+use crate::span::{visit_spans, Bucket, BucketTotals};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregator and renderer for a run's step events.
+#[derive(Default)]
+pub struct RunReport {
+    events: Vec<StepEvent>,
+}
+
+impl RunReport {
+    /// New empty report.
+    pub fn new() -> RunReport {
+        RunReport::default()
+    }
+
+    /// Add one step event (any rank, any order).
+    pub fn add(&mut self, event: StepEvent) {
+        self.events.push(event);
+    }
+
+    /// Parse and add one JSONL line.
+    pub fn add_jsonl_line(&mut self, line: &str) -> Result<(), String> {
+        self.add(StepEvent::parse(line)?);
+        Ok(())
+    }
+
+    /// Number of events added.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct step indices seen.
+    pub fn step_count(&self) -> usize {
+        let mut steps: Vec<u64> = self.events.iter().map(|e| e.step).collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps.len()
+    }
+
+    /// Bucket seconds summed over all events (all ranks, all steps).
+    pub fn bucket_totals(&self) -> BucketTotals {
+        let mut totals = BucketTotals::default();
+        for e in &self.events {
+            totals.accumulate(&e.buckets);
+        }
+        totals
+    }
+
+    /// Per-rank busy seconds (sum of that rank's bucket totals), by rank id.
+    pub fn per_rank_totals(&self) -> BTreeMap<usize, f64> {
+        let mut per_rank = BTreeMap::new();
+        for e in &self.events {
+            *per_rank.entry(e.rank).or_insert(0.0) += e.buckets.total();
+        }
+        per_rank
+    }
+
+    /// Load imbalance: max over mean of per-rank busy seconds. 1.0 means
+    /// perfectly balanced; 0.0 when no events or no busy time was recorded.
+    pub fn load_imbalance(&self) -> f64 {
+        let per_rank = self.per_rank_totals();
+        if per_rank.is_empty() {
+            return 0.0;
+        }
+        let max = per_rank.values().cloned().fold(0.0, f64::max);
+        let mean: f64 = per_rank.values().sum::<f64>() / per_rank.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            0.0
+        }
+    }
+
+    /// Top-`n` spans by summed self-time across all events:
+    /// `(name, self seconds, occurrence count)`.
+    pub fn hotspots(&self, n: usize) -> Vec<(String, f64, u64)> {
+        let mut by_name: BTreeMap<&str, (f64, u64)> = BTreeMap::new();
+        for e in &self.events {
+            visit_spans(&e.spans, |node| {
+                let slot = by_name.entry(node.name.as_str()).or_insert((0.0, 0));
+                slot.0 += node.self_time();
+                slot.1 += 1;
+            });
+        }
+        let mut ranked: Vec<(String, f64, u64)> = by_name
+            .into_iter()
+            .map(|(name, (secs, count))| (name.to_string(), secs, count))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Render the full report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("run report: no step events recorded\n");
+            return out;
+        }
+        let per_rank = self.per_rank_totals();
+        let steps = self.step_count();
+        let totals = self.bucket_totals();
+        let wall = totals.total();
+        let _ = writeln!(
+            out,
+            "run report: {steps} step(s), {} rank(s), {} event(s)",
+            per_rank.len(),
+            self.len()
+        );
+
+        // Table 3/4-style decomposition: per-bucket seconds per step and
+        // share of the total, summed across ranks.
+        out.push_str("\nwall-clock decomposition (all ranks)\n");
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>12} {:>12} {:>8}",
+            "bucket", "total [s]", "s/step", "share"
+        );
+        for b in Bucket::ALL {
+            let secs = totals.get(b);
+            let share = if wall > 0.0 { 100.0 * secs / wall } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>12.6} {:>12.6} {:>7.1}%",
+                bucket_title(b),
+                secs,
+                secs / steps.max(1) as f64,
+                share
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>12.6} {:>12.6} {:>7.1}%",
+            "total",
+            wall,
+            wall / steps.max(1) as f64,
+            100.0
+        );
+
+        // Hotspots by span self-time.
+        let hotspots = self.hotspots(10);
+        if !hotspots.is_empty() {
+            out.push_str("\nhotspots (span self-time)\n");
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>12} {:>8} {:>8}",
+                "span", "self [s]", "count", "share"
+            );
+            for (name, secs, count) in &hotspots {
+                let share = if wall > 0.0 { 100.0 * secs / wall } else { 0.0 };
+                let _ = writeln!(out, "  {name:<32} {secs:>12.6} {count:>8} {share:>7.1}%");
+            }
+        }
+
+        // Per-rank balance.
+        if per_rank.len() > 1 {
+            out.push_str("\nper-rank busy time\n");
+            for (rank, secs) in &per_rank {
+                let _ = writeln!(out, "  rank {rank:<4} {secs:>12.6} s");
+            }
+            let _ = writeln!(
+                out,
+                "  load imbalance (max/mean): {:.4}",
+                self.load_imbalance()
+            );
+        }
+
+        // Conservation drift over the run, from the earliest to the latest
+        // step (rank 0's records when present).
+        let mut tracked: Vec<&StepEvent> = self.events.iter().filter(|e| e.rank == 0).collect();
+        if tracked.is_empty() {
+            tracked = self.events.iter().collect();
+        }
+        tracked.sort_by_key(|e| e.step);
+        if let (Some(first), Some(last)) = (tracked.first(), tracked.last()) {
+            out.push_str("\nconservation diagnostics\n");
+            let drift = if first.nu_mass != 0.0 {
+                (last.nu_mass - first.nu_mass) / first.nu_mass
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  nu mass drift: {drift:+.3e} (steps {}..{})",
+                first.step, last.step
+            );
+            let f_min = tracked
+                .iter()
+                .map(|e| e.f_min)
+                .fold(f64::INFINITY, f64::min);
+            let _ = writeln!(out, "  min f over run: {f_min:.3e}");
+            let _ = writeln!(
+                out,
+                "  final momentum: [{:+.3e}, {:+.3e}, {:+.3e}]",
+                last.momentum[0], last.momentum[1], last.momentum[2]
+            );
+        }
+        out
+    }
+}
+
+fn bucket_title(b: Bucket) -> &'static str {
+    match b {
+        Bucket::Vlasov => "Vlasov solver",
+        Bucket::Tree => "tree force",
+        Bucket::Pm => "particle-mesh force",
+        Bucket::Other => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanNode;
+
+    fn event(step: u64, rank: usize, vlasov: f64, pm: f64) -> StepEvent {
+        StepEvent {
+            step,
+            rank,
+            a: 0.1 + step as f64 * 0.01,
+            dt: 0.01,
+            buckets: BucketTotals {
+                vlasov,
+                tree: 0.0,
+                pm,
+                other: 0.0,
+            },
+            spans: vec![
+                SpanNode {
+                    name: "drift".into(),
+                    bucket: Bucket::Vlasov,
+                    elapsed: vlasov,
+                    children: Vec::new(),
+                },
+                SpanNode {
+                    name: "gravity.pm".into(),
+                    bucket: Bucket::Pm,
+                    elapsed: pm,
+                    children: Vec::new(),
+                },
+            ],
+            metrics: Vec::new(),
+            nu_mass: 1.0 + step as f64 * 1e-9,
+            f_min: -(step as f64) * 1e-10,
+            momentum: [0.0; 3],
+        }
+    }
+
+    #[test]
+    fn aggregates_buckets_and_steps() {
+        let mut r = RunReport::new();
+        r.add(event(0, 0, 1.0, 0.5));
+        r.add(event(1, 0, 1.0, 0.5));
+        assert_eq!(r.step_count(), 2);
+        let t = r.bucket_totals();
+        assert!((t.vlasov - 2.0).abs() < 1e-12);
+        assert!((t.pm - 1.0).abs() < 1e-12);
+        assert!((t.total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let mut r = RunReport::new();
+        r.add(event(0, 0, 3.0, 0.0)); // rank 0 busy 3 s
+        r.add(event(0, 1, 1.0, 0.0)); // rank 1 busy 1 s
+                                      // mean 2, max 3 → 1.5
+        assert!((r.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspots_rank_by_self_time() {
+        let mut r = RunReport::new();
+        r.add(event(0, 0, 2.0, 0.5));
+        r.add(event(1, 0, 2.0, 0.5));
+        let h = r.hotspots(10);
+        assert_eq!(h[0].0, "drift");
+        assert!((h[0].1 - 4.0).abs() < 1e-12);
+        assert_eq!(h[0].2, 2);
+        assert_eq!(h[1].0, "gravity.pm");
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let mut r = RunReport::new();
+        r.add(event(0, 0, 1.0, 0.5));
+        r.add(event(0, 1, 1.2, 0.4));
+        r.add(event(1, 0, 1.0, 0.5));
+        r.add(event(1, 1, 1.1, 0.6));
+        let text = r.render();
+        assert!(text.contains("wall-clock decomposition"));
+        assert!(text.contains("Vlasov solver"));
+        assert!(text.contains("particle-mesh force"));
+        assert!(text.contains("hotspots"));
+        assert!(text.contains("load imbalance (max/mean)"));
+        assert!(text.contains("nu mass drift"));
+    }
+
+    #[test]
+    fn empty_report_renders_gracefully() {
+        assert!(RunReport::new().render().contains("no step events"));
+    }
+
+    #[test]
+    fn jsonl_lines_feed_the_report() {
+        let mut r = RunReport::new();
+        let line = event(5, 0, 1.0, 0.25).to_jsonl();
+        r.add_jsonl_line(&line).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.step_count(), 1);
+        assert!(r.add_jsonl_line("not json").is_err());
+    }
+}

@@ -1,10 +1,8 @@
 //! Machine rates: A64FX compute/memory and Tofu-D network (paper §6.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware rates of one machine configuration. All rates are per MPI
 /// *process*; a process owns one or two CMGs depending on the run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MachineModel {
     /// Peak single-precision flops per CMG \[flop/s\] (1.54 Tflops, §6.1).
     pub cmg_peak_sp_flops: f64,
@@ -130,6 +128,9 @@ mod tests {
         let m = MachineModel::fugaku_per_cmg();
         assert!(m.p2p_time(0.0, 1) >= m.latency);
         let t = m.p2p_time(6.8e9, 1);
-        assert!((t - 1.0).abs() < 0.01, "1 second for 1 link-second of bytes: {t}");
+        assert!(
+            (t - 1.0).abs() < 0.01,
+            "1 second for 1 link-second of bytes: {t}"
+        );
     }
 }

@@ -20,7 +20,6 @@
 
 use crate::machine::MachineModel;
 use crate::runs::RunConfig;
-use serde::{Deserialize, Serialize};
 
 /// SL-MPP5 flop and byte traffic per cell per 1-D sweep.
 const FLOPS_PER_CELL_SWEEP: f64 = 56.0;
@@ -41,7 +40,7 @@ const INTERACTIONS_PER_PARTICLE: f64 = 6500.0;
 const PM_PARTICLE_BYTES: f64 = 1000.0;
 
 /// Per-part times for one step \[s\] (per process — the slowest resource).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PartTimes {
     pub vlasov: f64,
     pub tree: f64,
@@ -75,7 +74,11 @@ pub fn step_time(run: &RunConfig, base: &MachineModel) -> PartTimes {
     // --- Vlasov ghost exchange: per spatial axis, 2 directions × 3 planes ×
     // (transverse face in cells) × Nu × 4 B; axes exchange sequentially on
     // their own torus links (single-hop placement).
-    let faces = [block[1] * block[2], block[0] * block[2], block[0] * block[1]];
+    let faces = [
+        block[1] * block[2],
+        block[0] * block[2],
+        block[0] * block[1],
+    ];
     let mut t_vlasov_comm = 0.0;
     for f in faces {
         let bytes = 2.0 * GHOST * f * nu3 * 4.0;
@@ -109,15 +112,18 @@ pub fn step_time(run: &RunConfig, base: &MachineModel) -> PartTimes {
     let bytes_per_rank = n_pm.powi(3) * 16.0 / q_fft;
     let t_transpose = 2.0 * m.alltoall_time(bytes_per_rank, q_fft as usize);
     // 3-D → 2-D density redistribution across all ranks (f32 field).
-    let t_redist =
-        2.0 * m.alltoall_time(n_pm.powi(3) * 4.0 / run.n_procs() as f64, run.n_procs());
+    let t_redist = 2.0 * m.alltoall_time(n_pm.powi(3) * 4.0 / run.n_procs() as f64, run.n_procs());
     let t_pm = t_particle + t_fft + t_transpose + t_redist;
 
-    PartTimes { vlasov: t_vlasov_compute + t_vlasov_comm, tree: t_tree, pm: t_pm }
+    PartTimes {
+        vlasov: t_vlasov_compute + t_vlasov_comm,
+        tree: t_tree,
+        pm: t_pm,
+    }
 }
 
 /// A full scaling report across a set of runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingReport {
     pub rows: Vec<(String, usize, PartTimes)>,
 }
@@ -179,8 +185,8 @@ pub fn time_to_solution(run: &RunConfig, n_steps: usize, base: &MachineModel) ->
     let m = machine_for(run, base);
     let particle_bytes = (run.n_cdm as f64).powi(3) * 48.0;
     let moment_bytes = (run.nx as f64).powi(3) * 5.0 * 4.0; // ρ, u, σ²
-    // Initial-condition read + final snapshot write over the aggregate
-    // filesystem bandwidth.
+                                                            // Initial-condition read + final snapshot write over the aggregate
+                                                            // filesystem bandwidth.
     let io = 2.0 * (particle_bytes + moment_bytes) / m.io_bw;
     (exec, io)
 }
@@ -214,7 +220,10 @@ mod tests {
             // Tree: good but below Vlasov (paper 77–88%).
             assert!(tree > 0.6 && tree <= 1.001, "{from}-{to}: tree {tree}");
             // Total: monotonically degrading, still decent (paper 82–96%).
-            assert!(total > 0.5 && total <= prev_total + 0.02, "{from}-{to}: total {total}");
+            assert!(
+                total > 0.5 && total <= prev_total + 0.02,
+                "{from}-{to}: total {total}"
+            );
             prev_total = total;
             // PM: collapsing with scale (paper 79.5 → 48.7 → 17.1%).
             assert!(pm < vlasov, "{from}-{to}: PM {pm} should trail Vlasov");

@@ -1,9 +1,7 @@
 //! The paper's Table 2: run configurations for the scaling measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// One row of the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     pub id: &'static str,
     /// Vlasov spatial cells per dimension (`N_x = nx³`).

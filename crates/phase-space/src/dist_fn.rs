@@ -37,7 +37,13 @@ impl PhaseSpace {
     ) -> Self {
         let len = sdims[0] * sdims[1] * sdims[2] * vgrid.len();
         assert!(len > 0, "empty phase-space block");
-        Self { data: vec![0.0; len], sdims, soffset, sglobal, vgrid }
+        Self {
+            data: vec![0.0; len],
+            sdims,
+            soffset,
+            sglobal,
+            vgrid,
+        }
     }
 
     /// Total number of phase-space cells in this block.
@@ -64,8 +70,12 @@ impl PhaseSpace {
     #[inline]
     pub fn dims6(&self) -> [usize; 6] {
         [
-            self.sdims[0], self.sdims[1], self.sdims[2],
-            self.vgrid.n[0], self.vgrid.n[1], self.vgrid.n[2],
+            self.sdims[0],
+            self.sdims[1],
+            self.sdims[2],
+            self.vgrid.n[0],
+            self.vgrid.n[1],
+            self.vgrid.n[2],
         ]
     }
 
@@ -151,12 +161,18 @@ impl PhaseSpace {
 
     /// Minimum value (negativity check).
     pub fn min_value(&self) -> f32 {
-        self.data.par_iter().copied().reduce(|| f32::INFINITY, f32::min)
+        self.data
+            .par_iter()
+            .copied()
+            .reduce(|| f32::INFINITY, f32::min)
     }
 
     /// Maximum value.
     pub fn max_value(&self) -> f32 {
-        self.data.par_iter().copied().reduce(|| f32::NEG_INFINITY, f32::max)
+        self.data
+            .par_iter()
+            .copied()
+            .reduce(|| f32::NEG_INFINITY, f32::max)
     }
 
     /// L1 difference against another block (diagnostics / tests).

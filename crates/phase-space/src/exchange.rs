@@ -52,7 +52,10 @@ pub fn exchange_ghosts(
     tag: u64,
 ) -> (Vec<f32>, Vec<f32>) {
     let n = ps.sdims[d];
-    assert!(n >= width, "block thinner than the ghost width along axis {d}");
+    assert!(
+        n >= width,
+        "block thinner than the ghost width along axis {d}"
+    );
     // My low planes travel to the low neighbour (becoming its high ghosts);
     // I receive the high neighbour's low planes as my high ghosts — and vice
     // versa.
@@ -84,7 +87,12 @@ pub fn sweep_spatial_distributed(
         cfl_per_u.iter().all(|c| c.abs() < 1.0),
         "distributed sweeps require |cfl| < 1 (ghost width {GHOST_WIDTH})"
     );
-    let (from_low, from_high) = exchange_ghosts(ps, cart, d, GHOST_WIDTH, tag);
+    const SPAN: [&str; 3] = ["sweep.dist.x", "sweep.dist.y", "sweep.dist.z"];
+    let _obs = vlasov6d_obs::span!(SPAN[d], vlasov6d_obs::Bucket::Vlasov);
+    let (from_low, from_high) = {
+        let _g = vlasov6d_obs::span!("sweep.ghost_exchange");
+        exchange_ghosts(ps, cart, d, GHOST_WIDTH, tag)
+    };
 
     let dims = ps.dims6();
     let n = dims[d];
@@ -142,7 +150,8 @@ mod tests {
     use vlasov6d_mpisim::Universe;
 
     fn global_fill(s: [usize; 3], u: [f64; 3]) -> f64 {
-        let sx = (s[0] as f64 * 0.61).sin() + (s[1] as f64 * 0.37).cos() + (s[2] as f64 * 0.83).sin();
+        let sx =
+            (s[0] as f64 * 0.61).sin() + (s[1] as f64 * 0.37).cos() + (s[2] as f64 * 0.83).sin();
         (2.2 + sx) * (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.4).exp() + 0.02
     }
 
@@ -150,14 +159,14 @@ mod tests {
     fn extract_planes_matches_direct_indexing() {
         let vg = VelocityGrid::cubic(4, 1.0);
         let mut ps = PhaseSpace::zeros([4, 4, 4], vg);
-        ps.fill_with(|s, u| global_fill(s, u));
+        ps.fill_with(global_fill);
         for d in 0..3 {
             let planes = extract_planes(&ps, d, 1, 2);
             // Check one element: outer=0, plane g=1 (global idx 2 along d), inner=5.
             let dims = ps.dims6();
             let stride: usize = dims[d + 1..].iter().product();
-            assert_eq!(planes[(0 * 2 + 1) * stride + 5], {
-                let flat = (0 * dims[d] + 2) * stride + 5;
+            assert_eq!(planes[stride + 5], {
+                let flat = 2 * stride + 5;
                 ps.as_slice()[flat]
             });
         }
@@ -186,7 +195,14 @@ mod tests {
             let mut ps = PhaseSpace::zeros_block(ldims, off, sglobal, vg);
             ps.fill_with(global_fill);
             for d in 0..3 {
-                sweep_spatial_distributed(&mut ps, &cart, d, &cfl2, Scheme::SlMpp5, 100 + d as u64 * 10);
+                sweep_spatial_distributed(
+                    &mut ps,
+                    &cart,
+                    d,
+                    &cfl2,
+                    Scheme::SlMpp5,
+                    100 + d as u64 * 10,
+                );
                 cart.comm().barrier();
             }
             (off, ldims, ps.as_slice().to_vec())

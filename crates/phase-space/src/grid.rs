@@ -15,7 +15,10 @@ pub struct VelocityGrid {
 
 impl VelocityGrid {
     pub fn new(n: [usize; 3], vmax: f64) -> Self {
-        assert!(n.iter().all(|&d| d >= 2), "velocity grid needs ≥ 2 cells per axis");
+        assert!(
+            n.iter().all(|&d| d >= 2),
+            "velocity grid needs ≥ 2 cells per axis"
+        );
         assert!(vmax > 0.0);
         Self { n, vmax }
     }

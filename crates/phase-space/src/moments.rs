@@ -130,7 +130,8 @@ pub fn velocity_dispersion(ps: &PhaseSpace, density_floor: f64) -> Field3 {
 pub fn speed_distribution(ps: &PhaseSpace, s: [usize; 3], n_bins: usize) -> (Vec<f64>, Vec<f64>) {
     let block = ps.velocity_block(s);
     let vg = &ps.vgrid;
-    let umax = (vg.max_center(0).powi(2) + vg.max_center(1).powi(2) + vg.max_center(2).powi(2)).sqrt();
+    let umax =
+        (vg.max_center(0).powi(2) + vg.max_center(1).powi(2) + vg.max_center(2).powi(2)).sqrt();
     let db = umax / n_bins as f64;
     let mut sums = vec![0.0f64; n_bins];
     let mut counts = vec![0usize; n_bins];
@@ -169,7 +170,8 @@ mod tests {
         let mut ps = PhaseSpace::zeros([2, 2, 2], vg);
         let norm = 1.0 / ((2.0 * std::f64::consts::PI).powf(1.5) * sigma.powi(3));
         ps.fill_with(|_, u| {
-            let r2 = (u[0] - drift[0]).powi(2) + (u[1] - drift[1]).powi(2) + (u[2] - drift[2]).powi(2);
+            let r2 =
+                (u[0] - drift[0]).powi(2) + (u[1] - drift[1]).powi(2) + (u[2] - drift[2]).powi(2);
             norm * (-0.5 * r2 / (sigma * sigma)).exp()
         });
         ps

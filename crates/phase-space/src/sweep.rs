@@ -54,14 +54,10 @@ unsafe impl Sync for SendMutPtr {}
 /// `cfl_per_u[k]` is the shift (in cells) of velocity index `k` along axis
 /// `d`: `u_d(k) · drift / Δx_d`. Shifts of any size are allowed (periodic
 /// integer wrap is exact).
-pub fn sweep_spatial(
-    ps: &mut PhaseSpace,
-    d: usize,
-    cfl_per_u: &[f64],
-    scheme: Scheme,
-    exec: Exec,
-) {
+pub fn sweep_spatial(ps: &mut PhaseSpace, d: usize, cfl_per_u: &[f64], scheme: Scheme, exec: Exec) {
     assert!(d < 3);
+    const SPAN: [&str; 3] = ["sweep.spatial.x", "sweep.spatial.y", "sweep.spatial.z"];
+    let _obs = vlasov6d_obs::span!(SPAN[d], vlasov6d_obs::Bucket::Vlasov);
     assert_eq!(cfl_per_u.len(), ps.vgrid.n[d]);
     let dims = ps.dims6();
     let n_line = dims[d];
@@ -79,7 +75,8 @@ pub fn sweep_spatial(
             (0..n_outer * stride).into_par_iter().for_each_init(
                 || (vec![0.0f32; n_line], LineWork::new()),
                 |(buf, work), task| {
-                    let base = base; // whole-struct capture of the Send wrapper
+                    #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
+                    let base = base;
                     let outer = task / stride;
                     let inner = task % stride;
                     let iu_d = velocity_index_of_inner(d, inner, &dims);
@@ -97,12 +94,16 @@ pub fn sweep_spatial(
         Exec::Simd | Exec::Lat if d < 2 => {
             // x/y sweeps: lanes over iuz are contiguous packed loads and the
             // conjugate velocity (iux/iuy) is constant across them (Fig. 1).
-            assert!(nuz % LANES == 0, "Simd sweeps need nuz divisible by {LANES}");
+            assert!(
+                nuz % LANES == 0,
+                "Simd sweeps need nuz divisible by {LANES}"
+            );
             let groups = stride / LANES; // inner runs over iuz fastest; group 8 iuz.
             (0..n_outer * groups).into_par_iter().for_each_init(
                 || (vec![f32x8::ZERO; n_line], LanesWork::new()),
                 |(bundle, work), task| {
-                    let base = base; // whole-struct capture of the Send wrapper
+                    #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
+                    let base = base;
                     let outer = task / groups;
                     let group = task % groups;
                     let inner = group * LANES;
@@ -138,7 +139,8 @@ pub fn sweep_spatial(
             (0..n_outer * tiles).into_par_iter().for_each_init(
                 || (vec![f32x8::ZERO; n_line * LANES], LanesWork::new()),
                 |(bundles, work), task| {
-                    let base = base; // whole-struct capture of the Send wrapper
+                    #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
+                    let base = base;
                     let outer = task / tiles;
                     let tile = task % tiles;
                     let zg = tile % (nuz / LANES);
@@ -149,7 +151,8 @@ pub fn sweep_spatial(
                     // every touched flat index carries that 4-tuple.
                     unsafe {
                         for i in 0..n_line {
-                            let line_base = (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
+                            let line_base =
+                                (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
                             let mut rows: [f32x8; LANES] = core::array::from_fn(|l| {
                                 f32x8::load(std::slice::from_raw_parts(
                                     base.0.add(line_base + l * nuz),
@@ -172,7 +175,8 @@ pub fn sweep_spatial(
                             );
                         }
                         for i in 0..n_line {
-                            let line_base = (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
+                            let line_base =
+                                (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
                             let mut rows: [f32x8; LANES] =
                                 core::array::from_fn(|r| bundles[r * n_line + i]);
                             transpose8x8(&mut rows);
@@ -201,9 +205,15 @@ pub fn sweep_velocity(
     exec: Exec,
 ) {
     assert!(d < 3);
+    const SPAN: [&str; 3] = [
+        "sweep.velocity.ux",
+        "sweep.velocity.uy",
+        "sweep.velocity.uz",
+    ];
+    let _obs = vlasov6d_obs::span!(SPAN[d], vlasov6d_obs::Bucket::Vlasov);
     assert_eq!(cfl_per_cell.dims(), ps.sdims);
     let dims = ps.dims6();
-        let (nux, nuy, nuz) = (dims[3], dims[4], dims[5]);
+    let (nux, nuy, nuz) = (dims[3], dims[4], dims[5]);
     let vlen = nux * nuy * nuz;
     let cfls = cfl_per_cell.as_slice();
     let data = ps.as_mut_slice();
@@ -211,7 +221,7 @@ pub fn sweep_velocity(
     // Velocity blocks of different spatial cells are disjoint contiguous
     // chunks — safe rayon parallelism without raw pointers.
     data.par_chunks_mut(vlen).enumerate().for_each_init(
-        || VelocityWork::new(),
+        VelocityWork::new,
         |work, (cell, block)| {
             let cfl = cfls[cell];
             if cfl == 0.0 {
@@ -278,7 +288,13 @@ fn sweep_block_ux(
                 for i in 0..nux {
                     work.line[i] = block[i * stride + inner];
                 }
-                advect_line(scheme, &mut work.line, cfl, Boundary::Zero, &mut work.line_work);
+                advect_line(
+                    scheme,
+                    &mut work.line,
+                    cfl,
+                    Boundary::Zero,
+                    &mut work.line_work,
+                );
                 for i in 0..nux {
                     block[i * stride + inner] = work.line[i];
                 }
@@ -292,7 +308,13 @@ fn sweep_block_ux(
                 for (i, b) in work.bundle.iter_mut().enumerate() {
                     *b = f32x8::load(&block[i * stride + inner..]);
                 }
-                advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                advect_lanes(
+                    scheme.max_simd(),
+                    &mut work.bundle,
+                    cfl,
+                    Boundary::Zero,
+                    &mut work.lanes_work,
+                );
                 for (i, b) in work.bundle.iter().enumerate() {
                     b.store(&mut block[i * stride + inner..]);
                 }
@@ -321,7 +343,13 @@ fn sweep_block_uy(
                     for i in 0..nuy {
                         work.line[i] = plane[i * stride + iuz];
                     }
-                    advect_line(scheme, &mut work.line, cfl, Boundary::Zero, &mut work.line_work);
+                    advect_line(
+                        scheme,
+                        &mut work.line,
+                        cfl,
+                        Boundary::Zero,
+                        &mut work.line_work,
+                    );
                     for i in 0..nuy {
                         plane[i * stride + iuz] = work.line[i];
                     }
@@ -338,7 +366,13 @@ fn sweep_block_uy(
                     for (i, b) in work.bundle.iter_mut().enumerate() {
                         *b = f32x8::load(&plane[i * stride + inner..]);
                     }
-                    advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                    advect_lanes(
+                        scheme.max_simd(),
+                        &mut work.bundle,
+                        cfl,
+                        Boundary::Zero,
+                        &mut work.lanes_work,
+                    );
                     for (i, b) in work.bundle.iter().enumerate() {
                         b.store(&mut plane[i * stride + inner..]);
                     }
@@ -369,7 +403,10 @@ fn sweep_block_uz(
         Exec::Simd => {
             // Paper Fig. 2: lanes across iuy require strided element gathers —
             // the deliberately inefficient variant measured in Table 1.
-            assert!(nuy % LANES == 0, "Fig.2 variant needs nuy divisible by {LANES}");
+            assert!(
+                nuy % LANES == 0,
+                "Fig.2 variant needs nuy divisible by {LANES}"
+            );
             work.bundle.resize(nuz, f32x8::ZERO);
             for iux in 0..nux {
                 let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
@@ -382,7 +419,13 @@ fn sweep_block_uz(
                         }
                         *b = f32x8(lanes);
                     }
-                    advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                    advect_lanes(
+                        scheme.max_simd(),
+                        &mut work.bundle,
+                        cfl,
+                        Boundary::Zero,
+                        &mut work.lanes_work,
+                    );
                     for (i, b) in work.bundle.iter().enumerate() {
                         for l in 0..LANES {
                             plane[(y0 + l) * nuz + i] = b.0[l];
@@ -403,17 +446,23 @@ fn sweep_block_uz(
                     // Load & transpose into lane-major bundle.
                     for zblock in 0..nuz / LANES {
                         let z0 = zblock * LANES;
-                        let mut rows: [f32x8; LANES] = core::array::from_fn(|l| {
-                            f32x8::load(&plane[(y0 + l) * nuz + z0..])
-                        });
+                        let mut rows: [f32x8; LANES] =
+                            core::array::from_fn(|l| f32x8::load(&plane[(y0 + l) * nuz + z0..]));
                         transpose8x8(&mut rows);
                         work.bundle[z0..z0 + LANES].copy_from_slice(&rows);
                     }
-                    advect_lanes(scheme.max_simd(), &mut work.bundle, cfl, Boundary::Zero, &mut work.lanes_work);
+                    advect_lanes(
+                        scheme.max_simd(),
+                        &mut work.bundle,
+                        cfl,
+                        Boundary::Zero,
+                        &mut work.lanes_work,
+                    );
                     // Transpose back & store packed.
                     for zblock in 0..nuz / LANES {
                         let z0 = zblock * LANES;
-                        let mut rows: [f32x8; LANES] = core::array::from_fn(|r| work.bundle[z0 + r]);
+                        let mut rows: [f32x8; LANES] =
+                            core::array::from_fn(|r| work.bundle[z0 + r]);
                         transpose8x8(&mut rows);
                         for (l, row) in rows.iter().enumerate() {
                             row.store(&mut plane[(y0 + l) * nuz + z0..]);
@@ -472,7 +521,8 @@ mod tests {
         let mut ps = PhaseSpace::zeros([8, 8, 8], vg);
         // A smooth positive filling varying in all six coordinates.
         ps.fill_with(|s, u| {
-            let sx = (s[0] as f64 * 0.7).sin() + (s[1] as f64 * 0.4).cos() + (s[2] as f64 * 0.9).sin();
+            let sx =
+                (s[0] as f64 * 0.7).sin() + (s[1] as f64 * 0.4).cos() + (s[2] as f64 * 0.9).sin();
             let g = (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.18).exp();
             (3.2 + sx) * g + 0.01
         });

@@ -18,7 +18,11 @@ pub struct DistPoisson {
 
 impl DistPoisson {
     pub fn new(dims: [usize; 3], n_ranks: usize) -> Self {
-        Self { dims, fft: DistFft3::new(dims, n_ranks), split_rs: None }
+        Self {
+            dims,
+            fft: DistFft3::new(dims, n_ranks),
+            split_rs: None,
+        }
     }
 
     /// Keep only the long-range part (`exp(-k² r_s²)` taper, box units).
@@ -37,6 +41,7 @@ impl DistPoisson {
     /// (which must have zero global mean up to the dropped DC mode).
     pub fn solve(&self, comm: &Comm, local_source: &[f64], prefactor: f64, tag: u64) -> Vec<f64> {
         assert_eq!(local_source.len(), self.fft.slab_len());
+        let _obs = vlasov6d_obs::span!("poisson.dist_solve", vlasov6d_obs::Bucket::Pm);
         let complex: Vec<Complex64> = local_source.iter().map(|&v| Complex64::real(v)).collect();
         let mut spec = self.fft.forward(comm, &complex, tag);
 
@@ -83,7 +88,9 @@ mod tests {
     fn random_zero_mean(n: usize, seed: u64) -> Vec<f64> {
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let mut v: Vec<f64> = (0..n).map(|_| next()).collect();

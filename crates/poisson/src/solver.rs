@@ -74,6 +74,7 @@ impl PoissonSolver {
     /// consistency, matching `ρ - ρ̄` in the paper's Eq. 2).
     pub fn solve(&self, source: &Field3, source_prefactor: f64) -> Field3 {
         assert_eq!(source.dims(), self.dims);
+        let _obs = vlasov6d_obs::span!("poisson.solve", vlasov6d_obs::Bucket::Pm);
         let [n0, n1, n2] = self.dims;
         let nzh = self.rfft.spectrum_n2();
         let mut spec = vec![Complex64::ZERO; self.rfft.spectrum_len()];
@@ -169,7 +170,8 @@ mod tests {
         for i0 in 0..n {
             for i1 in 0..n {
                 for i2 in 0..n {
-                    let phase = 2.0 * std::f64::consts::PI
+                    let phase = 2.0
+                        * std::f64::consts::PI
                         * (m[0] as f64 * (i0 as f64 + 0.5)
                             + m[1] as f64 * (i1 as f64 + 0.5)
                             + m[2] as f64 * (i2 as f64 + 0.5))
@@ -188,7 +190,8 @@ mod tests {
         let m = [2i32, 0, 1];
         let src = sine_source(n, m);
         let phi = PoissonSolver::cubic(n).solve(&src, 1.0);
-        let k2 = (2.0 * std::f64::consts::PI).powi(2) * (m.iter().map(|&x| (x * x) as f64).sum::<f64>());
+        let k2 =
+            (2.0 * std::f64::consts::PI).powi(2) * (m.iter().map(|&x| (x * x) as f64).sum::<f64>());
         let mut max_err = 0.0f64;
         for (a, b) in phi.as_slice().iter().zip(src.as_slice()) {
             max_err = max_err.max((a - (-b / k2)).abs());
@@ -231,7 +234,9 @@ mod tests {
         for v in src.as_mut_slice() {
             *v -= mean;
         }
-        let phi = PoissonSolver::cubic(n).with_greens(GreensForm::Discrete).solve(&src, 1.0);
+        let phi = PoissonSolver::cubic(n)
+            .with_greens(GreensForm::Discrete)
+            .solve(&src, 1.0);
         let lap = laplacian(&phi);
         for (a, b) in lap.as_slice().iter().zip(src.as_slice()) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
@@ -262,7 +267,9 @@ mod tests {
         let n = 32;
         let hi = sine_source(n, [0, 10, 0]);
         let plain = PoissonSolver::cubic(n).solve(&hi, 1.0);
-        let deconv = PoissonSolver::cubic(n).with_cic_deconvolution().solve(&hi, 1.0);
+        let deconv = PoissonSolver::cubic(n)
+            .with_cic_deconvolution()
+            .solve(&hi, 1.0);
         assert!(deconv.rms() > plain.rms() * 1.2);
     }
 

@@ -17,15 +17,16 @@
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let ans = t * (-z * z - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
-    .exp();
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -106,7 +107,10 @@ mod tests {
         ];
         for (x, expect) in cases {
             let got = erfc(x);
-            assert!((got - expect).abs() < 3e-7, "erfc({x}) = {got}, want {expect}");
+            assert!(
+                (got - expect).abs() < 3e-7,
+                "erfc({x}) = {got}, want {expect}"
+            );
         }
     }
 

@@ -15,7 +15,10 @@ pub fn table_row(cells: &[String], widths: &[usize]) -> String {
 
 /// Render a header + rule line for a table.
 pub fn table_header(names: &[&str], widths: &[usize]) -> String {
-    let head = table_row(&names.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let head = table_row(
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let rule = "-".repeat(head.len());
     format!("{head}\n{rule}")
 }

@@ -34,7 +34,10 @@ fn main() {
     println!("free streaming of a δ ∝ cos(2πx) wave with Maxwellian velocities (σ = {sigma}):\n");
     println!(
         "{}",
-        vlasov6d_suite::table_header(&["D (drift)", "δ measured", "δ analytic", "rel err"], &[10, 12, 12, 9])
+        vlasov6d_suite::table_header(
+            &["D (drift)", "δ measured", "δ analytic", "rel err"],
+            &[10, 12, 12, 9]
+        )
     );
 
     let dt = 0.25; // drift per step in code time (a = 1 static background)

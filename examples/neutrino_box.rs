@@ -47,7 +47,11 @@ fn main() {
         // Clustering amplitude: rms density contrast of each component.
         let rms = |f: &vlasov6d_mesh::Field3| {
             let m = f.mean();
-            (f.as_slice().iter().map(|v| (v / m - 1.0).powi(2)).sum::<f64>() / f.len() as f64)
+            (f.as_slice()
+                .iter()
+                .map(|v| (v / m - 1.0).powi(2))
+                .sum::<f64>()
+                / f.len() as f64)
                 .sqrt()
         };
         let (d_nu, d_cdm) = (rms(&nu_rho), rms(&cdm_rho));
@@ -65,11 +69,21 @@ fn main() {
     let (_, m_a, d_nu_a, d_cdm_a) = results[0]; // 0.4 eV
     let (_, m_b, d_nu_b, d_cdm_b) = results[1]; // 0.2 eV
     println!("\nsummary (paper Fig. 4):");
-    println!("  heavier ν ({m_a} eV): relative clustering {:.4}", d_nu_a / d_cdm_a);
-    println!("  lighter ν ({m_b} eV): relative clustering {:.4}", d_nu_b / d_cdm_b);
+    println!(
+        "  heavier ν ({m_a} eV): relative clustering {:.4}",
+        d_nu_a / d_cdm_a
+    );
+    println!(
+        "  lighter ν ({m_b} eV): relative clustering {:.4}",
+        d_nu_b / d_cdm_b
+    );
     println!(
         "  → heavier (slower) neutrinos trace the CDM more closely: {}",
-        if d_nu_a / d_cdm_a > d_nu_b / d_cdm_b { "reproduced ✓" } else { "NOT reproduced ✗" }
+        if d_nu_a / d_cdm_a > d_nu_b / d_cdm_b {
+            "reproduced ✓"
+        } else {
+            "NOT reproduced ✗"
+        }
     );
     println!("\nmaps written to target/figures/fig4_*.pgm");
 }

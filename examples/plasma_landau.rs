@@ -63,7 +63,7 @@ fn main() {
         // ∇²_phys φ = δn  ⇒  ∇²_code φ = δn · L².
         let phi = solver.solve(&rho, box_l * box_l);
         let force = PoissonSolver::force_from_potential(&phi); // -∂φ/∂x_code
-        // Field energy ∝ Σ |∇φ|² (physical gradient = code gradient / L).
+                                                               // Field energy ∝ Σ |∇φ|² (physical gradient = code gradient / L).
         let e2: f64 = force[0]
             .as_slice()
             .iter()
@@ -95,8 +95,9 @@ fn main() {
         };
         half_kick(&mut ps, &force, 0.5 * dt);
         {
-            let cfl: Vec<f64> =
-                (0..ps.vgrid.n[0]).map(|j| ps.vgrid.center(0, j) * dt * nx as f64).collect();
+            let cfl: Vec<f64> = (0..ps.vgrid.n[0])
+                .map(|j| ps.vgrid.center(0, j) * dt * nx as f64)
+                .collect();
             sweep::sweep_spatial(&mut ps, 0, &cfl, Scheme::SlMpp5, Exec::Simd);
         }
         let mut rho2 = moments::density(&ps);

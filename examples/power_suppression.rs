@@ -52,7 +52,10 @@ fn main() {
         "\ntotal-matter power at z = {z_final}: suppression by Mν = 0.4 eV (f_ν = {fnu:.4})\n"
     );
     let w = [12, 13, 13, 12];
-    println!("{}", table_header(&["k [h/Mpc]", "P_ν(k)", "P_0(k)", "P_ν/P_0"], &w));
+    println!(
+        "{}",
+        table_header(&["k [h/Mpc]", "P_ν(k)", "P_0(k)", "P_ν/P_0"], &w)
+    );
     let ratio = p_nu.ratio(&p_0);
     let box_l = with_nu.config.box_mpc_h;
     let mut ratios = Vec::new();
@@ -77,12 +80,19 @@ fn main() {
     }
     let first = ratios.first().copied().unwrap_or(1.0);
     let last = ratios.last().copied().unwrap_or(1.0);
-    println!("\nlinear-theory asymptote: 1 - 8 f_ν = {:.3}", 1.0 - 8.0 * fnu);
+    println!(
+        "\nlinear-theory asymptote: 1 - 8 f_ν = {:.3}",
+        1.0 - 8.0 * fnu
+    );
     println!(
         "suppression deepens toward small scales: {:.3} (large) → {:.3} (small) {}",
         first,
         last,
-        if last < first { "✓" } else { "✗ (resolution-limited)" }
+        if last < first {
+            "✓"
+        } else {
+            "✗ (resolution-limited)"
+        }
     );
     println!("\nThis k-dependent suppression, free of shot noise in the ν component,");
     println!("is the observable future galaxy surveys will use to weigh the neutrino —");

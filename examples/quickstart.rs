@@ -26,7 +26,13 @@ fn main() {
     );
 
     let mut sim = HybridSimulation::new(config);
-    println!("{}", vlasov6d_suite::table_header(&["step", "z", "dt[1/H0]", "nu mass", "min f", "t_step[s]"], &[5, 7, 9, 10, 10, 9]));
+    println!(
+        "{}",
+        vlasov6d_suite::table_header(
+            &["step", "z", "dt[1/H0]", "nu mass", "min f", "t_step[s]"],
+            &[5, 7, 9, 10, 10, 9]
+        )
+    );
     sim.run_to_redshift(2.0, |s| {
         let r = s.records.last().unwrap();
         if r.step % 5 == 0 || s.redshift() <= 2.0 {

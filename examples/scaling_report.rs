@@ -21,7 +21,17 @@ fn main() {
     println!(
         "{}",
         table_header(
-            &["id", "Nx", "N_CDM", "nodes", "(nx,ny,nz)", "total[s]", "vlasov", "tree", "pm"],
+            &[
+                "id",
+                "Nx",
+                "N_CDM",
+                "nodes",
+                "(nx,ny,nz)",
+                "total[s]",
+                "vlasov",
+                "tree",
+                "pm"
+            ],
             &widths
         )
     );
@@ -51,7 +61,10 @@ fn main() {
     // ---- Table 3: weak scaling.
     println!("\n=== Table 3: weak scaling efficiencies (model vs paper) ===\n");
     let w = [10, 9, 9, 9, 9];
-    println!("{}", table_header(&["chain", "total", "Vlasov", "tree", "PM"], &w));
+    println!(
+        "{}",
+        table_header(&["chain", "total", "Vlasov", "tree", "PM"], &w)
+    );
     for (chain, p_tot, p_v, p_t, p_pm) in PAPER_WEAK_SCALING {
         let (from, to) = chain.split_once('-').unwrap();
         let [total, vlasov, tree, pm] = report.weak_efficiency(from, to);
@@ -85,9 +98,19 @@ fn main() {
 
     // ---- Table 4: strong scaling.
     println!("\n=== Table 4: strong scaling efficiencies (model vs paper) ===\n");
-    println!("{}", table_header(&["group", "total", "Vlasov", "tree", "PM"], &w));
-    let group_ends = [("S", "S1", "S4"), ("M", "M8", "M32"), ("L", "L48", "L256"), ("H", "H384", "H1024")];
-    for ((group, from, to), (_, p_tot, p_v, p_t, p_pm)) in group_ends.iter().zip(PAPER_STRONG_SCALING) {
+    println!(
+        "{}",
+        table_header(&["group", "total", "Vlasov", "tree", "PM"], &w)
+    );
+    let group_ends = [
+        ("S", "S1", "S4"),
+        ("M", "M8", "M32"),
+        ("L", "L48", "L256"),
+        ("H", "H384", "H1024"),
+    ];
+    for ((group, from, to), (_, p_tot, p_v, p_t, p_pm)) in
+        group_ends.iter().zip(PAPER_STRONG_SCALING)
+    {
         let [total, vlasov, tree, pm] = report.strong_efficiency(from, to);
         println!(
             "{}",
@@ -119,7 +142,10 @@ fn main() {
 
     // ---- §7.2 time-to-solution.
     println!("\n=== §7.2 time-to-solution (model, z = 10 → 0) ===\n");
-    for (id, steps, paper_exec, paper_io) in [("H1024", 5000, 6183.0, 733.0), ("U1024", 5000, 20342.0, 782.0)] {
+    for (id, steps, paper_exec, paper_io) in [
+        ("H1024", 5000, 6183.0, 733.0),
+        ("U1024", 5000, 20342.0, 782.0),
+    ] {
         let (exec, io) = time_to_solution(&run(id), steps, &machine);
         println!(
             "{id}: modelled exec = {exec:.0} s, io = {io:.0} s   (paper: {paper_exec:.0} s exec, {paper_io:.0} s io)"

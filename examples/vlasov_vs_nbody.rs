@@ -47,9 +47,13 @@ fn main() {
         (nx / 2) as f64 / nx as f64,
         (nx / 2) as f64 / nx as f64,
     ];
-    let cell_hi = [cell_lo[0] + 1.0 / nx as f64, cell_lo[1] + 1.0 / nx as f64, cell_lo[2] + 1.0 / nx as f64];
+    let cell_hi = [
+        cell_lo[0] + 1.0 / nx as f64,
+        cell_lo[1] + 1.0 / nx as f64,
+        cell_lo[2] + 1.0 / nx as f64,
+    ];
     let umax = centers.last().unwrap() + centers[0];
-    let mut particle_hist = vec![0usize; 16];
+    let mut particle_hist = [0usize; 16];
     let mut in_cell = 0;
     for (p, v) in particles.pos.iter().zip(&particles.vel) {
         if (0..3).all(|d| p[d] >= cell_lo[d] && p[d] < cell_hi[d]) {
@@ -96,8 +100,22 @@ fn main() {
     let cmp = noise::compare_fields(&rho_v, &rho_p);
     // With homogeneous ICs the Vlasov field is uniform to f32 rounding, so a
     // correlation coefficient is undefined noise — report the scatter instead.
-    let cv_v = (rho_v.rms() / rho_v.mean() - 1.0).abs().max(rho_v.as_slice().iter().map(|v| (v/rho_v.mean()-1.0).powi(2)).sum::<f64>().sqrt() / (rho_v.len() as f64).sqrt());
-    let cv_p = rho_p.as_slice().iter().map(|v| (v / rho_p.mean() - 1.0).powi(2)).sum::<f64>().sqrt() / (rho_p.len() as f64).sqrt();
+    let cv_v = (rho_v.rms() / rho_v.mean() - 1.0).abs().max(
+        rho_v
+            .as_slice()
+            .iter()
+            .map(|v| (v / rho_v.mean() - 1.0).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / (rho_v.len() as f64).sqrt(),
+    );
+    let cv_p = rho_p
+        .as_slice()
+        .iter()
+        .map(|v| (v / rho_p.mean() - 1.0).powi(2))
+        .sum::<f64>()
+        .sqrt()
+        / (rho_p.len() as f64).sqrt();
     println!(
         "density scatter around the (uniform) truth: Vlasov {:.2e}, particles {:.3} — rms diff {:.3}",
         cv_v, cv_p, cmp.rms_relative_diff

@@ -27,7 +27,13 @@ fn multi_sweep_distributed_run_matches_serial() {
     serial.fill_with(fill);
     for round in 0..3 {
         for d in 0..3 {
-            sweep::sweep_spatial(&mut serial, d, &cfl_of(d, round), Scheme::SlMpp5, Exec::Scalar);
+            sweep::sweep_spatial(
+                &mut serial,
+                d,
+                &cfl_of(d, round),
+                Scheme::SlMpp5,
+                Exec::Scalar,
+            );
         }
     }
     let serial_density = moments::density(&serial);
@@ -51,7 +57,11 @@ fn multi_sweep_distributed_run_matches_serial() {
                 cart.comm().barrier();
             }
         }
-        (cart.local_offset(), cart.local_dims(), moments::density(&ps))
+        (
+            cart.local_offset(),
+            cart.local_dims(),
+            moments::density(&ps),
+        )
     });
 
     for (off, dims, local_density) in blocks {
@@ -99,7 +109,7 @@ fn global_mass_is_conserved_across_ranks() {
 #[test]
 fn ghost_width_matches_stencil_requirement() {
     // The exchange must ship at least the SL-MPP5 half-stencil.
-    assert!(GHOST_WIDTH >= 3);
+    const _: () = assert!(GHOST_WIDTH >= 3);
 }
 
 #[test]
@@ -137,5 +147,9 @@ fn distributed_moments_need_no_communication() {
         let s = moments::velocity_dispersion(&ps, 1e-12);
         let _ = (d.sum(), p.sum(), s.sum());
     });
-    assert_eq!(traffic.total_bytes(), 0, "moments must be communication-free");
+    assert_eq!(
+        traffic.total_bytes(),
+        0,
+        "moments must be communication-free"
+    );
 }

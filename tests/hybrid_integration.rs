@@ -15,7 +15,11 @@ fn multi_step_run_conserves_neutrino_mass_and_positivity() {
     let mut sim = HybridSimulation::new(fast_config());
     let m0 = sim.neutrinos.as_ref().unwrap().total_mass();
     sim.run_to_redshift(2.0, |_| {});
-    assert!(sim.step_count >= 3, "expected several steps, got {}", sim.step_count);
+    assert!(
+        sim.step_count >= 3,
+        "expected several steps, got {}",
+        sim.step_count
+    );
     for rec in &sim.records {
         assert!(rec.f_min >= 0.0, "step {}: f_min = {}", rec.step, rec.f_min);
     }
@@ -30,7 +34,12 @@ fn gravity_grows_structure_in_both_components() {
     let mut sim = HybridSimulation::new(fast_config());
     let contrast = |f: &vlasov6d_mesh::Field3| {
         let m = f.mean();
-        (f.as_slice().iter().map(|v| (v / m - 1.0).powi(2)).sum::<f64>() / f.len() as f64).sqrt()
+        (f.as_slice()
+            .iter()
+            .map(|v| (v / m - 1.0).powi(2))
+            .sum::<f64>()
+            / f.len() as f64)
+            .sqrt()
     };
     let cdm0 = contrast(&sim.cdm_density().unwrap());
     let nu0 = contrast(&sim.neutrino_density().unwrap());
@@ -38,7 +47,10 @@ fn gravity_grows_structure_in_both_components() {
     let cdm1 = contrast(&sim.cdm_density().unwrap());
     let nu1 = contrast(&sim.neutrino_density().unwrap());
     assert!(cdm1 > cdm0, "CDM contrast must grow: {cdm0} → {cdm1}");
-    assert!(nu1 > nu0 * 0.5, "ν contrast should not collapse: {nu0} → {nu1}");
+    assert!(
+        nu1 > nu0 * 0.5,
+        "ν contrast should not collapse: {nu0} → {nu1}"
+    );
     // Free streaming: neutrinos always cluster less than CDM.
     assert!(nu1 < cdm1, "ν ({nu1}) must cluster less than CDM ({cdm1})");
 }
@@ -86,7 +98,11 @@ fn heavier_neutrinos_cluster_more() {
         let mean = rho.mean();
         let cdm = sim.cdm_density().unwrap();
         let cdm_mean = cdm.mean();
-        let d_nu = (rho.as_slice().iter().map(|v| (v / mean - 1.0).powi(2)).sum::<f64>()
+        let d_nu = (rho
+            .as_slice()
+            .iter()
+            .map(|v| (v / mean - 1.0).powi(2))
+            .sum::<f64>()
             / rho.len() as f64)
             .sqrt();
         let d_cdm = (cdm

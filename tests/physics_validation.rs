@@ -1,9 +1,9 @@
 //! Physics validation against closed-form solutions.
 
+use vlasov6d::{HybridSimulation, SimulationConfig};
 use vlasov6d_advection::line::Scheme;
 use vlasov6d_cosmology::{Background, CosmologyParams, Growth};
 use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace, VelocityGrid};
-use vlasov6d::{HybridSimulation, SimulationConfig};
 
 /// Free streaming: with gravity off, `f(x,u,t) = f0(x - uD, u)` exactly; the
 /// density wave of a Maxwellian plasma damps as `exp(-k²σ²D²/2)`.
@@ -42,7 +42,9 @@ fn collisionless_damping_matches_analytic_rate() {
     let dt = 0.2;
     for _ in 0..10 {
         for axis in 0..3 {
-            let cfl: Vec<f64> = (0..nu).map(|j| vg.center(axis, j) * dt * nx as f64).collect();
+            let cfl: Vec<f64> = (0..nu)
+                .map(|j| vg.center(axis, j) * dt * nx as f64)
+                .collect();
             sweep::sweep_spatial(&mut ps, axis, &cfl, Scheme::SlMpp5, Exec::Simd);
         }
     }
@@ -63,7 +65,8 @@ fn free_streaming_integer_shift_is_exact() {
     let vg = VelocityGrid::cubic(8, 1.0);
     let mut ps = PhaseSpace::zeros([nx, nx, nx], vg);
     ps.fill_with(|s, u| {
-        ((s[0] * 3 + s[1] * 5 + s[2] * 7) % 11) as f64 * 0.1
+        ((s[0] * 3 + s[1] * 5 + s[2] * 7) % 11) as f64
+            * 0.1
             * (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2])).exp()
             + 0.01
     });
@@ -98,7 +101,12 @@ fn linear_growth_matches_growth_factor() {
     let contrast_rms = |sim: &HybridSimulation| {
         let f = sim.cdm_density().unwrap();
         let m = f.mean();
-        (f.as_slice().iter().map(|v| (v / m - 1.0).powi(2)).sum::<f64>() / f.len() as f64).sqrt()
+        (f.as_slice()
+            .iter()
+            .map(|v| (v / m - 1.0).powi(2))
+            .sum::<f64>()
+            / f.len() as f64)
+            .sqrt()
     };
     let a1 = sim.a;
     let d1 = contrast_rms(&sim);
@@ -127,12 +135,7 @@ fn hybrid_momentum_is_conserved() {
     sim.run_to_redshift(3.0, |_| {});
     let p1 = sim.total_momentum();
     // Scale: typical per-component momentum magnitude.
-    let scale = sim
-        .cdm
-        .as_ref()
-        .unwrap()
-        .rms_speed()
-        * sim.cdm.as_ref().unwrap().total_mass();
+    let scale = sim.cdm.as_ref().unwrap().rms_speed() * sim.cdm.as_ref().unwrap().total_mass();
     for i in 0..3 {
         assert!(
             (p1[i] - p0[i]).abs() < 0.05 * scale.max(1e-6),
@@ -165,7 +168,6 @@ fn simulation_clock_tracks_background() {
 /// `E = ∫ f u²/2 + ½ ∫ δρ φ` is conserved by the Strang-split update.
 #[test]
 fn static_vlasov_poisson_conserves_energy() {
-    use vlasov6d_mesh::Field3;
     use vlasov6d_poisson::PoissonSolver;
 
     let nx = 16;
@@ -202,9 +204,7 @@ fn static_vlasov_poisson_conserves_energy() {
                             let uy = vg.center(1, iuy);
                             for iuz in 0..nu {
                                 let uz = vg.center(2, iuz);
-                                kinetic += block[idx] as f64
-                                    * 0.5
-                                    * (ux * ux + uy * uy + uz * uz);
+                                kinetic += block[idx] as f64 * 0.5 * (ux * ux + uy * uy + uz * uz);
                                 idx += 1;
                             }
                         }
