@@ -16,10 +16,10 @@ use crate::diagnostics::StepTimers;
 use vlasov6d_advection::line::Scheme;
 use vlasov6d_cosmology::Background;
 use vlasov6d_mesh::{Decomp3, Field3};
-use vlasov6d_mpisim::{Cart3, Comm, Traffic};
+use vlasov6d_mpisim::{cart_neighbor_edges, Cart3, Comm, CommPlan, PlanChecks, Traffic};
 use vlasov6d_obs::metrics::MetricValue;
 use vlasov6d_obs::{span, Bucket, StepEvent, StepScope, StepSpans};
-use vlasov6d_phase_space::exchange::sweep_spatial_distributed;
+use vlasov6d_phase_space::exchange::{ghost_exchange_plan, sweep_spatial_distributed, GHOST_WIDTH};
 use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace};
 use vlasov6d_poisson::DistPoisson;
 
@@ -38,6 +38,7 @@ pub struct DistributedVlasov {
     pub max_dln_a: f64,
     tag_counter: u64,
     step_index: u64,
+    verify_plans: bool,
 }
 
 /// Per-rank timing record of one distributed step: the structured span tree
@@ -82,13 +83,46 @@ impl DistributedVlasov {
             max_dln_a: 0.08,
             tag_counter: 1,
             step_index: 0,
+            verify_plans: false,
         }
+    }
+
+    /// Statically verify the step's communication plans (ghost sweep,
+    /// gradient plane exchange, FFT transposes) against the Cartesian
+    /// topology and volume-symmetry checks before the first step runs.
+    /// A miswired exchange then panics with the verifier's report instead
+    /// of hanging mid-run. Cheap (`O(edges)` once), intended for debug and
+    /// validation runs.
+    pub fn with_plan_verification(mut self) -> Self {
+        self.verify_plans = true;
+        self
     }
 
     fn next_tags(&mut self, n: u64) -> u64 {
         let t = self.tag_counter;
         self.tag_counter += n;
         t
+    }
+
+    /// Build and verify the declarative plans of every exchange one step
+    /// performs. Tags are representative — the checks are structural, and
+    /// the step's actual tags only shift the whole pattern.
+    fn verify_comm_plans(&self) {
+        let cart_checks = PlanChecks {
+            topology: Some(cart_neighbor_edges(&self.decomp)),
+            volume_symmetry: true,
+        };
+        // Drift: axis-0 ghost-plane exchange of the distributed sweep.
+        ghost_exchange_plan(&self.decomp, self.ps.vgrid.len(), 0, GHOST_WIDTH, 100)
+            .assert_valid(&cart_checks);
+        // Gravity: two-plane potential exchange for the 4-point gradient.
+        gradient_plan(&self.decomp, self.ps.sdims, 200).assert_valid(&cart_checks);
+        // Poisson: forward + inverse all-to-all transposes (no Cartesian
+        // topology — every rank pair exchanges).
+        self.solver.solve_plan(300).assert_valid(&PlanChecks {
+            topology: None,
+            volume_symmetry: true,
+        });
     }
 
     /// Local force fields `-∂φ/∂x_d` at the Vlasov cells of this rank's slab.
@@ -128,6 +162,10 @@ impl DistributedVlasov {
     /// span tree and its four-bucket fold.
     pub fn step_traced(&mut self, comm: &Comm) -> (f64, f64, StepTelemetry) {
         self.step_index += 1;
+        if self.verify_plans && self.step_index == 1 {
+            let _s = span!("plan_verify", Bucket::Other);
+            self.verify_comm_plans();
+        }
         let scope = StepScope::begin(self.step_index);
         let force = self.gravity(comm);
 
@@ -270,6 +308,23 @@ impl DistributedVlasov {
             momentum,
         }
     }
+}
+
+/// Declarative plan of the [`gradient_with_ghosts`] exchange: two φ planes
+/// (`2·n1·n2` f64 values) each way along axis 0, tags `tag` and `tag + 1` —
+/// the same shift pattern as the ghost exchange, with f64 payloads.
+fn gradient_plan(decomp: &Decomp3, local_dims: [usize; 3], tag: u64) -> CommPlan {
+    let mut plan = CommPlan::new("gravity.gradient", decomp.n_ranks());
+    let bytes = (2 * local_dims[1] * local_dims[2] * std::mem::size_of::<f64>()) as u64;
+    for r in 0..decomp.n_ranks() {
+        let low = decomp.neighbor(r, 0, -1);
+        let high = decomp.neighbor(r, 0, 1);
+        plan.send(r, low, tag, bytes);
+        plan.recv(r, high, tag, bytes);
+        plan.send(r, high, tag + 1, bytes);
+        plan.recv(r, low, tag + 1, bytes);
+    }
+    plan
 }
 
 /// `-∇φ` with 4-point stencils; axis 0 crosses slab boundaries via a
@@ -446,7 +501,8 @@ mod tests {
             let mut local = PhaseSpace::zeros_block(dims, off, sglobal, vg);
             local.fill_with(fill);
             let bg = Background::new(CosmologyParams::planck2015());
-            let mut sim = DistributedVlasov::new(comm, local, bg, 0.2, 1.0);
+            let mut sim =
+                DistributedVlasov::new(comm, local, bg, 0.2, 1.0).with_plan_verification();
             let m0 = sim.total_mass(comm);
             for _ in 0..3 {
                 sim.step(comm);

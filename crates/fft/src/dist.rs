@@ -18,7 +18,7 @@
 
 use crate::complex::Complex64;
 use crate::plan::FftPlan;
-use vlasov6d_mpisim::Comm;
+use vlasov6d_mpisim::{Comm, CommPlan};
 
 /// A distributed FFT plan bound to global dims and a rank count.
 #[derive(Debug, Clone)]
@@ -48,6 +48,11 @@ impl DistFft3 {
 
     pub fn dims(&self) -> [usize; 3] {
         self.dims
+    }
+
+    /// Rank count the plan was built for.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
     }
 
     /// Planes per rank in slab layout.
@@ -173,6 +178,42 @@ impl DistFft3 {
         slab
     }
 
+    /// Declarative communication plan of one all-to-all transpose under
+    /// `tag` — the exchange both [`Self::forward`] and [`Self::inverse`]
+    /// perform once. Every ordered rank pair carries the same packet
+    /// (`slab_planes · transposed_rows · n2` complex values as `f64` pairs);
+    /// the self-packet is short-circuited by the runtime and has no edge.
+    pub fn transpose_plan(&self, tag: u64) -> CommPlan {
+        let mut plan = CommPlan::new("fft.transpose", self.n_ranks);
+        self.add_transpose(&mut plan, tag);
+        plan
+    }
+
+    /// Append the transpose exchange under `tag` to an existing plan —
+    /// for callers composing several transposes (e.g. a Poisson solve's
+    /// forward + inverse pair) into one verified plan.
+    pub fn add_transpose(&self, plan: &mut CommPlan, tag: u64) {
+        assert_eq!(plan.n_ranks(), self.n_ranks);
+        let [_, _, n2] = self.dims;
+        let bytes =
+            (self.slab_planes() * self.transposed_rows() * n2 * 2 * std::mem::size_of::<f64>())
+                as u64;
+        for r in 0..self.n_ranks {
+            // Mirrors `exchange`: all sends first, then receives in source
+            // order, skipping self.
+            for dst in 0..self.n_ranks {
+                if dst != r {
+                    plan.send(r, dst, tag, bytes);
+                }
+            }
+            for src in 0..self.n_ranks {
+                if src != r {
+                    plan.recv(r, src, tag, bytes);
+                }
+            }
+        }
+    }
+
     /// Global `(i1_global, i0, i2)` triple of a flat index in this rank's
     /// transposed block — for applying k-space multipliers.
     pub fn transposed_coords(&self, rank: usize, flat: usize) -> [usize; 3] {
@@ -282,7 +323,19 @@ fn exchange(comm: &Comm, outgoing: Vec<Vec<f64>>, tag: u64) -> Vec<Vec<f64>> {
             incoming[src] = Some(comm.recv(src, tag));
         }
     }
-    incoming.into_iter().map(Option::unwrap).collect()
+    let rank = comm.rank();
+    incoming
+        .into_iter()
+        .enumerate()
+        .map(|(src, v)| {
+            v.unwrap_or_else(|| {
+                panic!(
+                    "fft transpose exchange on rank {rank} (tag {tag}): no packet \
+                     recorded from rank {src}"
+                )
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -355,5 +408,27 @@ mod tests {
     #[should_panic(expected = "divisible")]
     fn indivisible_dims_rejected() {
         let _ = DistFft3::new([6, 6, 6], 4);
+    }
+
+    #[test]
+    fn transpose_plan_verifies_and_counts_bytes() {
+        use vlasov6d_mpisim::PlanChecks;
+        let plan4 = DistFft3::new([8, 8, 8], 4);
+        let stats = plan4.transpose_plan(10).assert_valid(&PlanChecks {
+            topology: None,
+            volume_symmetry: true,
+        });
+        // 4 ranks, 12 directed pairs, each 2·2·8 complex = 512 B.
+        assert_eq!(stats.sends, 12);
+        assert_eq!(stats.recvs, 12);
+        assert_eq!(stats.bytes, 12 * 2 * 2 * 8 * 16);
+        // Two transposes under distinct tags compose cleanly; the same tag
+        // twice collides on every pair.
+        let mut double = plan4.transpose_plan(20);
+        plan4.add_transpose(&mut double, 21);
+        double.verify().expect("distinct tags compose");
+        let mut collide = plan4.transpose_plan(30);
+        plan4.add_transpose(&mut collide, 30);
+        collide.verify().unwrap_err();
     }
 }

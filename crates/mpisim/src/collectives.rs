@@ -95,7 +95,19 @@ impl Comm {
                     out[src] = Some(self.recv_internal(src, tag));
                 }
             }
-            Some(out.into_iter().map(Option::unwrap).collect())
+            Some(
+                out.into_iter()
+                    .enumerate()
+                    .map(|(src, v)| {
+                        v.unwrap_or_else(|| {
+                            panic!(
+                                "gather on root {root} (tag {tag}): no contribution \
+                                 recorded from rank {src}"
+                            )
+                        })
+                    })
+                    .collect(),
+            )
         } else {
             self.send_internal(root, tag, value);
             None
@@ -126,7 +138,19 @@ impl Comm {
                 incoming[src] = Some(self.recv_internal(src, tag));
             }
         }
-        incoming.into_iter().map(Option::unwrap).collect()
+        let rank = self.rank();
+        incoming
+            .into_iter()
+            .enumerate()
+            .map(|(src, v)| {
+                v.unwrap_or_else(|| {
+                    panic!(
+                        "alltoall on rank {rank} (tag {tag}): no packet recorded \
+                         from rank {src}"
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Exclusive prefix sum over ranks (`0` on rank 0) — particle-exchange

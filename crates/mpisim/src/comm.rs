@@ -1,10 +1,27 @@
 //! Ranks, mailboxes and point-to-point messaging.
+//!
+//! Besides the plain [`Universe::run`] entry point, the runtime has a
+//! *checked* mode ([`Universe::run_checked`]) used by the verification
+//! tooling in [`crate::sched`]:
+//!
+//! * a **deadlock watchdog** that detects a wedged universe (every
+//!   unfinished rank blocked in a receive or at the barrier with no message
+//!   progress), aborts it cleanly and reports who was waiting on what
+//!   instead of hanging the test suite;
+//! * **unreceived-message leak detection** at teardown — a send whose
+//!   message is still sitting in a mailbox when all ranks have exited is a
+//!   miswired exchange;
+//! * a **delivery schedule** that perturbs message visibility (seeded,
+//!   deterministic) so schedule-exploration tests can replay a program under
+//!   different message orders.
 
 use crate::traffic::Traffic;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Types that can ride in a message. `byte_len` feeds the traffic counters —
 /// it should return the wire size an MPI implementation would move.
@@ -63,9 +80,137 @@ impl<T: Payload> Payload for Option<T> {
 
 type Key = (usize, u64); // (source, tag)
 
+/// Options for [`Universe::run_checked`].
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Fail teardown if any mailbox still holds undelivered or unreceived
+    /// messages after every rank has returned.
+    pub verify_leaks: bool,
+    /// Abort and report (instead of hanging) when no rank makes progress for
+    /// this long while at least one is blocked.
+    pub deadlock_timeout: Option<Duration>,
+    /// Deterministically delay message visibility according to this seed,
+    /// exploring alternative delivery orders. Per-`(source, tag)` FIFO order
+    /// is preserved (the non-overtaking guarantee holds under every
+    /// schedule).
+    pub schedule_seed: Option<u64>,
+}
+
+impl SimOptions {
+    /// The configuration the schedule-exploration harness uses: leaks
+    /// verified, watchdog armed, delivery perturbed by `seed`.
+    pub fn checked(seed: u64, timeout: Duration) -> Self {
+        Self {
+            verify_leaks: true,
+            deadlock_timeout: Some(timeout),
+            schedule_seed: Some(seed),
+        }
+    }
+}
+
+/// Why a checked run failed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The watchdog declared the universe wedged; `blocked` lists every
+    /// unfinished rank and what it was waiting on.
+    Deadlock { blocked: Vec<BlockedOp> },
+    /// Messages were never received ([`SimOptions::verify_leaks`]).
+    Leak { leaks: Vec<LeakRecord> },
+    /// A rank panicked; the message is the panic payload's text.
+    RankPanic { rank: usize, message: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: ")?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    match b.kind {
+                        BlockKind::Recv { source, tag } => write!(
+                            f,
+                            "rank {} blocked in recv(source {source}, tag {tag})",
+                            b.rank
+                        )?,
+                        BlockKind::Barrier => write!(f, "rank {} blocked at barrier", b.rank)?,
+                    }
+                }
+                Ok(())
+            }
+            SimError::Leak { leaks } => {
+                write!(f, "unreceived messages at teardown: ")?;
+                for (i, l) in leaks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(
+                        f,
+                        "{} message(s) from rank {} tag {} still in rank {}'s mailbox",
+                        l.count, l.source, l.tag, l.dest
+                    )?;
+                }
+                Ok(())
+            }
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+/// What a blocked rank was waiting on when the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedOp {
+    /// The blocked rank.
+    pub rank: usize,
+    /// The blocking operation.
+    pub kind: BlockKind,
+}
+
+/// The kind of operation a rank can block in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Blocked in [`Comm::recv`] on `(source, tag)`.
+    Recv { source: usize, tag: u64 },
+    /// Blocked in [`Comm::barrier`].
+    Barrier,
+}
+
+/// One mailbox queue that still held messages at teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakRecord {
+    /// Rank whose mailbox held the messages.
+    pub dest: usize,
+    /// Sender of the leaked messages.
+    pub source: usize,
+    /// Tag of the leaked messages.
+    pub tag: u64,
+    /// How many messages were stranded on this `(source, tag)` queue.
+    pub count: usize,
+}
+
+/// Panic payload used to unwind ranks out of blocking calls after an abort.
+/// Recognised (and swallowed) by the checked-run rank wrapper.
+struct Aborted;
+
+/// A message delayed by the delivery schedule, ordered by release epoch.
+struct PendingMsg {
+    release: u64,
+    seq: u64,
+    key: Key,
+    msg: Box<dyn Any + Send>,
+}
+
 #[derive(Default)]
 struct MailboxInner {
     queues: HashMap<Key, VecDeque<Box<dyn Any + Send>>>,
+    /// Messages held back by the delivery schedule, sorted on demand.
+    pending: Vec<PendingMsg>,
+    /// Monotone per-key release floor preserving non-overtaking order.
+    last_release: HashMap<Key, u64>,
 }
 
 /// One per rank: tag-matched unbounded queues plus a wakeup condvar.
@@ -75,23 +220,235 @@ struct Mailbox {
     cond: Condvar,
 }
 
+/// Shared bookkeeping for checked runs: abort flag, progress counter for the
+/// watchdog, the schedule clock, and per-rank blocked-state slots.
+struct Control {
+    /// True when blocked-state tracking is on (watchdog or schedule active);
+    /// plain runs skip all per-op bookkeeping.
+    tracking: bool,
+    schedule_seed: Option<u64>,
+    aborted: AtomicBool,
+    /// Bumped on every successful push/pop/barrier release; the watchdog
+    /// declares deadlock when it stops moving.
+    progress: AtomicU64,
+    /// Logical clock for the delivery schedule; advances on sends and on
+    /// blocked waits, so held-back messages are always eventually released.
+    epoch: AtomicU64,
+    seq: AtomicU64,
+    blocked: Vec<Mutex<Option<BlockKind>>>,
+    finished: AtomicUsize,
+}
+
+impl Control {
+    fn new(n: usize, opts: &SimOptions) -> Self {
+        Self {
+            tracking: opts.deadlock_timeout.is_some() || opts.schedule_seed.is_some(),
+            schedule_seed: opts.schedule_seed,
+            aborted: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            blocked: (0..n).map(|_| Mutex::new(None)).collect(),
+            finished: AtomicUsize::new(0),
+        }
+    }
+
+    fn set_blocked(&self, rank: usize, kind: Option<BlockKind>) {
+        if self.tracking {
+            *self.blocked[rank].lock().expect("blocked slot poisoned") = kind;
+        }
+    }
+}
+
+/// SplitMix64 — the schedule's deterministic per-message hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Longest schedule-induced delivery delay, in epochs. Epochs advance on
+/// every send and on every 1 ms of blocked waiting, so held messages release
+/// promptly once the universe quiesces.
+const MAX_DELAY_EPOCHS: u64 = 16;
+
+/// How long a blocked rank waits between epoch bumps in tracking mode.
+const TRACKING_WAIT: Duration = Duration::from_millis(1);
+
 impl Mailbox {
-    fn push(&self, key: Key, msg: Box<dyn Any + Send>) {
+    fn push(&self, key: Key, msg: Box<dyn Any + Send>, ctrl: &Control) {
         let mut inner = self.inner.lock().expect("mailbox poisoned");
-        inner.queues.entry(key).or_default().push_back(msg);
+        if let Some(seed) = ctrl.schedule_seed {
+            let now = ctrl.epoch.fetch_add(1, Ordering::Relaxed);
+            let h = splitmix64(seed ^ splitmix64(key.0 as u64 ^ (key.1 << 20) ^ (now << 40)));
+            let mut release = now + h % MAX_DELAY_EPOCHS;
+            // Never let a later message on the same key release before an
+            // earlier one: per-(source, tag) FIFO must survive the schedule.
+            let floor = inner.last_release.entry(key).or_insert(0);
+            release = release.max(*floor);
+            *floor = release;
+            inner.pending.push(PendingMsg {
+                release,
+                seq: ctrl.seq.fetch_add(1, Ordering::Relaxed),
+                key,
+                msg,
+            });
+            Self::deliver_ready(&mut inner, ctrl.epoch.load(Ordering::Relaxed));
+        } else {
+            inner.queues.entry(key).or_default().push_back(msg);
+        }
+        ctrl.progress.fetch_add(1, Ordering::Relaxed);
         self.cond.notify_all();
     }
 
-    fn pop_blocking(&self, key: Key) -> Box<dyn Any + Send> {
-        let mut inner = self.inner.lock().expect("mailbox poisoned");
-        loop {
-            if let Some(q) = inner.queues.get_mut(&key) {
-                if let Some(msg) = q.pop_front() {
-                    return msg;
-                }
-            }
-            inner = self.cond.wait(inner).expect("mailbox poisoned");
+    /// Move schedule-held messages whose release epoch has passed into the
+    /// visible queues, in (release, send-sequence) order.
+    fn deliver_ready(inner: &mut MailboxInner, now: u64) {
+        if inner.pending.is_empty() {
+            return;
         }
+        inner.pending.sort_by_key(|p| (p.release, p.seq));
+        let ready = inner
+            .pending
+            .iter()
+            .take_while(|p| p.release <= now)
+            .count();
+        for p in inner.pending.drain(..ready) {
+            inner.queues.entry(p.key).or_default().push_back(p.msg);
+        }
+    }
+
+    fn pop_blocking(
+        &self,
+        key: Key,
+        ctrl: &Control,
+        rank: usize,
+    ) -> Result<Box<dyn Any + Send>, Aborted> {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        let mut announced = false;
+        loop {
+            Self::deliver_ready(&mut inner, ctrl.epoch.load(Ordering::Relaxed));
+            if let Some(msg) = inner.queues.get_mut(&key).and_then(|q| q.pop_front()) {
+                if announced {
+                    ctrl.set_blocked(rank, None);
+                }
+                ctrl.progress.fetch_add(1, Ordering::Relaxed);
+                return Ok(msg);
+            }
+            if ctrl.aborted.load(Ordering::SeqCst) {
+                return Err(Aborted);
+            }
+            if ctrl.tracking {
+                if !announced {
+                    ctrl.set_blocked(
+                        rank,
+                        Some(BlockKind::Recv {
+                            source: key.0,
+                            tag: key.1,
+                        }),
+                    );
+                    announced = true;
+                }
+                let (guard, timeout) = self
+                    .cond
+                    .wait_timeout(inner, TRACKING_WAIT)
+                    .expect("mailbox poisoned");
+                inner = guard;
+                if timeout.timed_out() {
+                    // Blocked time advances the schedule clock so held-back
+                    // messages cannot starve a waiting receiver.
+                    ctrl.epoch.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                inner = self.cond.wait(inner).expect("mailbox poisoned");
+            }
+        }
+    }
+
+    fn try_pop(&self, key: Key, ctrl: &Control) -> Option<Box<dyn Any + Send>> {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        Self::deliver_ready(&mut inner, ctrl.epoch.load(Ordering::Relaxed));
+        let msg = inner.queues.get_mut(&key).and_then(|q| q.pop_front());
+        if msg.is_some() {
+            ctrl.progress.fetch_add(1, Ordering::Relaxed);
+        }
+        msg
+    }
+
+    /// Stranded messages, by queue — the leak check at teardown.
+    fn leaks(&self, dest: usize) -> Vec<LeakRecord> {
+        let mut inner = self.inner.lock().expect("mailbox poisoned");
+        // Anything still pending would have been delivered eventually; count
+        // it as stranded too.
+        Self::deliver_ready(&mut inner, u64::MAX);
+        let mut out: Vec<LeakRecord> = inner
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(source, tag), q)| LeakRecord {
+                dest,
+                source,
+                tag,
+                count: q.len(),
+            })
+            .collect();
+        out.sort_by_key(|l| (l.source, l.tag));
+        out
+    }
+}
+
+/// Condvar-based barrier that observes the abort flag, so a wedged universe
+/// can be torn down even with ranks parked here (std's `Barrier` cannot be
+/// interrupted).
+struct SimBarrier {
+    state: Mutex<(usize, u64)>, // (waiting count, generation)
+    cond: Condvar,
+    n: usize,
+}
+
+impl SimBarrier {
+    fn new(n: usize) -> Self {
+        Self {
+            state: Mutex::new((0, 0)),
+            cond: Condvar::new(),
+            n,
+        }
+    }
+
+    fn wait(&self, ctrl: &Control, rank: usize) -> Result<(), Aborted> {
+        let mut state = self.state.lock().expect("barrier poisoned");
+        state.0 += 1;
+        if state.0 == self.n {
+            state.0 = 0;
+            state.1 = state.1.wrapping_add(1);
+            ctrl.progress.fetch_add(1, Ordering::Relaxed);
+            self.cond.notify_all();
+            return Ok(());
+        }
+        let gen = state.1;
+        ctrl.set_blocked(rank, Some(BlockKind::Barrier));
+        while state.1 == gen {
+            if ctrl.aborted.load(Ordering::SeqCst) {
+                return Err(Aborted);
+            }
+            state = if ctrl.tracking {
+                self.cond
+                    .wait_timeout(state, TRACKING_WAIT)
+                    .expect("barrier poisoned")
+                    .0
+            } else {
+                self.cond.wait(state).expect("barrier poisoned")
+            };
+        }
+        ctrl.set_blocked(rank, None);
+        Ok(())
+    }
+
+    /// Wake every parked rank (used by the abort path).
+    fn wake_all(&self) {
+        let _guard = self.state.lock().expect("barrier poisoned");
+        self.cond.notify_all();
     }
 }
 
@@ -99,7 +456,20 @@ impl Mailbox {
 struct Shared {
     mailboxes: Vec<Mailbox>,
     traffic: Traffic,
-    barrier: std::sync::Barrier,
+    barrier: SimBarrier,
+    ctrl: Control,
+}
+
+impl Shared {
+    /// Set the abort flag and wake every blocked rank so teardown can join.
+    fn abort(&self) {
+        self.ctrl.aborted.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            let _guard = mb.inner.lock().expect("mailbox poisoned");
+            mb.cond.notify_all();
+        }
+        self.barrier.wake_all();
+    }
 }
 
 /// A rank's handle to the universe: its identity plus messaging operations.
@@ -141,7 +511,7 @@ impl Comm {
         self.shared
             .traffic
             .record(self.rank, dest, value.byte_len());
-        self.shared.mailboxes[dest].push((self.rank, tag), Box::new(value));
+        self.shared.mailboxes[dest].push((self.rank, tag), Box::new(value), &self.shared.ctrl);
     }
 
     /// Blocking receive of a `T` from `source` with matching `tag`.
@@ -156,13 +526,37 @@ impl Comm {
     }
 
     pub(crate) fn recv_internal<T: Payload>(&self, source: usize, tag: u64) -> T {
-        let any = self.shared.mailboxes[self.rank].pop_blocking((source, tag));
+        let any = match self.shared.mailboxes[self.rank].pop_blocking(
+            (source, tag),
+            &self.shared.ctrl,
+            self.rank,
+        ) {
+            Ok(msg) => msg,
+            Err(Aborted) => std::panic::panic_any(Aborted),
+        };
         *any.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "rank {}: type mismatch receiving tag {tag} from rank {source}",
                 self.rank
             )
         })
+    }
+
+    /// Non-blocking receive: `Some(value)` if a matching message has already
+    /// been delivered, `None` otherwise — the `MPI_Iprobe`+recv motif.
+    /// Programs whose *results* depend on `try_recv` timing are
+    /// order-dependent; the schedule-exploration harness ([`crate::sched`])
+    /// exists to flag exactly that.
+    pub fn try_recv<T: Payload>(&self, source: usize, tag: u64) -> Option<T> {
+        assert!(source < self.size);
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^62");
+        let any = self.shared.mailboxes[self.rank].try_pop((source, tag), &self.shared.ctrl)?;
+        Some(*any.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving tag {tag} from rank {source}",
+                self.rank
+            )
+        }))
     }
 
     /// Combined send-to-one / receive-from-another, the ghost-exchange motif.
@@ -181,7 +575,14 @@ impl Comm {
 
     /// Synchronise all ranks.
     pub fn barrier(&self) {
-        self.shared.barrier.wait();
+        if self
+            .shared
+            .barrier
+            .wait(&self.shared.ctrl, self.rank)
+            .is_err()
+        {
+            std::panic::panic_any(Aborted);
+        }
     }
 
     /// Snapshot of the universe's traffic counters (shared by all ranks).
@@ -193,6 +594,15 @@ impl Comm {
 /// Factory for SPMD runs.
 pub struct Universe;
 
+/// Outcome of one rank in a checked run.
+enum RankOutcome<R> {
+    Ok(R),
+    /// Original panic payload, re-raised by the plain entry points.
+    Panicked(Box<dyn Any + Send>),
+    /// Unwound by the abort path; the real error is recorded elsewhere.
+    Aborted,
+}
+
 impl Universe {
     /// Run `f` on `n` ranks (threads); returns each rank's result, indexed by
     /// rank, plus the accumulated traffic statistics.
@@ -201,44 +611,12 @@ impl Universe {
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
-        assert!(n >= 1);
-        let shared = Arc::new(Shared {
-            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
-            traffic: Traffic::new(n),
-            barrier: std::sync::Barrier::new(n),
-        });
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (rank, slot) in results.iter_mut().enumerate() {
-                let shared = Arc::clone(&shared);
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    let comm = Comm {
-                        rank,
-                        size: n,
-                        shared,
-                        collective_seq: AtomicU64::new(0),
-                    };
-                    *slot = Some(f(&comm));
-                }));
-            }
-            for h in handles {
-                if let Err(payload) = h.join() {
-                    // Re-raise the rank's own panic so callers (and tests)
-                    // see the original message.
-                    std::panic::resume_unwind(payload);
-                }
-            }
-        });
-        let traffic = shared.traffic.clone_snapshot();
-        (
-            results
-                .into_iter()
-                .map(|r| r.expect("rank produced no result"))
-                .collect(),
-            traffic,
-        )
+        match Self::run_inner(n, &SimOptions::default(), &f) {
+            Ok(out) => out,
+            Err(RunFailure::Panic { payload, .. }) => std::panic::resume_unwind(payload),
+            // Watchdog and leak checks are off in the default options.
+            Err(other) => unreachable!("unchecked run produced {:?}", other.kind()),
+        }
     }
 
     /// Run `f` on `n` ranks, discarding traffic statistics.
@@ -248,6 +626,211 @@ impl Universe {
         F: Fn(&Comm) -> R + Send + Sync,
     {
         Self::run_with_traffic(n, f).0
+    }
+
+    /// Run `f` on `n` ranks under verification `opts`, reporting deadlocks,
+    /// message leaks and rank panics as errors instead of hanging or
+    /// propagating.
+    pub fn run_checked<R, F>(
+        n: usize,
+        opts: SimOptions,
+        f: F,
+    ) -> Result<(Vec<R>, Traffic), SimError>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_inner(n, &opts, &f).map_err(|failure| match failure {
+            RunFailure::Deadlock { blocked } => SimError::Deadlock { blocked },
+            RunFailure::Leak { leaks } => SimError::Leak { leaks },
+            RunFailure::Panic { rank, payload } => SimError::RankPanic {
+                rank,
+                message: panic_message(payload.as_ref()),
+            },
+        })
+    }
+
+    fn run_inner<R, F>(n: usize, opts: &SimOptions, f: &F) -> Result<(Vec<R>, Traffic), RunFailure>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        assert!(n >= 1);
+        let shared = Arc::new(Shared {
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            traffic: Traffic::new(n),
+            barrier: SimBarrier::new(n),
+            ctrl: Control::new(n, opts),
+        });
+        let deadlock: Mutex<Option<Vec<BlockedOp>>> = Mutex::new(None);
+        let mut outcomes: Vec<RankOutcome<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    let comm = Comm {
+                        rank,
+                        size: n,
+                        shared: Arc::clone(&shared),
+                        collective_seq: AtomicU64::new(0),
+                    };
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+                    shared.ctrl.finished.fetch_add(1, Ordering::SeqCst);
+                    match result {
+                        Ok(r) => RankOutcome::Ok(r),
+                        Err(payload) if payload.is::<Aborted>() => RankOutcome::Aborted,
+                        Err(payload) => {
+                            // Unblock peers waiting on this rank so teardown
+                            // can join them; in unchecked mode the abort
+                            // unwinds them with `Aborted`, which is swallowed
+                            // and superseded by this panic.
+                            shared.abort();
+                            RankOutcome::Panicked(payload)
+                        }
+                    }
+                }));
+            }
+
+            if let Some(timeout) = opts.deadlock_timeout {
+                Self::watchdog(&shared, n, timeout, &deadlock);
+            }
+            outcomes = handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread itself never panics"))
+                .collect();
+        });
+
+        // A real panic outranks the secondary Aborted unwinds it caused.
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        let mut panic: Option<(usize, Box<dyn Any + Send>)> = None;
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                RankOutcome::Ok(r) => results.push(Some(r)),
+                RankOutcome::Aborted => results.push(None),
+                RankOutcome::Panicked(payload) => {
+                    results.push(None);
+                    if panic.is_none() {
+                        panic = Some((rank, payload));
+                    }
+                }
+            }
+        }
+        if let Some((rank, payload)) = panic {
+            return Err(RunFailure::Panic { rank, payload });
+        }
+        if let Some(blocked) = deadlock.lock().expect("deadlock slot poisoned").take() {
+            return Err(RunFailure::Deadlock { blocked });
+        }
+        if opts.verify_leaks {
+            let leaks: Vec<LeakRecord> = shared
+                .mailboxes
+                .iter()
+                .enumerate()
+                .flat_map(|(dest, mb)| mb.leaks(dest))
+                .collect();
+            if !leaks.is_empty() {
+                return Err(RunFailure::Leak { leaks });
+            }
+        }
+
+        let traffic = shared.traffic.clone_snapshot();
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("non-Ok outcomes were returned as errors above"))
+            .collect();
+        Ok((results, traffic))
+    }
+
+    /// Monitor progress; when it stalls for `timeout` with every unfinished
+    /// rank blocked, record the blocked set and abort the universe. Runs on
+    /// the supervising thread (rank threads are already spawned).
+    fn watchdog(
+        shared: &Shared,
+        n: usize,
+        timeout: Duration,
+        slot: &Mutex<Option<Vec<BlockedOp>>>,
+    ) {
+        let poll = Duration::from_millis(2)
+            .min(timeout / 4)
+            .max(Duration::from_millis(1));
+        let mut last_progress = shared.ctrl.progress.load(Ordering::Relaxed);
+        let mut stall_since = Instant::now();
+        loop {
+            std::thread::sleep(poll);
+            if shared.ctrl.finished.load(Ordering::SeqCst) == n
+                || shared.ctrl.aborted.load(Ordering::SeqCst)
+            {
+                return;
+            }
+            let progress = shared.ctrl.progress.load(Ordering::Relaxed);
+            if progress != last_progress {
+                last_progress = progress;
+                stall_since = Instant::now();
+                continue;
+            }
+            if stall_since.elapsed() < timeout {
+                continue;
+            }
+            // Progress has stalled. It is a deadlock only if every rank that
+            // has not finished is parked in a blocking operation.
+            let finished = shared.ctrl.finished.load(Ordering::SeqCst);
+            let blocked: Vec<BlockedOp> = shared
+                .ctrl
+                .blocked
+                .iter()
+                .enumerate()
+                .filter_map(|(rank, b)| {
+                    b.lock()
+                        .expect("blocked slot poisoned")
+                        .map(|kind| BlockedOp { rank, kind })
+                })
+                .collect();
+            if blocked.len() + finished < n {
+                // Some rank is computing (long kernel) — not a deadlock.
+                stall_since = Instant::now();
+                continue;
+            }
+            *slot.lock().expect("deadlock slot poisoned") = Some(blocked);
+            shared.abort();
+            return;
+        }
+    }
+}
+
+/// Internal failure carrying the raw panic payload (so the plain entry
+/// points can re-raise it unchanged).
+enum RunFailure {
+    Deadlock {
+        blocked: Vec<BlockedOp>,
+    },
+    Leak {
+        leaks: Vec<LeakRecord>,
+    },
+    Panic {
+        rank: usize,
+        payload: Box<dyn Any + Send>,
+    },
+}
+
+impl RunFailure {
+    fn kind(&self) -> &'static str {
+        match self {
+            RunFailure::Deadlock { .. } => "deadlock",
+            RunFailure::Leak { .. } => "leak",
+            RunFailure::Panic { .. } => "panic",
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -362,5 +945,154 @@ mod tests {
             c.rank()
         });
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn checked_run_passes_clean_program() {
+        let opts = SimOptions {
+            verify_leaks: true,
+            deadlock_timeout: Some(Duration::from_secs(2)),
+            schedule_seed: None,
+        };
+        let (out, traffic) = Universe::run_checked(3, opts, |c| {
+            let next = (c.rank() + 1) % 3;
+            let prev = (c.rank() + 2) % 3;
+            c.barrier();
+            c.sendrecv(next, 4, c.rank() as u64, prev, 4)
+        })
+        .expect("clean exchange");
+        assert_eq!(out, vec![2, 0, 1]);
+        assert_eq!(traffic.messages_between(0, 1), 1);
+    }
+
+    #[test]
+    fn recv_before_send_deadlock_is_caught_not_hung() {
+        // Both ranks receive before sending — with addressed receives this
+        // wedges forever; the watchdog must catch and report it.
+        let opts = SimOptions {
+            verify_leaks: false,
+            deadlock_timeout: Some(Duration::from_millis(150)),
+            schedule_seed: None,
+        };
+        let err = Universe::run_checked(2, opts, |c| {
+            let other = 1 - c.rank();
+            let got: u64 = c.recv(other, 1); // blocks: nobody has sent yet
+            c.send(other, 1, got + 1);
+            got
+        })
+        .expect_err("must deadlock");
+        let SimError::Deadlock { blocked } = err else {
+            panic!("expected deadlock, got {err}");
+        };
+        assert_eq!(blocked.len(), 2);
+        for b in &blocked {
+            assert!(matches!(b.kind, BlockKind::Recv { tag: 1, .. }), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn unreceived_message_fails_teardown_in_verify_mode() {
+        let opts = SimOptions {
+            verify_leaks: true,
+            ..SimOptions::default()
+        };
+        let err = Universe::run_checked(2, opts, |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, 42u64); // nobody ever receives this
+            }
+            c.rank()
+        })
+        .expect_err("leak must fail teardown");
+        let SimError::Leak { leaks } = err else {
+            panic!("expected leak, got {err}");
+        };
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(
+            leaks[0],
+            LeakRecord {
+                dest: 1,
+                source: 0,
+                tag: 9,
+                count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn leaks_ignored_without_verify_mode() {
+        let (out, _) = Universe::run_checked(2, SimOptions::default(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, 42u64);
+            }
+            c.rank()
+        })
+        .expect("verify off: leak tolerated");
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn checked_run_reports_rank_panics() {
+        let err = Universe::run_checked(2, SimOptions::default(), |c| {
+            if c.rank() == 1 {
+                panic!("boom on rank 1");
+            }
+            c.rank()
+        })
+        .expect_err("panic must be reported");
+        let SimError::RankPanic { rank, message } = err else {
+            panic!("expected rank panic, got {err}");
+        };
+        assert_eq!(rank, 1);
+        assert!(message.contains("boom"), "{message}");
+    }
+
+    #[test]
+    fn panic_unblocks_peers_waiting_on_the_dead_rank() {
+        // Rank 0 waits on a message rank 1 never sends because it panics;
+        // the abort path must unwind rank 0 rather than hang the join.
+        let err = Universe::run_checked(2, SimOptions::default(), |c| {
+            if c.rank() == 1 {
+                panic!("early death");
+            }
+            c.recv::<u64>(1, 5)
+        })
+        .expect_err("panic reported");
+        assert!(matches!(err, SimError::RankPanic { rank: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn schedule_delays_preserve_per_key_order() {
+        for seed in 0..6 {
+            let opts = SimOptions::checked(seed, Duration::from_secs(2));
+            let (out, _) = Universe::run_checked(2, opts, |c| {
+                if c.rank() == 0 {
+                    for i in 0..40u64 {
+                        c.send(1, 3, i);
+                    }
+                    Vec::new()
+                } else {
+                    (0..40).map(|_| c.recv::<u64>(0, 3)).collect::<Vec<u64>>()
+                }
+            })
+            .expect("ordered stream");
+            assert_eq!(out[1], (0..40).collect::<Vec<u64>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schedule_mode_runs_collectives_correctly() {
+        for seed in [1u64, 17, 99] {
+            let opts = SimOptions::checked(seed, Duration::from_secs(5));
+            let (out, _) = Universe::run_checked(4, opts, |c| {
+                let s = c.allreduce_sum(c.rank() as f64 + 1.0);
+                let g = c.allgather(c.rank() as u64);
+                (s, g)
+            })
+            .expect("collectives under perturbed delivery");
+            for (s, g) in out {
+                assert_eq!(s, 10.0);
+                assert_eq!(g, vec![0, 1, 2, 3]);
+            }
+        }
     }
 }

@@ -25,14 +25,32 @@
 //! Sends are buffered and non-blocking (the mailbox is unbounded); `recv`
 //! blocks until a matching `(source, tag)` message arrives. Message order is
 //! preserved per `(source, tag)` pair, like MPI's non-overtaking guarantee.
+//!
+//! # Verification
+//!
+//! Exchange patterns can be checked *before* execution and stress-tested
+//! *across* executions:
+//!
+//! * [`plan::CommPlan`] — declare an exchange as `(src, dst, tag, bytes)`
+//!   edges and statically reject unmatched sends/recvs, tag collisions,
+//!   wait-for deadlock cycles, off-topology edges, and volume asymmetry.
+//! * [`Universe::run_checked`] — run with a deadlock watchdog, seeded
+//!   message-delivery delays, and an unreceived-message leak check at rank
+//!   exit, returning [`comm::SimError`] instead of hanging.
+//! * [`sched::Explorer`] — replay a program under many delivery schedules and
+//!   flag order-dependent results.
 
 pub mod cart;
 pub mod collectives;
 pub mod comm;
+pub mod plan;
+pub mod sched;
 pub mod topology;
 pub mod traffic;
 
 pub use cart::Cart3;
-pub use comm::{Comm, Payload, Universe};
+pub use comm::{BlockKind, BlockedOp, Comm, LeakRecord, Payload, SimError, SimOptions, Universe};
+pub use plan::{cart_neighbor_edges, CommPlan, PlanChecks, PlanError, PlanStats, ANY_BYTES};
+pub use sched::{ExplorationReport, Explorer};
 pub use topology::TofuTorus;
 pub use traffic::Traffic;

@@ -1,0 +1,675 @@
+//! Declarative communication plans and their static verifier.
+//!
+//! The exchanges that dominate the paper's communication budget — ghost-plane
+//! exchange for the spatial sweeps, the all-to-all transposes of the
+//! distributed FFT, halo particle exchange for the tree part — are
+//! hand-orchestrated sequences of tag-matched sends and receives. A miswired
+//! exchange (swapped tag, wrong neighbour, missing receive) shows up at run
+//! time as a hang or a silently wrong answer. A [`CommPlan`] expresses the
+//! *intended* exchange declaratively, one ordered program of [`Op`]s per rank,
+//! and [`CommPlan::verify`] checks it **before any message moves**:
+//!
+//! * every send has a matching receive and vice versa (no leaks, no
+//!   forever-blocked receives);
+//! * no two sends (or receives) collide on the same `(src, dst, tag)` key,
+//!   which would make matching order-dependent;
+//! * matched sends and receives agree on the byte count;
+//! * the plan is deadlock-free: an abstract execution (sends are
+//!   non-blocking, receives block until the matching send has executed)
+//!   runs to completion — wait-for cycles are reported with the blocked set;
+//! * optionally, every edge stays inside an allowed topology (e.g. the
+//!   [`crate::Cart3`] neighbour set, see [`cart_neighbor_edges`]);
+//! * optionally, per-pair volume is symmetric (`bytes(a→b) == bytes(b→a)`),
+//!   the conservation property of ghost and transpose exchanges.
+//!
+//! Plans are cheap (`O(ops)`), so callers verify them at construction time or
+//! behind a debug/verify flag on the first step of a run.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use vlasov6d_mesh::Decomp3;
+
+/// Byte-count wildcard for exchanges whose payload size is data-dependent
+/// (e.g. particle halos). Matching skips the size comparison when either
+/// side declares `ANY_BYTES`, and volume checks ignore the edge.
+pub const ANY_BYTES: u64 = u64::MAX;
+
+/// One step of a rank's communication program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Non-blocking buffered send, as in [`crate::Comm::send`].
+    Send { to: usize, tag: u64, bytes: u64 },
+    /// Blocking receive, as in [`crate::Comm::recv`].
+    Recv { from: usize, tag: u64, bytes: u64 },
+}
+
+/// A declarative plan: one ordered [`Op`] program per rank.
+#[derive(Debug, Clone, Default)]
+pub struct CommPlan {
+    name: String,
+    programs: Vec<Vec<Op>>,
+}
+
+/// What [`CommPlan::verify_with`] checks beyond the always-on core checks.
+#[derive(Debug, Clone, Default)]
+pub struct PlanChecks {
+    /// Allowed directed `(src, dst)` edges; `None` skips the topology check.
+    pub topology: Option<HashSet<(usize, usize)>>,
+    /// Require `bytes(a→b) == bytes(b→a)` for every pair (conservative
+    /// exchanges: ghosts, transposes, gradients).
+    pub volume_symmetry: bool,
+}
+
+/// Summary of a successfully verified plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Number of send ops (== matched edges after verification).
+    pub sends: usize,
+    /// Number of recv ops.
+    pub recvs: usize,
+    /// Total declared bytes over all sends (`ANY_BYTES` edges contribute 0).
+    pub bytes: u64,
+}
+
+/// A defect found by the verifier. `src`/`dst`/`tag` identify the edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A send no receive ever matches: the message would sit in the mailbox
+    /// forever (leak).
+    UnmatchedSend { src: usize, dst: usize, tag: u64 },
+    /// A receive no send ever matches: the rank would block forever.
+    UnmatchedRecv { src: usize, dst: usize, tag: u64 },
+    /// Two sends (or two receives) share a `(src, dst, tag)` key.
+    TagCollision {
+        src: usize,
+        dst: usize,
+        tag: u64,
+        kind: &'static str,
+    },
+    /// Matched send and receive disagree on the byte count.
+    ByteMismatch {
+        src: usize,
+        dst: usize,
+        tag: u64,
+        sent: u64,
+        expected: u64,
+    },
+    /// An edge leaves the allowed topology.
+    TopologyViolation { src: usize, dst: usize, tag: u64 },
+    /// Per-pair volume is asymmetric under [`PlanChecks::volume_symmetry`].
+    VolumeAsymmetry {
+        a: usize,
+        b: usize,
+        a_to_b: u64,
+        b_to_a: u64,
+    },
+    /// The abstract execution wedged: each entry is a rank blocked in a
+    /// receive, with the op index it is stuck at.
+    Deadlock {
+        blocked: Vec<BlockedRecv>,
+        /// A wait-for cycle among the blocked ranks, if one exists
+        /// (`r[i]` waits on a send owned by `r[i+1]`, wrapping).
+        cycle: Vec<usize>,
+    },
+}
+
+/// One rank wedged in a receive during the abstract execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedRecv {
+    /// The blocked rank.
+    pub rank: usize,
+    /// Index of the blocking op in the rank's program.
+    pub op_index: usize,
+    /// Source the receive waits on.
+    pub from: usize,
+    /// Tag the receive waits on.
+    pub tag: u64,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnmatchedSend { src, dst, tag } => write!(
+                f,
+                "unmatched send {src} -> {dst} tag {tag}: no receive ever matches (leak)"
+            ),
+            PlanError::UnmatchedRecv { src, dst, tag } => write!(
+                f,
+                "unmatched recv at rank {dst} from {src} tag {tag}: no send ever matches (would block forever)"
+            ),
+            PlanError::TagCollision {
+                src,
+                dst,
+                tag,
+                kind,
+            } => write!(
+                f,
+                "tag collision: multiple {kind}s on edge {src} -> {dst} tag {tag}"
+            ),
+            PlanError::ByteMismatch {
+                src,
+                dst,
+                tag,
+                sent,
+                expected,
+            } => write!(
+                f,
+                "byte mismatch on {src} -> {dst} tag {tag}: send declares {sent} B, recv expects {expected} B"
+            ),
+            PlanError::TopologyViolation { src, dst, tag } => write!(
+                f,
+                "topology violation: edge {src} -> {dst} tag {tag} is not an allowed neighbour pair"
+            ),
+            PlanError::VolumeAsymmetry { a, b, a_to_b, b_to_a } => write!(
+                f,
+                "volume asymmetry between ranks {a} and {b}: {a_to_b} B vs {b_to_a} B"
+            ),
+            PlanError::Deadlock { blocked, cycle } => {
+                write!(f, "deadlock: ")?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(
+                        f,
+                        "rank {} blocked at op {} waiting recv(from {}, tag {})",
+                        b.rank, b.op_index, b.from, b.tag
+                    )?;
+                }
+                if !cycle.is_empty() {
+                    write!(f, " [wait-for cycle: ")?;
+                    for r in cycle {
+                        write!(f, "{r} -> ")?;
+                    }
+                    write!(f, "{}]", cycle[0])?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl CommPlan {
+    /// Empty plan over `n_ranks` ranks.
+    pub fn new(name: impl Into<String>, n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1);
+        Self {
+            name: name.into(),
+            programs: vec![Vec::new(); n_ranks],
+        }
+    }
+
+    /// The plan's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of ranks the plan spans.
+    pub fn n_ranks(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Rank `src`'s program gains a send to `dst`.
+    pub fn send(&mut self, src: usize, dst: usize, tag: u64, bytes: u64) -> &mut Self {
+        assert!(src < self.n_ranks() && dst < self.n_ranks());
+        self.programs[src].push(Op::Send {
+            to: dst,
+            tag,
+            bytes,
+        });
+        self
+    }
+
+    /// Rank `dst`'s program gains a receive from `src`.
+    pub fn recv(&mut self, dst: usize, src: usize, tag: u64, bytes: u64) -> &mut Self {
+        assert!(src < self.n_ranks() && dst < self.n_ranks());
+        self.programs[dst].push(Op::Recv {
+            from: src,
+            tag,
+            bytes,
+        });
+        self
+    }
+
+    /// The [`crate::Comm::sendrecv`] motif: `rank` sends to `dst` then
+    /// receives from `src`, both of `bytes` size.
+    pub fn sendrecv(
+        &mut self,
+        rank: usize,
+        dst: usize,
+        send_tag: u64,
+        src: usize,
+        recv_tag: u64,
+        bytes: u64,
+    ) -> &mut Self {
+        self.send(rank, dst, send_tag, bytes);
+        self.recv(rank, src, recv_tag, bytes);
+        self
+    }
+
+    /// A rank's program (for inspection and tests).
+    pub fn program(&self, rank: usize) -> &[Op] {
+        &self.programs[rank]
+    }
+
+    /// Run the core checks (matching, collisions, byte agreement, deadlock
+    /// freedom). Equivalent to `verify_with(&PlanChecks::default())`.
+    pub fn verify(&self) -> Result<PlanStats, Vec<PlanError>> {
+        self.verify_with(&PlanChecks::default())
+    }
+
+    /// Run the core checks plus the optional topology / volume checks.
+    /// Returns every defect found, not just the first.
+    pub fn verify_with(&self, checks: &PlanChecks) -> Result<PlanStats, Vec<PlanError>> {
+        let mut errors = Vec::new();
+
+        // Index sends and recvs by (src, dst, tag); flag key collisions.
+        let mut sends: HashMap<(usize, usize, u64), u64> = HashMap::new();
+        let mut recvs: HashMap<(usize, usize, u64), u64> = HashMap::new();
+        let (mut n_sends, mut n_recvs, mut total_bytes) = (0usize, 0usize, 0u64);
+        for (rank, prog) in self.programs.iter().enumerate() {
+            for op in prog {
+                match *op {
+                    Op::Send { to, tag, bytes } => {
+                        n_sends += 1;
+                        if bytes != ANY_BYTES {
+                            total_bytes += bytes;
+                        }
+                        if sends.insert((rank, to, tag), bytes).is_some() {
+                            errors.push(PlanError::TagCollision {
+                                src: rank,
+                                dst: to,
+                                tag,
+                                kind: "send",
+                            });
+                        }
+                    }
+                    Op::Recv { from, tag, bytes } => {
+                        n_recvs += 1;
+                        if recvs.insert((from, rank, tag), bytes).is_some() {
+                            errors.push(PlanError::TagCollision {
+                                src: from,
+                                dst: rank,
+                                tag,
+                                kind: "recv",
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Matching and byte agreement.
+        let mut have_unmatched_recv = false;
+        for (&(src, dst, tag), &sent) in &sends {
+            match recvs.get(&(src, dst, tag)) {
+                None => errors.push(PlanError::UnmatchedSend { src, dst, tag }),
+                Some(&expected) => {
+                    if sent != ANY_BYTES && expected != ANY_BYTES && sent != expected {
+                        errors.push(PlanError::ByteMismatch {
+                            src,
+                            dst,
+                            tag,
+                            sent,
+                            expected,
+                        });
+                    }
+                }
+            }
+        }
+        for &(src, dst, tag) in recvs.keys() {
+            if !sends.contains_key(&(src, dst, tag)) {
+                errors.push(PlanError::UnmatchedRecv { src, dst, tag });
+                have_unmatched_recv = true;
+            }
+        }
+
+        // Topology.
+        if let Some(allowed) = &checks.topology {
+            for &(src, dst, tag) in sends.keys() {
+                if src != dst && !allowed.contains(&(src, dst)) {
+                    errors.push(PlanError::TopologyViolation { src, dst, tag });
+                }
+            }
+        }
+
+        // Volume symmetry over matched, sized edges.
+        if checks.volume_symmetry {
+            let mut pair_bytes: HashMap<(usize, usize), u64> = HashMap::new();
+            for (&(src, dst, _), &bytes) in &sends {
+                if bytes != ANY_BYTES {
+                    *pair_bytes.entry((src, dst)).or_default() += bytes;
+                }
+            }
+            for (&(a, b), &a_to_b) in &pair_bytes {
+                if a < b {
+                    let b_to_a = pair_bytes.get(&(b, a)).copied().unwrap_or(0);
+                    if a_to_b != b_to_a {
+                        errors.push(PlanError::VolumeAsymmetry {
+                            a,
+                            b,
+                            a_to_b,
+                            b_to_a,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Deadlock freedom via abstract execution. Unmatched receives would
+        // trivially wedge it, so only run once matching is clean — the
+        // unmatched-recv error already tells the caller what is wrong.
+        if !have_unmatched_recv {
+            if let Some(err) = self.simulate() {
+                errors.push(err);
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(PlanStats {
+                sends: n_sends,
+                recvs: n_recvs,
+                bytes: total_bytes,
+            })
+        } else {
+            errors.sort_by_key(error_order);
+            Err(errors)
+        }
+    }
+
+    /// Verify and panic with a readable report on failure — the form used
+    /// behind `verify` flags in the drivers.
+    pub fn assert_valid(&self, checks: &PlanChecks) -> PlanStats {
+        match self.verify_with(checks) {
+            Ok(stats) => stats,
+            Err(errors) => {
+                let mut msg = format!("comm plan '{}' failed verification:\n", self.name);
+                for e in &errors {
+                    msg.push_str(&format!("  - {e}\n"));
+                }
+                panic!("{msg}");
+            }
+        }
+    }
+
+    /// Abstract execution: sends never block; a receive executes once the
+    /// matching send has executed (per-key FIFO is irrelevant here because
+    /// collisions were already rejected). Returns the deadlock report if the
+    /// execution wedges.
+    fn simulate(&self) -> Option<PlanError> {
+        let n = self.n_ranks();
+        let mut pc = vec![0usize; n];
+        let mut posted: HashSet<(usize, usize, u64)> = HashSet::new();
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for rank in 0..n {
+                while pc[rank] < self.programs[rank].len() {
+                    match self.programs[rank][pc[rank]] {
+                        Op::Send { to, tag, .. } => {
+                            posted.insert((rank, to, tag));
+                        }
+                        Op::Recv { from, tag, .. } => {
+                            if !posted.remove(&(from, rank, tag)) {
+                                break;
+                            }
+                        }
+                    }
+                    pc[rank] += 1;
+                    progress = true;
+                }
+            }
+        }
+
+        let blocked: Vec<BlockedRecv> = (0..n)
+            .filter(|&r| pc[r] < self.programs[r].len())
+            .map(|r| match self.programs[r][pc[r]] {
+                Op::Recv { from, tag, .. } => BlockedRecv {
+                    rank: r,
+                    op_index: pc[r],
+                    from,
+                    tag,
+                },
+                // Sends always execute, so a wedged rank is mid-receive.
+                Op::Send { .. } => unreachable!("abstract execution never blocks on a send"),
+            })
+            .collect();
+        if blocked.is_empty() {
+            return None;
+        }
+
+        // Follow the wait-for relation (blocked rank -> rank owning the
+        // pending matching send) until it revisits a rank: that is a cycle.
+        let waits_on: HashMap<usize, usize> = blocked
+            .iter()
+            .filter(|b| {
+                // Only a wait on another *blocked* rank can be part of a cycle.
+                blocked.iter().any(|o| o.rank == b.from)
+            })
+            .map(|b| (b.rank, b.from))
+            .collect();
+        let mut cycle = Vec::new();
+        if let Some((&start, _)) = waits_on.iter().next() {
+            let mut seen = HashMap::new();
+            let mut cur = start;
+            while let Some(&next) = waits_on.get(&cur) {
+                if let Some(&pos) = seen.get(&cur) {
+                    cycle = cycle.split_off(pos);
+                    break;
+                }
+                seen.insert(cur, cycle.len());
+                cycle.push(cur);
+                cur = next;
+            }
+            if !waits_on.contains_key(&cur) {
+                cycle.clear();
+            }
+        }
+        Some(PlanError::Deadlock { blocked, cycle })
+    }
+}
+
+fn error_order(e: &PlanError) -> u8 {
+    match e {
+        PlanError::TagCollision { .. } => 0,
+        PlanError::ByteMismatch { .. } => 1,
+        PlanError::UnmatchedRecv { .. } => 2,
+        PlanError::UnmatchedSend { .. } => 3,
+        PlanError::TopologyViolation { .. } => 4,
+        PlanError::VolumeAsymmetry { .. } => 5,
+        PlanError::Deadlock { .. } => 6,
+    }
+}
+
+/// The directed neighbour edges of the 3-D Cartesian topology of `decomp`:
+/// every `(rank, ±1-neighbour-along-axis)` pair, exactly the edges
+/// [`crate::Cart3::shift_exchange`] uses. On an axis with one rank the
+/// neighbour is the rank itself, so self-edges appear naturally.
+pub fn cart_neighbor_edges(decomp: &Decomp3) -> HashSet<(usize, usize)> {
+    let mut edges = HashSet::new();
+    for rank in 0..decomp.n_ranks() {
+        for axis in 0..3 {
+            for dir in [-1i64, 1] {
+                edges.insert((rank, decomp.neighbor(rank, axis, dir)));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_plan(n: usize, tag: u64) -> CommPlan {
+        let mut plan = CommPlan::new("ring", n);
+        for r in 0..n {
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            plan.sendrecv(r, next, tag, prev, tag, 64);
+        }
+        plan
+    }
+
+    #[test]
+    fn clean_ring_verifies() {
+        let stats = ring_plan(5, 7).verify().expect("ring plan is clean");
+        assert_eq!(stats.sends, 5);
+        assert_eq!(stats.recvs, 5);
+        assert_eq!(stats.bytes, 5 * 64);
+    }
+
+    #[test]
+    fn unmatched_send_is_a_leak() {
+        let mut plan = CommPlan::new("leak", 2);
+        plan.send(0, 1, 3, 8);
+        let errs = plan.verify().unwrap_err();
+        assert!(matches!(
+            errs[0],
+            PlanError::UnmatchedSend {
+                src: 0,
+                dst: 1,
+                tag: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn unmatched_recv_is_flagged_not_simulated() {
+        let mut plan = CommPlan::new("orphan-recv", 2);
+        plan.recv(1, 0, 9, 8);
+        let errs = plan.verify().unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], PlanError::UnmatchedRecv { .. }));
+    }
+
+    #[test]
+    fn tag_collision_detected() {
+        let mut plan = CommPlan::new("collide", 2);
+        plan.send(0, 1, 5, 8).send(0, 1, 5, 8);
+        plan.recv(1, 0, 5, 8).recv(1, 0, 5, 8);
+        let errs = plan.verify().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlanError::TagCollision { kind: "send", .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlanError::TagCollision { kind: "recv", .. })));
+    }
+
+    #[test]
+    fn byte_mismatch_detected() {
+        let mut plan = CommPlan::new("sizes", 2);
+        plan.send(0, 1, 1, 100).recv(1, 0, 1, 200);
+        let errs = plan.verify().unwrap_err();
+        assert!(matches!(
+            errs[0],
+            PlanError::ByteMismatch {
+                sent: 100,
+                expected: 200,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn any_bytes_skips_size_comparison() {
+        let mut plan = CommPlan::new("halo", 2);
+        plan.send(0, 1, 1, ANY_BYTES).recv(1, 0, 1, 48);
+        plan.send(1, 0, 1, 48).recv(0, 1, 1, ANY_BYTES);
+        plan.verify().expect("wildcard sizes match anything");
+    }
+
+    #[test]
+    fn recv_before_send_cycle_is_a_deadlock() {
+        // Both ranks receive before sending: the classic exchange deadlock
+        // (real MPI with rendezvous sends wedges the same way).
+        let mut plan = CommPlan::new("deadlock", 2);
+        plan.recv(0, 1, 2, 8).send(0, 1, 2, 8);
+        plan.recv(1, 0, 2, 8).send(1, 0, 2, 8);
+        let errs = plan.verify().unwrap_err();
+        let PlanError::Deadlock { blocked, cycle } = &errs[0] else {
+            panic!("expected deadlock, got {:?}", errs[0]);
+        };
+        assert_eq!(blocked.len(), 2);
+        assert_eq!(cycle.len(), 2, "two-rank wait-for cycle: {cycle:?}");
+    }
+
+    #[test]
+    fn ordered_recv_chain_is_not_a_deadlock() {
+        // Rank 1 receives before sending, but rank 0 sends first — the chain
+        // resolves; buffered sends make this safe.
+        let mut plan = CommPlan::new("chain", 2);
+        plan.send(0, 1, 2, 8).recv(0, 1, 3, 8);
+        plan.recv(1, 0, 2, 8).send(1, 0, 3, 8);
+        plan.verify().expect("chain resolves");
+    }
+
+    #[test]
+    fn topology_check_rejects_non_neighbors() {
+        let decomp = Decomp3::new([8, 8, 8], [4, 1, 1]);
+        let allowed = cart_neighbor_edges(&decomp);
+        // 0 -> 2 skips a rank on the 4-rank x-axis ring.
+        let mut plan = CommPlan::new("skip", 4);
+        plan.send(0, 2, 1, 8).recv(2, 0, 1, 8);
+        let errs = plan
+            .verify_with(&PlanChecks {
+                topology: Some(allowed.clone()),
+                volume_symmetry: false,
+            })
+            .unwrap_err();
+        assert!(matches!(errs[0], PlanError::TopologyViolation { .. }));
+        // 0 -> 1 is a real neighbour edge.
+        let mut plan = CommPlan::new("ok", 4);
+        plan.send(0, 1, 1, 8).recv(1, 0, 1, 8);
+        plan.verify_with(&PlanChecks {
+            topology: Some(allowed),
+            volume_symmetry: false,
+        })
+        .expect("neighbour edge allowed");
+    }
+
+    #[test]
+    fn volume_asymmetry_detected() {
+        let mut plan = CommPlan::new("lopsided", 2);
+        plan.send(0, 1, 1, 100).recv(1, 0, 1, 100);
+        plan.send(1, 0, 2, 60).recv(0, 1, 2, 60);
+        let errs = plan
+            .verify_with(&PlanChecks {
+                topology: None,
+                volume_symmetry: true,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            errs[0],
+            PlanError::VolumeAsymmetry {
+                a_to_b: 100,
+                b_to_a: 60,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn self_edges_verify_on_single_rank_axis() {
+        let decomp = Decomp3::new([8, 8, 8], [1, 1, 1]);
+        let allowed = cart_neighbor_edges(&decomp);
+        let mut plan = CommPlan::new("self", 1);
+        plan.sendrecv(0, 0, 1, 0, 1, 32);
+        plan.verify_with(&PlanChecks {
+            topology: Some(allowed),
+            volume_symmetry: true,
+        })
+        .expect("self exchange on P=1 axis is legal");
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let mut plan = CommPlan::new("demo", 2);
+        plan.send(0, 1, 3, 8);
+        let errs = plan.verify().unwrap_err();
+        let text = errs[0].to_string();
+        assert!(text.contains("unmatched send"), "{text}");
+        assert!(text.contains("tag 3"), "{text}");
+    }
+}

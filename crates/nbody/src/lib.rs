@@ -16,11 +16,15 @@
 //!   the shape of that gap).
 //! * [`treepm`] — PM + tree composition returning canonical accelerations.
 //! * [`integrator`] — comoving KDK leapfrog in `(x, u = a²ẋ)` variables.
+//! * [`exchange`] — tree boundary (halo) particle exchange over the Cart3
+//!   process grid, with a declarative, statically verified communication
+//!   plan.
 //! * [`direct`] — O(N²) and Ewald reference forces for validation.
 //! * [`fof`] — friends-of-friends halo finder (the catalogue consumers of
 //!   the paper's runs would build).
 
 pub mod direct;
+pub mod exchange;
 pub mod fof;
 pub mod integrator;
 pub mod particles;
@@ -28,6 +32,7 @@ pub mod pp;
 pub mod tree;
 pub mod treepm;
 
+pub use exchange::HaloExchange;
 pub use particles::ParticleSet;
 pub use tree::Tree;
 pub use treepm::TreePm;

@@ -15,10 +15,46 @@ use crate::dist_fn::PhaseSpace;
 use crate::sweep::Exec;
 use vlasov6d_advection::line::{advect_line, LineWork, Scheme};
 use vlasov6d_advection::Boundary;
-use vlasov6d_mpisim::Cart3;
+use vlasov6d_mesh::Decomp3;
+use vlasov6d_mpisim::{Cart3, CommPlan};
 
 /// Ghost planes needed by the fifth-order stencil.
 pub const GHOST_WIDTH: usize = 3;
+
+/// Declarative communication plan of [`exchange_ghosts`] over the whole
+/// process grid: per rank, a send of its low planes to the low neighbour
+/// (tag `tag`) and of its high planes to the high neighbour (tag `tag + 1`),
+/// with the matching receives. `vlen` is the velocity-grid length (planes
+/// carry `width · (Π other spatial dims) · vlen` f32 values). Verify with
+/// [`vlasov6d_mpisim::cart_neighbor_edges`] topology and volume symmetry —
+/// neighbours along an axis share their cross-section, so byte counts must
+/// balance.
+pub fn ghost_exchange_plan(
+    decomp: &Decomp3,
+    vlen: usize,
+    d: usize,
+    width: usize,
+    tag: u64,
+) -> CommPlan {
+    let mut plan = CommPlan::new(format!("ghost_exchange.axis{d}"), decomp.n_ranks());
+    let plane_bytes = |rank: usize| -> u64 {
+        let ld = decomp.local_dims(rank);
+        let cross: usize = (0..3).filter(|&a| a != d).map(|a| ld[a]).product();
+        (width * cross * vlen * std::mem::size_of::<f32>()) as u64
+    };
+    for r in 0..decomp.n_ranks() {
+        let low = decomp.neighbor(r, d, -1);
+        let high = decomp.neighbor(r, d, 1);
+        // Mirrors the two shift_exchange calls of `exchange_ghosts`, in
+        // program order: low planes toward -1 under `tag`, high planes
+        // toward +1 under `tag + 1`.
+        plan.send(r, low, tag, plane_bytes(r));
+        plan.recv(r, high, tag, plane_bytes(high));
+        plan.send(r, high, tag + 1, plane_bytes(r));
+        plan.recv(r, low, tag + 1, plane_bytes(low));
+    }
+    plan
+}
 
 /// Extract `width` planes `[start, start+width)` along spatial axis `d` into
 /// a flat buffer with layout `[width][trailing dims]` (line order preserved).
@@ -245,6 +281,58 @@ mod tests {
             assert_eq!(from_low, top);
             assert_eq!(from_high, bottom);
         });
+    }
+
+    #[test]
+    fn ghost_exchange_plan_verifies_on_cart_topology() {
+        use vlasov6d_mpisim::{cart_neighbor_edges, PlanChecks};
+        let decomp = Decomp3::new([16, 8, 8], [4, 1, 1]);
+        let checks = PlanChecks {
+            topology: Some(cart_neighbor_edges(&decomp)),
+            volume_symmetry: true,
+        };
+        for d in 0..3 {
+            let stats = ghost_exchange_plan(&decomp, 512, d, GHOST_WIDTH, 40).assert_valid(&checks);
+            assert_eq!(stats.sends, 2 * decomp.n_ranks());
+            assert_eq!(stats.recvs, 2 * decomp.n_ranks());
+        }
+        // Axis 0, 4 ranks: each plane block is 3·8·8·512 f32 = 393216 B.
+        let stats = ghost_exchange_plan(&decomp, 512, 0, GHOST_WIDTH, 40)
+            .verify()
+            .expect("clean");
+        assert_eq!(stats.bytes, 8 * 3 * 8 * 8 * 512 * 4);
+    }
+
+    #[test]
+    fn miswired_ghost_exchange_swapped_tags_is_rejected() {
+        use vlasov6d_mpisim::{CommPlan, PlanError};
+        // Seeded miswire: rank 0 swaps the two tags of its sends — its low
+        // planes travel under the high-ghost tag and vice versa. On a ring
+        // with > 2 ranks the neighbours differ, so the verifier must reject
+        // the plan statically instead of letting the exchange wedge or
+        // deliver planes to the wrong side.
+        let decomp = Decomp3::new([16, 8, 8], [4, 1, 1]);
+        let good = ghost_exchange_plan(&decomp, 64, 0, GHOST_WIDTH, 40);
+        let mut bad = CommPlan::new("ghost_exchange.miswired", decomp.n_ranks());
+        for r in 0..decomp.n_ranks() {
+            let low = decomp.neighbor(r, 0, -1);
+            let high = decomp.neighbor(r, 0, 1);
+            let b = 3 * 8 * 8 * 64 * 4;
+            let (t_low, t_high) = if r == 0 { (41, 40) } else { (40, 41) };
+            bad.send(r, low, t_low, b);
+            bad.recv(r, high, 40, b);
+            bad.send(r, high, t_high, b);
+            bad.recv(r, low, 41, b);
+        }
+        good.verify().expect("unswapped plan is clean");
+        let errs = bad.verify().unwrap_err();
+        assert!(
+            errs.iter().any(|e| matches!(
+                e,
+                PlanError::UnmatchedRecv { .. } | PlanError::TagCollision { .. }
+            )),
+            "swapped tags must surface as unmatched/colliding edges: {errs:?}"
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ pub enum Exec {
 /// Shared mutable base pointer for provably disjoint line updates.
 #[derive(Clone, Copy)]
 struct SendMutPtr(*mut f32);
+// SAFETY: the wrapper only moves the raw pointer across rayon tasks; every
+// dereference site partitions the flat index space so no two tasks alias
+// the same element (see the SAFETY comments at the unsafe blocks below).
 unsafe impl Send for SendMutPtr {}
+// SAFETY: `&SendMutPtr` exposes only a `Copy` of the pointer; aliasing
+// discipline is enforced at the dereference sites, as for `Send`.
 unsafe impl Sync for SendMutPtr {}
 
 /// Sweep along spatial axis `d` (0 = x, 1 = y, 2 = z) with periodic bounds.
@@ -574,6 +579,32 @@ mod tests {
         sweep_velocity(&mut lat, 2, &accel, Scheme::SlMpp5, Exec::Lat);
         let diff = simd.l1_distance(&lat);
         assert!(diff < 1e-4, "LAT vs strided SIMD differ: {diff}");
+    }
+
+    /// Tiny-grid scalar sweeps sized for the Miri interpreter. This is the
+    /// target of the CI job `cargo miri test -p vlasov6d-phase-space
+    /// miri_smoke`, which validates the unsafe gather/scatter line access
+    /// (disjoint-index raw-pointer writes through `SendMutPtr`).
+    #[test]
+    fn miri_smoke_scalar_sweeps() {
+        let vg = VelocityGrid::cubic(6, 1.0);
+        let mut ps = PhaseSpace::zeros([8, 2, 2], vg);
+        ps.fill_with(|s, u| {
+            let g = (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.3).exp();
+            (1.0 + 0.2 * (s[0] as f64 * 0.8).sin()) * g + 0.01
+        });
+        let m0 = total(&ps);
+        let cfl: Vec<f64> = (0..6).map(|k| 0.25 * (k as f64 - 2.5)).collect();
+        sweep_spatial(&mut ps, 0, &cfl, Scheme::SlMpp5, Exec::Scalar);
+        let m1 = total(&ps);
+        assert!((m1 - m0).abs() < 1e-2 * m0, "{m0} -> {m1}");
+
+        let mut accel = Field3::zeros([8, 2, 2]);
+        for (i, v) in accel.as_mut_slice().iter_mut().enumerate() {
+            *v = 0.4 * (i as f64 * 0.21).sin();
+        }
+        sweep_velocity(&mut ps, 0, &accel, Scheme::SlMpp5, Exec::Scalar);
+        assert!(ps.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
     }
 
     #[test]

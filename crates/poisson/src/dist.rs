@@ -6,7 +6,7 @@
 //! local transforms, all-to-all transposes, k-space multiply, inverse.
 
 use vlasov6d_fft::{Complex64, DistFft3};
-use vlasov6d_mpisim::Comm;
+use vlasov6d_mpisim::{Comm, CommPlan};
 
 /// Distributed spectral Poisson plan (slab layout, see `vlasov6d-fft::dist`).
 #[derive(Debug, Clone)]
@@ -35,6 +35,17 @@ impl DistPoisson {
     /// Local slab length in real values.
     pub fn slab_len(&self) -> usize {
         self.fft.slab_len()
+    }
+
+    /// Declarative communication plan of one [`Self::solve`] call at `tag`:
+    /// the forward transpose at `tag` and the inverse transpose at
+    /// `tag + 1`. Verify with volume symmetry (the transposes are all-to-all,
+    /// so no Cartesian topology applies).
+    pub fn solve_plan(&self, tag: u64) -> CommPlan {
+        let mut plan = CommPlan::new("poisson.dist_solve", self.fft.n_ranks());
+        self.fft.add_transpose(&mut plan, tag);
+        self.fft.add_transpose(&mut plan, tag + 1);
+        plan
     }
 
     /// Solve `∇²φ = prefactor · source` for this rank's slab of the source
@@ -125,6 +136,19 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn solve_plan_verifies() {
+        use vlasov6d_mpisim::PlanChecks;
+        let solver = DistPoisson::new([8, 8, 8], 4);
+        let stats = solver.solve_plan(100).assert_valid(&PlanChecks {
+            topology: None,
+            volume_symmetry: true,
+        });
+        // Two all-to-all transposes over 4 ranks: 2 · 12 directed edges.
+        assert_eq!(stats.sends, 24);
+        assert_eq!(stats.recvs, 24);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Workspace automation tasks (`cargo xtask <command>`).
+//!
+//! The only command today is `lint`: a custom static-analysis pass over the
+//! workspace sources enforcing invariants rustc and clippy do not know about.
+//! Three lints, all text-based (zero dependencies, fast enough for every CI
+//! run):
+//!
+//! * **safety-comments** — every `unsafe` keyword (impl, fn, block) must be
+//!   preceded by a `SAFETY:` comment within the few lines above it, so each
+//!   soundness argument is written down where the obligation arises.
+//! * **hot-path-panics** — no `.unwrap()` / `panic!` in the designated
+//!   hot-path kernels (advection, FFT kernels, phase-space sweeps): those
+//!   run inside rayon tasks on every step, and a panic there aborts the
+//!   whole rank without rank/tag context. Fallible paths must use
+//!   contextful `expect`/`unwrap_or_else` at orchestration layers instead.
+//! * **span-names** — obs `span!` names must be `dot.separated_lowercase`
+//!   literals, and a given span name must always carry the same explicit
+//!   `Bucket` so the four-bucket fold stays well-defined.
+//!
+//! `#[cfg(test)]` modules are exempt from `hot-path-panics` and
+//! `span-names` (tests panic on purpose and build deliberately
+//! inconsistent spans), but never from `safety-comments`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(Path::new(".")),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n\nusage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Hot-path modules: compute kernels where a panic aborts a rayon task on
+/// every simulation step. Orchestration layers (e.g. `fft/src/dist.rs`)
+/// are excluded on purpose — their failure paths carry rank/tag context
+/// via `expect`/`unwrap_or_else`, which is exactly what this lint pushes
+/// code toward.
+const HOT_PATHS: &[&str] = &[
+    "crates/advection/src/",
+    "crates/fft/src/fft3d.rs",
+    "crates/fft/src/plan.rs",
+    "crates/fft/src/real.rs",
+    "crates/fft/src/complex.rs",
+    "crates/phase-space/src/sweep.rs",
+    "crates/phase-space/src/exchange.rs",
+];
+
+/// How many lines above an `unsafe` keyword a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 4;
+
+#[derive(Debug)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    lint: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+fn lint(root: &Path) -> ExitCode {
+    let mut files = Vec::new();
+    for top in ["crates", "compat", "xtask"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut spans = SpanRegistry::default();
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        violations.extend(check_safety_comments(rel, &source));
+        if is_hot_path(rel) {
+            violations.extend(check_hot_path_panics(rel, &source));
+        }
+        spans.scan(rel, &source);
+    }
+    violations.extend(spans.check());
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn is_hot_path(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    HOT_PATHS.iter().any(|h| {
+        if h.ends_with('/') {
+            p.starts_with(h)
+        } else {
+            p == *h
+        }
+    })
+}
+
+/// Strip `// ...` line comments and the contents of ordinary string
+/// literals, so keyword scans do not fire inside either. Good enough for
+/// this codebase (no raw strings containing `unsafe` or `panic!`).
+fn code_only(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Char literal (or lifetime — harmless either way): skip a
+                // possibly escaped char and its closing quote.
+                out.push('\'');
+                if let Some(n) = chars.next() {
+                    if n == '\\' {
+                        chars.next();
+                    }
+                    if chars.peek() == Some(&'\'') {
+                        chars.next();
+                    }
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Does `code` contain `unsafe` as a standalone keyword?
+fn has_unsafe_keyword(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("unsafe") {
+        let i = start + pos;
+        let before_ok = i == 0 || !is_ident_char(bytes[i - 1]);
+        let after = i + "unsafe".len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lint 1: every `unsafe` keyword carries a `SAFETY:` comment on the same
+/// line or within [`SAFETY_WINDOW`] lines above it.
+fn check_safety_comments(rel: &Path, source: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut violations = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        if !has_unsafe_keyword(&code_only(raw)) {
+            continue;
+        }
+        let lo = idx.saturating_sub(SAFETY_WINDOW);
+        let documented = lines[lo..=idx].iter().any(|l| l.contains("SAFETY:"));
+        if !documented {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: idx + 1,
+                lint: "safety-comments",
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines above"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// Line indices (0-based) covered by `#[cfg(test)]`-gated items, found by
+/// brace counting from each attribute.
+fn test_code_lines(source: &str) -> Vec<bool> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut masked = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Mask from the attribute to the close of the item's brace block.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            masked[j] = true;
+            for c in code_only(lines[j]).chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    masked
+}
+
+/// Lint 2: no `.unwrap()` / `panic!` in hot-path modules outside tests.
+fn check_hot_path_panics(rel: &Path, source: &str) -> Vec<Violation> {
+    let masked = test_code_lines(source);
+    let mut violations = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        if masked.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = code_only(raw);
+        for (needle, what) in [(".unwrap()", "`unwrap()`"), ("panic!", "`panic!`")] {
+            if code.contains(needle) {
+                violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    lint: "hot-path-panics",
+                    message: format!(
+                        "{what} in a hot-path module; use a contextful `expect`/\
+                         `unwrap_or_else` at the orchestration layer instead"
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Lint 3: span-name registry across the workspace.
+#[derive(Default)]
+struct SpanRegistry {
+    /// `(name, explicit bucket, file, line)` per literal-named `span!` call.
+    uses: Vec<(String, Option<String>, PathBuf, usize)>,
+}
+
+impl SpanRegistry {
+    fn scan(&mut self, rel: &Path, source: &str) {
+        let masked = test_code_lines(source);
+        for (idx, raw) in source.lines().enumerate() {
+            if masked.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(call) = raw.find("span!(") else {
+                continue;
+            };
+            let rest = &raw[call + "span!(".len()..];
+            // Literal first argument: `span!("name"...)`. Names routed
+            // through consts (`span!(SPAN[d], ..)`) are picked up below via
+            // the const definition.
+            if let Some(name) = leading_str_literal(rest) {
+                let bucket = extract_bucket(rest);
+                self.uses.push((name, bucket, rel.to_path_buf(), idx + 1));
+            }
+        }
+        // `const SPAN: [&str; N] = ["a", "b", ...];` name tables.
+        for (idx, raw) in source.lines().enumerate() {
+            if masked.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            // Needle split so the lint does not match its own source.
+            if raw.contains(concat!("SPAN: [", "&str")) {
+                for name in str_literals(raw) {
+                    self.uses.push((name, None, rel.to_path_buf(), idx + 1));
+                }
+            }
+        }
+    }
+
+    fn check(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (name, _, file, line) in &self.uses {
+            if !valid_span_name(name) {
+                violations.push(Violation {
+                    file: file.clone(),
+                    line: *line,
+                    lint: "span-names",
+                    message: format!(
+                        "span name \"{name}\" is not dot.separated_lowercase \
+                         (`[a-z0-9_]+` segments joined by `.`)"
+                    ),
+                });
+            }
+        }
+        // Same name, two different explicit buckets → ambiguous fold.
+        let mut by_name: std::collections::HashMap<&str, (&str, &Path, usize)> =
+            std::collections::HashMap::new();
+        for (name, bucket, file, line) in &self.uses {
+            let Some(bucket) = bucket else { continue };
+            match by_name.get(name.as_str()) {
+                None => {
+                    by_name.insert(name, (bucket, file, *line));
+                }
+                Some((first, ffile, fline)) if first != bucket => {
+                    violations.push(Violation {
+                        file: file.clone(),
+                        line: *line,
+                        lint: "span-names",
+                        message: format!(
+                            "span \"{name}\" declared with Bucket::{bucket}, but \
+                             {}:{fline} uses Bucket::{first}",
+                            ffile.display()
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        violations
+    }
+}
+
+/// `"name"` at the start of `rest` (ignoring leading whitespace).
+fn leading_str_literal(rest: &str) -> Option<String> {
+    let t = rest.trim_start();
+    let inner = t.strip_prefix('"')?;
+    let end = inner.find('"')?;
+    Some(inner[..end].to_string())
+}
+
+/// Every `"..."` literal on the line.
+fn str_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('"') {
+        let inner = &rest[start + 1..];
+        let Some(end) = inner.find('"') else { break };
+        out.push(inner[..end].to_string());
+        rest = &inner[end + 1..];
+    }
+    out
+}
+
+/// `Bucket::X` on the line, if present.
+fn extract_bucket(rest: &str) -> Option<String> {
+    let pos = rest.find("Bucket::")?;
+    let tail = &rest[pos + "Bucket::".len()..];
+    let end = tail
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(tail.len());
+    Some(tail[..end].to_string())
+}
+
+fn valid_span_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_keyword_detection_ignores_idents_and_comments() {
+        assert!(has_unsafe_keyword(&code_only("unsafe { foo() }")));
+        assert!(has_unsafe_keyword(&code_only("unsafe impl Send for X {}")));
+        assert!(!has_unsafe_keyword(&code_only("#![deny(unsafe_code)]")));
+        assert!(!has_unsafe_keyword(&code_only("// unsafe in a comment")));
+        assert!(!has_unsafe_keyword(&code_only("let s = \"unsafe\";")));
+        assert!(!has_unsafe_keyword(&code_only("my_unsafe_helper()")));
+    }
+
+    #[test]
+    fn safety_comment_window() {
+        let ok = "// SAFETY: disjoint indices\nunsafe { x() }\n";
+        assert!(check_safety_comments(Path::new("a.rs"), ok).is_empty());
+        let doc_comment = "/// SAFETY: caller upholds X.\nunsafe fn f() {}\n";
+        assert!(check_safety_comments(Path::new("a.rs"), doc_comment).is_empty());
+        let missing = "fn f() {\n    unsafe { x() }\n}\n";
+        let v = check_safety_comments(Path::new("a.rs"), missing);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        let too_far = format!("// SAFETY: stale\n{}unsafe {{ x() }}\n", "\n".repeat(6));
+        assert_eq!(check_safety_comments(Path::new("a.rs"), &too_far).len(), 1);
+    }
+
+    #[test]
+    fn hot_path_lint_skips_cfg_test_blocks() {
+        let source = "\
+fn hot() {
+    let v = compute();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        x.unwrap();
+        panic!(\"boom\");
+    }
+}
+";
+        assert!(check_hot_path_panics(Path::new("a.rs"), source).is_empty());
+        let bad = "fn hot() { x.unwrap(); }\n";
+        let v = check_hot_path_panics(Path::new("a.rs"), bad);
+        assert_eq!(v.len(), 1);
+        let bad_panic = "fn hot() { panic!(\"no context\"); }\n";
+        assert_eq!(check_hot_path_panics(Path::new("a.rs"), bad_panic).len(), 1);
+    }
+
+    #[test]
+    fn hot_path_selection() {
+        assert!(is_hot_path(Path::new("crates/advection/src/mol.rs")));
+        assert!(is_hot_path(Path::new("crates/fft/src/fft3d.rs")));
+        assert!(is_hot_path(Path::new("crates/phase-space/src/sweep.rs")));
+        assert!(!is_hot_path(Path::new("crates/fft/src/dist.rs")));
+        assert!(!is_hot_path(Path::new("crates/mpisim/src/comm.rs")));
+    }
+
+    #[test]
+    fn span_name_format() {
+        assert!(valid_span_name("sweep.dist.x"));
+        assert!(valid_span_name("fft.c2c3d.forward"));
+        assert!(valid_span_name("poisson.dist_solve"));
+        assert!(!valid_span_name("Sweep.X"));
+        assert!(!valid_span_name("sweep..x"));
+        assert!(!valid_span_name(""));
+        assert!(!valid_span_name("sweep x"));
+    }
+
+    #[test]
+    fn span_registry_flags_bucket_conflicts() {
+        let mut reg = SpanRegistry::default();
+        reg.scan(
+            Path::new("a.rs"),
+            "let _s = span!(\"gravity\", Bucket::Pm);\n",
+        );
+        reg.scan(
+            Path::new("b.rs"),
+            "let _s = span!(\"gravity\", Bucket::Tree);\n",
+        );
+        let v = reg.check();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Bucket::Tree"));
+    }
+
+    #[test]
+    fn span_registry_reads_const_tables_and_skips_tests() {
+        let mut reg = SpanRegistry::default();
+        reg.scan(
+            Path::new("a.rs"),
+            "const SPAN: [&str; 2] = [\"sweep.x\", \"BAD NAME\"];\n",
+        );
+        assert_eq!(reg.check().len(), 1);
+        let mut reg = SpanRegistry::default();
+        reg.scan(
+            Path::new("a.rs"),
+            "#[cfg(test)]\nmod tests {\n let _ = span!(\"BAD\", Bucket::Pm);\n}\n",
+        );
+        assert!(reg.check().is_empty());
+    }
+}
