@@ -1,0 +1,80 @@
+//! Static verification of the SL-MPP5 kernel stack.
+//!
+//! `kerncheck` proves properties of the advection kernels in
+//! `vlasov6d-advection` (and their integration points in `vlasov6d-mesh`,
+//! `vlasov6d-phase-space`, and `vlasov6d-mpisim`) that unit tests can only
+//! sample:
+//!
+//! 1. **Symbolic weights** ([`weights`]) — the SL3/SL5 interface weights are
+//!    reconstructed as exact rational polynomials in the fractional shift
+//!    `s`; partition-of-unity, telescoping conservation, the moment
+//!    conditions through the scheme's order, and the exact endpoint values
+//!    are machine-checked as polynomial identities over ℚ, then the shipped
+//!    `f64` implementations are pinned to the exact polynomials at dense
+//!    samples within a tight ULP budget.
+//! 2. **Interval abstract interpretation** ([`interval`]) — a pinned model
+//!    of `advect_line` is run over an outward-rounded interval domain to
+//!    prove, for every scheme and all `|cfl| < 1`, freedom from NaN and
+//!    overflow, and for SL-MPP5 the clamp-guaranteed nonnegativity of the
+//!    update. Godunov's order barrier supplies live negative controls: the
+//!    unlimited SL3/SL5 schemes *must* admit a negativity witness, which is
+//!    reproduced through the real kernel.
+//! 3. **Stencil footprints** ([`footprint`]) — each scheme's access radius
+//!    is derived twice (taint analysis of the model, black-box probing of
+//!    the real kernel) and cross-checked against `advection::GHOST`,
+//!    `phase_space::exchange::GHOST_WIDTH`, the mesh stencil radii, and the
+//!    per-edge byte volumes declared by ghost-exchange [`CommPlan`]s.
+//! 4. **SIMD/scalar equivalence** ([`equiv`]) — `transpose8x8` is verified
+//!    to be the exact transposition permutation, and the `f32x8` lane
+//!    kernels are differential-tested against the scalar kernels over a
+//!    seeded adversarial corpus with per-element ULP budgets.
+//! 5. **Operation counts** ([`opcount`]) — `advection::flops_per_cell` is
+//!    re-derived by running the kernel model over a counting domain.
+//!
+//! All passes append [`Property`] records to a [`Report`]; `cargo xtask
+//! verify-kernels` renders the report and fails CI on any violation. The
+//! crate deliberately has no dependencies beyond the workspace crates it
+//! verifies.
+//!
+//! [`CommPlan`]: vlasov6d_mpisim::CommPlan
+
+pub mod equiv;
+pub mod footprint;
+pub mod interval;
+pub mod model;
+pub mod opcount;
+pub mod rational;
+pub mod report;
+pub mod ulp;
+pub mod weights;
+
+pub use report::{Property, Report, Status};
+
+/// Run every analysis pass and collect the combined report.
+pub fn run_all() -> Report {
+    let mut report = Report::new();
+    weights::run(&mut report);
+    interval::run(&mut report);
+    footprint::run(&mut report);
+    equiv::run(&mut report);
+    opcount::run(&mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_passes_verify_on_the_shipped_kernels() {
+        let report = run_all();
+        assert!(report.ok(), "{}", report.render_text());
+        // Every pass contributed.
+        for pass in ["weights", "interval", "footprint", "equivalence", "opcount"] {
+            assert!(
+                report.properties.iter().any(|p| p.pass == pass),
+                "pass {pass} produced no properties"
+            );
+        }
+    }
+}

@@ -18,6 +18,21 @@ pub enum GradientOrder {
     Four,
 }
 
+impl GradientOrder {
+    /// Stencil access radius in cells — the farthest neighbour each gradient
+    /// reads along its axis (cross-checked against black-box probing by
+    /// kerncheck's footprint pass).
+    pub const fn radius(self) -> usize {
+        match self {
+            GradientOrder::Two => 1,
+            GradientOrder::Four => 2,
+        }
+    }
+}
+
+/// Access radius of the 7-point [`laplacian`] stencil.
+pub const LAPLACIAN_RADIUS: usize = 1;
+
 /// Differentiate `field` along `axis` (0, 1 or 2). Returns a new field.
 pub fn gradient_axis(field: &Field3, axis: usize, order: GradientOrder) -> Field3 {
     assert!(axis < 3);

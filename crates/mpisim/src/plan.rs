@@ -252,6 +252,21 @@ impl CommPlan {
         &self.programs[rank]
     }
 
+    /// Every declared send as `(src, dst, tag, bytes)`, in program order —
+    /// for external cross-checks of per-edge volumes (e.g. kerncheck's
+    /// ghost-exchange byte audit).
+    pub fn send_edges(&self) -> Vec<(usize, usize, u64, u64)> {
+        let mut edges = Vec::new();
+        for (src, program) in self.programs.iter().enumerate() {
+            for op in program {
+                if let Op::Send { to, tag, bytes } = *op {
+                    edges.push((src, to, tag, bytes));
+                }
+            }
+        }
+        edges
+    }
+
     /// Run the core checks (matching, collisions, byte agreement, deadlock
     /// freedom). Equivalent to `verify_with(&PlanChecks::default())`.
     pub fn verify(&self) -> Result<PlanStats, Vec<PlanError>> {

@@ -18,8 +18,11 @@ use vlasov6d_advection::Boundary;
 use vlasov6d_mesh::Decomp3;
 use vlasov6d_mpisim::{Cart3, CommPlan};
 
-/// Ghost planes needed by the fifth-order stencil.
-pub const GHOST_WIDTH: usize = 3;
+/// Ghost planes needed by the fifth-order stencil — by definition the kernel
+/// ghost width [`vlasov6d_advection::GHOST`], re-exported here so the
+/// exchange layer and the advection kernels cannot drift apart (kerncheck's
+/// footprint pass additionally proves both equal the probed stencil radius).
+pub const GHOST_WIDTH: usize = vlasov6d_advection::GHOST;
 
 /// Declarative communication plan of [`exchange_ghosts`] over the whole
 /// process grid: per rank, a send of its low planes to the low neighbour

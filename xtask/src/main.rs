@@ -1,42 +1,94 @@
 //! Workspace automation tasks (`cargo xtask <command>`).
 //!
-//! The only command today is `lint`: a custom static-analysis pass over the
-//! workspace sources enforcing invariants rustc and clippy do not know about.
-//! Three lints, all text-based (zero dependencies, fast enough for every CI
-//! run):
+//! * `lint` — a custom static-analysis pass over the workspace sources
+//!   enforcing invariants rustc and clippy do not know about. Four lints,
+//!   all text-based (zero dependencies, fast enough for every CI run):
 //!
-//! * **safety-comments** — every `unsafe` keyword (impl, fn, block) must be
-//!   preceded by a `SAFETY:` comment within the few lines above it, so each
-//!   soundness argument is written down where the obligation arises.
-//! * **hot-path-panics** — no `.unwrap()` / `panic!` in the designated
-//!   hot-path kernels (advection, FFT kernels, phase-space sweeps): those
-//!   run inside rayon tasks on every step, and a panic there aborts the
-//!   whole rank without rank/tag context. Fallible paths must use
-//!   contextful `expect`/`unwrap_or_else` at orchestration layers instead.
-//! * **span-names** — obs `span!` names must be `dot.separated_lowercase`
-//!   literals, and a given span name must always carry the same explicit
-//!   `Bucket` so the four-bucket fold stays well-defined.
+//!   * **safety-comments** — every `unsafe` keyword (impl, fn, block) must
+//!     be preceded by a `SAFETY:` comment within the few lines above it, so
+//!     each soundness argument is written down where the obligation arises.
+//!   * **hot-path-panics** — no `.unwrap()` / `panic!` in the designated
+//!     hot-path kernels (advection, FFT kernels, phase-space sweeps): those
+//!     run inside rayon tasks on every step, and a panic there aborts the
+//!     whole rank without rank/tag context. Fallible paths must use
+//!     contextful `expect`/`unwrap_or_else` at orchestration layers instead.
+//!   * **span-names** — obs `span!` names must be `dot.separated_lowercase`
+//!     literals, and a given span name must always carry the same explicit
+//!     `Bucket` so the four-bucket fold stays well-defined.
+//!   * **stencil-literals** — stencil coefficients (division by the
+//!     characteristic finite-difference denominators 12/24/30/60/120, or
+//!     hand-expanded repeating decimals like `0.8333`) may only appear in
+//!     the designated stencil homes (`crates/advection/src/`,
+//!     `crates/mesh/src/stencil.rs`) where kerncheck verifies them; a copy
+//!     anywhere else is an unverified fork of a kernel constant.
 //!
-//! `#[cfg(test)]` modules are exempt from `hot-path-panics` and
-//! `span-names` (tests panic on purpose and build deliberately
-//! inconsistent spans), but never from `safety-comments`.
+//!   `#[cfg(test)]` modules are exempt from `hot-path-panics`,
+//!   `span-names` and `stencil-literals` (tests panic on purpose and spell
+//!   out expected coefficients), but never from `safety-comments`.
+//!
+//! * `verify-kernels` — run every `vlasov6d-kerncheck` analysis pass
+//!   (symbolic weights, interval abstract interpretation, stencil
+//!   footprints, SIMD equivalence, op counts) and fail on any violated
+//!   property. Prints the human report to stdout and, with
+//!   `--json <path>`, writes the machine-readable report there.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: cargo xtask <lint | verify-kernels [--json <path>]>";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(Path::new(".")),
+        Some("verify-kernels") => verify_kernels(&args[1..]),
         Some(other) => {
-            eprintln!("unknown xtask command `{other}`\n\nusage: cargo xtask lint");
+            eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Run the kerncheck verifier and fail on any violated property.
+fn verify_kernels(args: &[String]) -> ExitCode {
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown verify-kernels flag `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = vlasov6d_kerncheck::run_all();
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        let json = report.to_json().to_string_compact();
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", path.display());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify-kernels: {} violation(s)", report.violations());
+        ExitCode::FAILURE
     }
 }
 
@@ -101,13 +153,16 @@ fn lint(root: &Path) -> ExitCode {
         if is_hot_path(rel) {
             violations.extend(check_hot_path_panics(rel, &source));
         }
+        if !is_stencil_home(rel) {
+            violations.extend(check_stencil_literals(rel, &source));
+        }
         spans.scan(rel, &source);
     }
     violations.extend(spans.check());
 
     if violations.is_empty() {
         println!(
-            "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names)",
+            "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names, stencil-literals)",
             files.len()
         );
         ExitCode::SUCCESS
@@ -303,6 +358,143 @@ fn check_hot_path_panics(rel: &Path, source: &str) -> Vec<Violation> {
     violations
 }
 
+/// Where stencil coefficients are allowed to live: the advection kernels
+/// (weights, limiter, method-of-lines baseline), the mesh finite-difference
+/// stencils, and kerncheck itself (which reconstructs the coefficients
+/// symbolically to verify them).
+const STENCIL_HOMES: &[&str] = &[
+    "crates/advection/src/",
+    "crates/mesh/src/stencil.rs",
+    "crates/kerncheck/src/",
+];
+
+fn is_stencil_home(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    STENCIL_HOMES.iter().any(|h| {
+        if h.ends_with('/') {
+            p.starts_with(h)
+        } else {
+            p == *h
+        }
+    })
+}
+
+/// The characteristic denominators of centred finite-difference and
+/// semi-Lagrangian stencil coefficients. `6.0` is deliberately absent:
+/// `/ 6.0` is the RK4 combination weight used legitimately by the cosmology
+/// integrator.
+const STENCIL_DENOMS: &[&str] = &["12.0", "24.0", "30.0", "60.0", "120.0"];
+
+/// Does `code` divide by one of the stencil denominators?
+fn divides_by_stencil_denom(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'/' {
+            continue;
+        }
+        // `//` never reaches here (comments are stripped); skip spaces.
+        let rest = code[i + 1..].trim_start();
+        for d in STENCIL_DENOMS {
+            if let Some(after) = rest.strip_prefix(d) {
+                // Reject longer literals like `12.05` or `120.0` vs `12.0`.
+                if !after.starts_with(|c: char| c.is_ascii_digit()) {
+                    return Some(d);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Does `code` contain a decimal literal that looks like a hand-expanded
+/// repeating stencil fraction — a *trailing* run of three or more `3`s or
+/// `6`s right of the decimal point (`0.8333`, `0.41666`)? The run must end
+/// the literal: truncating 5/6 = 0.8333… or 5/12 = 0.41666… always leaves
+/// the repeated digit last, while physical constants that merely contain a
+/// triple (8.617_333_262) keep going and are left alone.
+fn has_repeating_stencil_decimal(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Find `<digit>.<digit>` — the start of a decimal literal's
+        // fractional part.
+        if bytes[i] == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_digit()
+        {
+            let mut j = i + 1;
+            let mut run = 0usize;
+            let mut run_digit = 0u8;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                let d = bytes[j];
+                if d == b'_' {
+                    // Digit-group separators don't break a run.
+                } else if d == run_digit && (d == b'3' || d == b'6') {
+                    run += 1;
+                } else if d == b'3' || d == b'6' {
+                    run_digit = d;
+                    run = 1;
+                } else {
+                    run_digit = 0;
+                    run = 0;
+                }
+                j += 1;
+            }
+            // `j` now sits just past the literal; the run is trailing by
+            // construction (anything after it reset the counter).
+            if run >= 3 {
+                let mut lo = i - 1;
+                while lo > 0 && bytes[lo - 1].is_ascii_digit() {
+                    lo -= 1;
+                }
+                return Some(code[lo..j].to_string());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Lint 4: no stencil-coefficient literals outside the designated homes.
+fn check_stencil_literals(rel: &Path, source: &str) -> Vec<Violation> {
+    let masked = test_code_lines(source);
+    let mut violations = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        if masked.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = code_only(raw);
+        if let Some(d) = divides_by_stencil_denom(&code) {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: idx + 1,
+                lint: "stencil-literals",
+                message: format!(
+                    "division by stencil denominator {d} outside the verified stencil \
+                     modules; import the coefficient from `advection::flux` or \
+                     `mesh::stencil` instead of restating it"
+                ),
+            });
+        }
+        if let Some(lit) = has_repeating_stencil_decimal(&code) {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: idx + 1,
+                lint: "stencil-literals",
+                message: format!(
+                    "hand-expanded repeating decimal {lit} looks like a stencil \
+                     coefficient; use the exact fraction in a verified stencil module"
+                ),
+            });
+        }
+    }
+    violations
+}
+
 /// Lint 3: span-name registry across the workspace.
 #[derive(Default)]
 struct SpanRegistry {
@@ -485,6 +677,47 @@ mod tests {
         assert!(is_hot_path(Path::new("crates/phase-space/src/sweep.rs")));
         assert!(!is_hot_path(Path::new("crates/fft/src/dist.rs")));
         assert!(!is_hot_path(Path::new("crates/mpisim/src/comm.rs")));
+    }
+
+    #[test]
+    fn stencil_literal_detection() {
+        // Division by a stencil denominator.
+        let bad = "let g = (8.0 * d1 - d2) / 12.0;\n";
+        assert_eq!(check_stencil_literals(Path::new("a.rs"), bad).len(), 1);
+        let bad60 = "let f = x / 60.0;\n";
+        assert_eq!(check_stencil_literals(Path::new("a.rs"), bad60).len(), 1);
+        // Longer literals and the RK4 denominator don't fire.
+        let ok = "let a = x / 12.05; let b = y / 6.0; let c = z / 1200.0;\n";
+        assert!(check_stencil_literals(Path::new("a.rs"), ok).is_empty());
+        // Hand-expanded repeating decimals.
+        let rep = "const W: f64 = 0.8333333;\n";
+        let v = check_stencil_literals(Path::new("a.rs"), rep);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("0.8333333"));
+        assert_eq!(
+            check_stencil_literals(Path::new("a.rs"), "let w = 0.41666;\n").len(),
+            1
+        );
+        // Short runs, non-trailing triples (physical constants), and
+        // unrelated decimals pass.
+        let fine = "let t = 0.33; let u = 3.1366; let v = 1e-6;\n";
+        assert!(check_stencil_literals(Path::new("a.rs"), fine).is_empty());
+        let boltzmann = "pub const K_B: f64 = 8.617_333_262e-5;\n";
+        assert!(check_stencil_literals(Path::new("a.rs"), boltzmann).is_empty());
+        // cfg(test) code is exempt.
+        let test_code = "#[cfg(test)]\nmod tests {\n  let w = 0.8333333;\n}\n";
+        assert!(check_stencil_literals(Path::new("a.rs"), test_code).is_empty());
+    }
+
+    #[test]
+    fn stencil_home_selection() {
+        assert!(is_stencil_home(Path::new("crates/advection/src/flux.rs")));
+        assert!(is_stencil_home(Path::new("crates/mesh/src/stencil.rs")));
+        assert!(is_stencil_home(Path::new(
+            "crates/kerncheck/src/weights.rs"
+        )));
+        assert!(!is_stencil_home(Path::new("crates/mesh/src/field.rs")));
+        assert!(!is_stencil_home(Path::new("crates/poisson/src/lib.rs")));
     }
 
     #[test]
