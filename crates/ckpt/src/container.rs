@@ -1,0 +1,445 @@
+//! The chunked per-rank container file (`rank-NNNN.vck`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header    magic "VLA6CKPT" | version u32 | rank u32 | n_ranks u32
+//!           | record_count u32 | chunk_len u64                    (32 bytes)
+//! records   for each record:
+//!             rec_len u64 | n_chunks u32
+//!             for each chunk: len u32 | crc32 u32 | data[len]
+//! trailer   magic "VCK1END\0" | crc32 u32 of every preceding byte
+//! ```
+//!
+//! Integrity is layered: the whole-file CRC in the trailer catches any
+//! corruption at all (including a truncated trailer — the magic goes
+//! missing), while the per-chunk CRCs localise the damage to a ~chunk-sized
+//! byte range so the error message can say *where*. Records are framed by
+//! [`crate::record::Record`]'s own self-describing encoding; the container
+//! only sees opaque record bytes.
+//!
+//! Durability: [`ContainerWriter::commit`] writes `<path>.tmp`, fsyncs it,
+//! renames it over `<path>`, then fsyncs the parent directory. A crash at
+//! any point leaves either the old file, no file, or a `.tmp` that readers
+//! never look at — a committed container is never torn.
+
+use crate::codec::Encoding;
+use crate::crc::{crc32, Crc32};
+use crate::record::Record;
+use crate::CkptError;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// First bytes of every container file.
+pub const MAGIC: [u8; 8] = *b"VLA6CKPT";
+/// Marks the start of the trailer.
+pub const TRAILER_MAGIC: [u8; 8] = *b"VCK1END\0";
+/// Container format version this build reads and writes.
+pub const VERSION: u32 = 1;
+/// Default chunk size: large enough to amortise the 8-byte chunk header,
+/// small enough to localise corruption reports.
+pub const DEFAULT_CHUNK_LEN: usize = 4 << 20;
+
+const HEADER_LEN: usize = 32;
+const RECORD_COUNT_OFFSET: usize = 20;
+
+/// Builds a container in memory, then commits it to disk atomically.
+#[derive(Debug)]
+pub struct ContainerWriter {
+    buf: Vec<u8>,
+    chunk_len: usize,
+    record_count: u32,
+    raw_bytes: u64,
+    encoded_bytes: u64,
+}
+
+impl ContainerWriter {
+    /// Start a container for `rank` of `n_ranks`.
+    pub fn new(rank: usize, n_ranks: usize) -> ContainerWriter {
+        Self::with_chunk_len(rank, n_ranks, DEFAULT_CHUNK_LEN)
+    }
+
+    /// Start a container with an explicit chunk size (tests use small chunks
+    /// to exercise the multi-chunk paths).
+    pub fn with_chunk_len(rank: usize, n_ranks: usize, chunk_len: usize) -> ContainerWriter {
+        assert!(chunk_len >= 1, "chunk length must be positive");
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(rank as u32).to_le_bytes());
+        buf.extend_from_slice(&(n_ranks as u32).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // record_count, patched in finish()
+        buf.extend_from_slice(&(chunk_len as u64).to_le_bytes());
+        debug_assert_eq!(buf.len(), HEADER_LEN);
+        ContainerWriter {
+            buf,
+            chunk_len,
+            record_count: 0,
+            raw_bytes: 0,
+            encoded_bytes: 0,
+        }
+    }
+
+    /// Append `record`, encoding its payload with `enc`.
+    ///
+    /// Returns `(raw_len, enc_len)` of the payload for compression
+    /// accounting.
+    pub fn put(&mut self, record: &Record, enc: Encoding) -> (usize, usize) {
+        let encoded = record.encode(enc);
+        self.raw_bytes += encoded.raw_len as u64;
+        self.encoded_bytes += encoded.enc_len as u64;
+        self.buf
+            .extend_from_slice(&(encoded.bytes.len() as u64).to_le_bytes());
+        let n_chunks = encoded.bytes.len().div_ceil(self.chunk_len).max(1);
+        self.buf.extend_from_slice(&(n_chunks as u32).to_le_bytes());
+        if encoded.bytes.is_empty() {
+            // A record is never empty (it has at least a header), but keep
+            // the zero-chunk-of-zero-bytes case well-formed anyway.
+            self.buf.extend_from_slice(&0u32.to_le_bytes());
+            self.buf.extend_from_slice(&crc32(&[]).to_le_bytes());
+        } else {
+            for chunk in encoded.bytes.chunks(self.chunk_len) {
+                self.buf
+                    .extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(&crc32(chunk).to_le_bytes());
+                self.buf.extend_from_slice(chunk);
+            }
+        }
+        self.record_count += 1;
+        (encoded.raw_len, encoded.enc_len)
+    }
+
+    /// Total payload bytes before encoding, across all records so far.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Total payload bytes after encoding, across all records so far.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.encoded_bytes
+    }
+
+    /// Seal the container: patch the record count, append the trailer with
+    /// the whole-file CRC, and return the finished bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[RECORD_COUNT_OFFSET..RECORD_COUNT_OFFSET + 4]
+            .copy_from_slice(&self.record_count.to_le_bytes());
+        self.buf.extend_from_slice(&TRAILER_MAGIC);
+        let mut c = Crc32::new();
+        c.update(&self.buf);
+        let crc = c.finish();
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf
+    }
+
+    /// Seal the container and commit it to `path` atomically
+    /// (temp → fsync → rename → fsync dir).
+    ///
+    /// Returns the committed file's size and whole-file CRC, which the
+    /// store records in the generation manifest.
+    pub fn commit(self, path: &Path) -> Result<(u64, u32), CkptError> {
+        let bytes = self.finish();
+        let crc = crc32(&bytes);
+        atomic_write(path, &bytes)?;
+        Ok((bytes.len() as u64, crc))
+    }
+}
+
+/// Write `data` to `path` through a temp file: the destination either keeps
+/// its old contents or atomically gains the new ones, never a prefix.
+pub fn atomic_write(path: &Path, data: &[u8]) -> Result<(), CkptError> {
+    let tmp = tmp_path(path);
+    let mut f = fs::File::create(&tmp).map_err(|e| CkptError::io(&tmp, &e))?;
+    f.write_all(data).map_err(|e| CkptError::io(&tmp, &e))?;
+    f.sync_all().map_err(|e| CkptError::io(&tmp, &e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| CkptError::io(path, &e))?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; without this a crash can roll the
+        // directory entry back even though the data blocks are safe.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// A fully validated, decoded container.
+#[derive(Debug)]
+pub struct ContainerFile {
+    /// Rank that wrote the file.
+    pub rank: u32,
+    /// World size at write time.
+    pub n_ranks: u32,
+    /// Decoded records in write order.
+    pub records: Vec<Record>,
+}
+
+impl ContainerFile {
+    /// Read and validate `path`: whole-file CRC, then structure, then every
+    /// chunk CRC, then record decoding. Any failure reports the file and a
+    /// byte offset.
+    pub fn read(path: &Path) -> Result<ContainerFile, CkptError> {
+        let bytes = fs::read(path).map_err(|e| CkptError::io(path, &e))?;
+        Self::parse(&bytes).map_err(|e| e.in_file(path))
+    }
+
+    /// Validate and decode an in-memory container image.
+    pub fn parse(bytes: &[u8]) -> Result<ContainerFile, CkptError> {
+        // Trailer first: whole-file CRC vouches for everything else.
+        let min_len = HEADER_LEN + TRAILER_MAGIC.len() + 4;
+        if bytes.len() < min_len {
+            return Err(CkptError::format(
+                bytes.len() as u64,
+                format!(
+                    "container is {} bytes, smaller than the {min_len}-byte minimum (truncated?)",
+                    bytes.len()
+                ),
+            ));
+        }
+        let body_len = bytes.len() - 4;
+        let stored_crc = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+        let actual_crc = crc32(&bytes[..body_len]);
+        if stored_crc != actual_crc {
+            return Err(CkptError::format(
+                body_len as u64,
+                format!(
+                    "whole-file CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+                ),
+            ));
+        }
+        let trailer_off = body_len - TRAILER_MAGIC.len();
+        if bytes[trailer_off..body_len] != TRAILER_MAGIC {
+            return Err(CkptError::format(
+                trailer_off as u64,
+                "trailer magic missing (file truncated or overwritten)".to_string(),
+            ));
+        }
+
+        // Header.
+        if bytes[..8] != MAGIC {
+            return Err(CkptError::format(0, "bad container magic".to_string()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(CkptError::format(
+                8,
+                format!("container version {version}, this build reads {VERSION}"),
+            ));
+        }
+        let rank = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let n_ranks = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        let record_count = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
+
+        // Record frames.
+        let mut pos = HEADER_LEN;
+        let mut records = Vec::with_capacity(record_count.min(1024));
+        for rec_idx in 0..record_count {
+            let rec_len = read_u64(bytes, &mut pos, trailer_off, "record length")? as usize;
+            let n_chunks = read_u32(bytes, &mut pos, trailer_off, "chunk count")? as usize;
+            let mut rec = Vec::with_capacity(rec_len.min(trailer_off));
+            let rec_data_start = pos as u64;
+            for chunk_idx in 0..n_chunks {
+                let chunk_len = read_u32(bytes, &mut pos, trailer_off, "chunk length")? as usize;
+                let stored = read_u32(bytes, &mut pos, trailer_off, "chunk CRC")?;
+                if pos + chunk_len > trailer_off {
+                    return Err(CkptError::format(
+                        pos as u64,
+                        format!(
+                            "chunk {chunk_idx} of record {rec_idx} ({chunk_len} bytes) runs past the record area"
+                        ),
+                    ));
+                }
+                let data = &bytes[pos..pos + chunk_len];
+                let actual = crc32(data);
+                if stored != actual {
+                    return Err(CkptError::format(
+                        pos as u64,
+                        format!(
+                            "chunk {chunk_idx} of record {rec_idx} CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                        ),
+                    ));
+                }
+                rec.extend_from_slice(data);
+                pos += chunk_len;
+            }
+            if rec.len() != rec_len {
+                return Err(CkptError::format(
+                    rec_data_start,
+                    format!(
+                        "record {rec_idx} chunks reassemble to {} bytes, frame promised {rec_len}",
+                        rec.len()
+                    ),
+                ));
+            }
+            // Record-decode offsets are relative to the record's own bytes;
+            // rebase them to the file position of its first chunk so the
+            // message still points near the damage.
+            let record = Record::decode(&rec).map_err(|e| e.at_base(rec_data_start))?;
+            records.push(record);
+        }
+        if pos != trailer_off {
+            return Err(CkptError::format(
+                pos as u64,
+                format!(
+                    "{} unaccounted bytes between the last record and the trailer",
+                    trailer_off - pos
+                ),
+            ));
+        }
+        Ok(ContainerFile {
+            rank,
+            n_ranks,
+            records,
+        })
+    }
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize, limit: usize, what: &str) -> Result<u32, CkptError> {
+    if *pos + 4 > limit {
+        return Err(CkptError::format(
+            *pos as u64,
+            format!("truncated while reading {what}"),
+        ));
+    }
+    let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+    *pos += 4;
+    Ok(v)
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize, limit: usize, what: &str) -> Result<u64, CkptError> {
+    if *pos + 8 > limit {
+        return Err(CkptError::format(
+            *pos as u64,
+            format!("truncated while reading {what}"),
+        ));
+    }
+    let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().expect("8 bytes"));
+    *pos += 8;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SimState;
+    use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+
+    fn sample_records() -> Vec<Record> {
+        let mut ps = PhaseSpace::zeros([2, 2, 2], VelocityGrid::cubic(2, 1.0));
+        for (i, v) in ps.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32 * 0.5 - 3.0;
+        }
+        vec![
+            Record::PhaseSpace(ps),
+            Record::SimState(SimState {
+                step: 3,
+                tag_counter: 17,
+                a: 0.02,
+                omega_component: 0.3,
+                cfl_spatial: 0.4,
+                max_dln_a: 0.01,
+                scheme: 1,
+                rng: vec![1, 2, 3],
+            }),
+            Record::RunReport {
+                lines: vec!["{\"a\":1}".into()],
+            },
+        ]
+    }
+
+    fn build(chunk_len: usize) -> Vec<u8> {
+        let mut w = ContainerWriter::with_chunk_len(1, 2, chunk_len);
+        for r in sample_records() {
+            w.put(&r, Encoding::ShuffleRle);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_sizes() {
+        for chunk_len in [7, 64, DEFAULT_CHUNK_LEN] {
+            let bytes = build(chunk_len);
+            let c = ContainerFile::parse(&bytes).expect("parse");
+            assert_eq!(c.rank, 1);
+            assert_eq!(c.n_ranks, 2);
+            assert_eq!(c.records.len(), 3);
+            match (&c.records[0], &sample_records()[0]) {
+                (Record::PhaseSpace(a), Record::PhaseSpace(b)) => {
+                    assert_eq!(a.as_slice(), b.as_slice());
+                }
+                _ => panic!("kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let bytes = build(16);
+        // Step through the file; every corrupted copy must fail to parse.
+        for i in (0..bytes.len()).step_by(3) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                ContainerFile::parse(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_detected() {
+        let bytes = build(32);
+        for cut in (0..bytes.len()).step_by(11) {
+            assert!(
+                ContainerFile::parse(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_is_atomic_and_readable() {
+        let dir = std::env::temp_dir().join(format!("vck-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rank-0001.vck");
+        let mut w = ContainerWriter::with_chunk_len(1, 2, 64);
+        for r in sample_records() {
+            w.put(&r, Encoding::Raw);
+        }
+        let (bytes, crc) = w.commit(&path).expect("commit");
+        let on_disk = fs::read(&path).unwrap();
+        assert_eq!(on_disk.len() as u64, bytes);
+        assert_eq!(crc32(&on_disk), crc);
+        assert!(
+            !tmp_path(&path).exists(),
+            "temp file should be renamed away"
+        );
+        let c = ContainerFile::read(&path).expect("read");
+        assert_eq!(c.records.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_errors_name_the_file() {
+        let dir = std::env::temp_dir().join(format!("vck-test-nf-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rank-0000.vck");
+        let mut bytes = build(16);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        let err = ContainerFile::read(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rank-0000.vck"), "{msg}");
+        assert!(msg.contains("offset"), "{msg}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! On-disk fault injection for checkpoint tests.
+//!
+//! Restart-path guarantees are only as good as the tests that attack them,
+//! so the suite corrupts real committed files with these helpers and then
+//! proves the store refuses the generation and falls back. Kept in the
+//! library (not the test tree) so the bench and any external harness can
+//! reuse them.
+
+use crate::CkptError;
+use std::fs;
+use std::path::Path;
+
+/// Flip one bit of `path`: byte `byte_index`, bit `bit` (0–7).
+pub fn flip_bit(path: &Path, byte_index: u64, bit: u8) -> Result<(), CkptError> {
+    assert!(bit < 8, "bit index out of range");
+    let mut data = fs::read(path).map_err(|e| CkptError::io(path, &e))?;
+    let idx = usize::try_from(byte_index)
+        .ok()
+        .filter(|&i| i < data.len())
+        .ok_or_else(|| {
+            CkptError::format(
+                byte_index,
+                format!("flip_bit target beyond the {}-byte file", data.len()),
+            )
+        })?;
+    data[idx] ^= 1 << bit;
+    fs::write(path, &data).map_err(|e| CkptError::io(path, &e))
+}
+
+/// Truncate `path` by `n_bytes` from the end (a torn write / lost tail).
+pub fn truncate_tail(path: &Path, n_bytes: u64) -> Result<(), CkptError> {
+    let data = fs::read(path).map_err(|e| CkptError::io(path, &e))?;
+    let keep = (data.len() as u64).saturating_sub(n_bytes) as usize;
+    fs::write(path, &data[..keep]).map_err(|e| CkptError::io(path, &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vck-fault-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let p = scratch("flip.bin");
+        fs::write(&p, [0u8; 16]).unwrap();
+        flip_bit(&p, 5, 3).unwrap();
+        let data = fs::read(&p).unwrap();
+        assert_eq!(data[5], 1 << 3);
+        assert!(data.iter().enumerate().all(|(i, &b)| (i == 5) == (b != 0)));
+        assert!(flip_bit(&p, 16, 0).is_err(), "out-of-range flip must fail");
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn truncate_tail_shortens() {
+        let p = scratch("trunc.bin");
+        fs::write(&p, [7u8; 100]).unwrap();
+        truncate_tail(&p, 30).unwrap();
+        assert_eq!(fs::read(&p).unwrap().len(), 70);
+        truncate_tail(&p, 1000).unwrap();
+        assert_eq!(fs::read(&p).unwrap().len(), 0);
+        fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,746 @@
+//! Typed checkpoint records and their wire format.
+//!
+//! A [`Record`] is one logical piece of simulation state — the local
+//! distribution-function block, the N-body particle set, a field mesh, the
+//! stepper's scalar state, or the obs run report. Each record self-describes
+//! on the wire:
+//!
+//! ```text
+//! kind: u8      (which Record variant)
+//! enc:  u8      (codec::Encoding of the payload)
+//! meta          (kind-specific shape data, fixed-width little-endian)
+//! raw_len: u64  (payload size before encoding)
+//! enc_len: u64  (payload size after encoding)
+//! payload       (enc_len bytes)
+//! ```
+//!
+//! All floating-point values travel as raw IEEE-754 bit patterns
+//! (`to_le_bytes`/`from_bits`), so round-trips are bitwise exact — including
+//! NaN payloads — which is what the resume-determinism guarantee rests on.
+//!
+//! [`Record::decode`] is strict: it tracks its byte offset, reports it in
+//! every error, and rejects trailing bytes rather than silently ignoring
+//! them (a truncated-or-padded record is corruption, not slack).
+
+use crate::codec::{self, Encoding};
+use crate::CkptError;
+use vlasov6d_mesh::Field3;
+use vlasov6d_nbody::ParticleSet;
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+
+/// Wire kind tags. Never reuse a retired value.
+const KIND_PHASE_SPACE: u8 = 1;
+const KIND_PARTICLES: u8 = 2;
+const KIND_FIELD_MESH: u8 = 3;
+const KIND_SIM_STATE: u8 = 4;
+const KIND_RUN_REPORT: u8 = 5;
+
+/// Longest accepted field-mesh name; anything bigger is treated as a
+/// corrupted length prefix, not a real name.
+const MAX_NAME_LEN: usize = 4096;
+
+/// Scalar stepper state needed for a bitwise-deterministic resume.
+///
+/// Floating-point members are stored as plain `f64` here but serialised as
+/// raw bit patterns, so restore is exact. `scheme` is the advection scheme
+/// as its wire byte — the `vlasov6d` core maps it to/from its `Scheme` enum
+/// so this crate stays independent of the advection stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimState {
+    /// Completed step count at checkpoint time.
+    pub step: u64,
+    /// Next value of the distributed driver's message-tag counter.
+    pub tag_counter: u64,
+    /// Scale factor `a`.
+    pub a: f64,
+    /// Matter density parameter of the evolving component.
+    pub omega_component: f64,
+    /// Spatial CFL number.
+    pub cfl_spatial: f64,
+    /// Expansion-rate step limiter `max Δln a`.
+    pub max_dln_a: f64,
+    /// Advection scheme wire byte (core's `Scheme` mapping).
+    pub scheme: u8,
+    /// Opaque RNG state words, if the driver carries any.
+    pub rng: Vec<u64>,
+}
+
+/// One typed checkpoint record.
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// The rank-local block of the 6-D distribution function.
+    PhaseSpace(PhaseSpace),
+    /// The rank-local N-body particle set.
+    Particles(ParticleSet),
+    /// A named 3-D scalar mesh (density, potential, …).
+    FieldMesh {
+        /// Mesh identifier, unique within a container.
+        name: String,
+        /// The field payload.
+        field: Field3,
+    },
+    /// Scalar stepper state (see [`SimState`]).
+    SimState(SimState),
+    /// Observability run report: the JSONL step-event lines of the run so
+    /// far, so a resumed run appends to a coherent record.
+    RunReport {
+        /// One JSON document per line, in step order.
+        lines: Vec<String>,
+    },
+}
+
+/// A record after payload encoding, with the sizes the writer needs for
+/// compression accounting.
+#[derive(Debug, Clone)]
+pub struct EncodedRecord {
+    /// The full wire frame (header + meta + encoded payload).
+    pub bytes: Vec<u8>,
+    /// Payload size before encoding.
+    pub raw_len: usize,
+    /// Payload size after encoding.
+    pub enc_len: usize,
+}
+
+impl Record {
+    /// Human-readable kind label for logs and error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Record::PhaseSpace(_) => "phase-space",
+            Record::Particles(_) => "particles",
+            Record::FieldMesh { .. } => "field-mesh",
+            Record::SimState(_) => "sim-state",
+            Record::RunReport { .. } => "run-report",
+        }
+    }
+
+    /// Encode into the wire frame, compressing the payload with `enc`.
+    pub fn encode(&self, enc: Encoding) -> EncodedRecord {
+        let mut out = Vec::new();
+        let (kind, word) = match self {
+            Record::PhaseSpace(_) => (KIND_PHASE_SPACE, 4),
+            Record::Particles(_) => (KIND_PARTICLES, 8),
+            Record::FieldMesh { .. } => (KIND_FIELD_MESH, 8),
+            Record::SimState(_) => (KIND_SIM_STATE, 8),
+            Record::RunReport { .. } => (KIND_RUN_REPORT, 1),
+        };
+        out.push(kind);
+        out.push(enc.as_u8());
+
+        let mut payload = Vec::new();
+        match self {
+            Record::PhaseSpace(ps) => {
+                for d in ps.sdims {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+                for d in ps.soffset {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+                for d in ps.sglobal {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+                for d in ps.vgrid.n {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+                out.extend_from_slice(&ps.vgrid.vmax.to_bits().to_le_bytes());
+                payload.reserve(ps.len() * 4);
+                for &v in ps.as_slice() {
+                    payload.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Record::Particles(p) => {
+                out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+                out.extend_from_slice(&p.mass.to_bits().to_le_bytes());
+                payload.reserve(p.len() * 48);
+                for arr in [&p.pos, &p.vel] {
+                    for v in arr {
+                        for c in v {
+                            payload.extend_from_slice(&c.to_bits().to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Record::FieldMesh { name, field } => {
+                assert!(name.len() <= MAX_NAME_LEN, "field-mesh name too long");
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                for d in field.dims() {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                }
+                payload.reserve(field.len() * 8);
+                for &v in field.as_slice() {
+                    payload.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Record::SimState(s) => {
+                // All-u64 payload so the word size stays uniform at 8.
+                for w in [
+                    s.step,
+                    s.tag_counter,
+                    s.a.to_bits(),
+                    s.omega_component.to_bits(),
+                    s.cfl_spatial.to_bits(),
+                    s.max_dln_a.to_bits(),
+                    s.scheme as u64,
+                    s.rng.len() as u64,
+                ] {
+                    payload.extend_from_slice(&w.to_le_bytes());
+                }
+                for &w in &s.rng {
+                    payload.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Record::RunReport { lines } => {
+                out.extend_from_slice(&(lines.len() as u32).to_le_bytes());
+                for line in lines {
+                    payload.extend_from_slice(line.as_bytes());
+                    payload.push(b'\n');
+                }
+            }
+        }
+
+        let encoded = codec::encode(enc, word, &payload);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(encoded.len() as u64).to_le_bytes());
+        let (raw_len, enc_len) = (payload.len(), encoded.len());
+        out.extend_from_slice(&encoded);
+        EncodedRecord {
+            bytes: out,
+            raw_len,
+            enc_len,
+        }
+    }
+
+    /// Decode a wire frame produced by [`Record::encode`].
+    ///
+    /// Consumes the *entire* slice: trailing bytes after the payload are an
+    /// error (this is the fix for the legacy snapshot format's silent
+    /// truncation). All errors carry the byte offset of the failure.
+    pub fn decode(bytes: &[u8]) -> Result<Record, CkptError> {
+        let mut cur = Cursor::new(bytes);
+        let kind = cur.u8("record kind")?;
+        let enc = Encoding::from_u8(cur.u8("payload encoding")?).map_err(|e| e.at_base(1))?;
+
+        // Kind-specific meta.
+        enum Meta {
+            PhaseSpace {
+                sdims: [usize; 3],
+                soffset: [usize; 3],
+                sglobal: [usize; 3],
+                vn: [usize; 3],
+                vmax: f64,
+            },
+            Particles {
+                count: usize,
+                mass: f64,
+            },
+            FieldMesh {
+                name: String,
+                dims: [usize; 3],
+            },
+            SimState,
+            RunReport {
+                n_lines: usize,
+            },
+        }
+        let (meta, word) = match kind {
+            KIND_PHASE_SPACE => {
+                let sdims = cur.usize3("phase-space local dims")?;
+                let soffset = cur.usize3("phase-space offset")?;
+                let sglobal = cur.usize3("phase-space global dims")?;
+                let vn = cur.usize3("velocity grid dims")?;
+                let vmax = cur.f64_bits("velocity grid vmax")?;
+                (
+                    Meta::PhaseSpace {
+                        sdims,
+                        soffset,
+                        sglobal,
+                        vn,
+                        vmax,
+                    },
+                    4,
+                )
+            }
+            KIND_PARTICLES => {
+                let count = cur.len_u64("particle count")?;
+                let mass = cur.f64_bits("particle mass")?;
+                (Meta::Particles { count, mass }, 8)
+            }
+            KIND_FIELD_MESH => {
+                let name_off = cur.offset();
+                let name_len = cur.u32("field-mesh name length")? as usize;
+                if name_len > MAX_NAME_LEN {
+                    return Err(CkptError::format(
+                        name_off,
+                        format!(
+                            "field-mesh name length {name_len} exceeds the {MAX_NAME_LEN}-byte cap"
+                        ),
+                    ));
+                }
+                let name_bytes = cur.take(name_len, "field-mesh name")?;
+                let name = String::from_utf8(name_bytes.to_vec())
+                    .map_err(|_| CkptError::format(name_off + 4, "field-mesh name is not UTF-8"))?;
+                let dims = cur.usize3("field-mesh dims")?;
+                (Meta::FieldMesh { name, dims }, 8)
+            }
+            KIND_SIM_STATE => (Meta::SimState, 8),
+            KIND_RUN_REPORT => {
+                let n_lines = cur.u32("run-report line count")? as usize;
+                (Meta::RunReport { n_lines }, 1)
+            }
+            other => {
+                return Err(CkptError::format(
+                    0,
+                    format!("unknown record kind byte {other}"),
+                ))
+            }
+        };
+
+        let raw_len = cur.len_u64("payload raw length")?;
+        let enc_len = cur.len_u64("payload encoded length")?;
+        let payload_off = cur.offset();
+        let encoded = cur.take(enc_len, "encoded payload")?;
+        if !cur.is_at_end() {
+            return Err(CkptError::format(
+                cur.offset(),
+                format!(
+                    "{} trailing bytes after the record payload",
+                    bytes.len() as u64 - cur.offset()
+                ),
+            ));
+        }
+        let payload =
+            codec::decode(enc, word, encoded, raw_len).map_err(|e| e.at_base(payload_off))?;
+        let mut pcur = Cursor::new(&payload);
+
+        let record = match meta {
+            Meta::PhaseSpace {
+                sdims,
+                soffset,
+                sglobal,
+                vn,
+                vmax,
+            } => {
+                let cells = checked_product(&[sdims[0], sdims[1], sdims[2], vn[0], vn[1], vn[2]])
+                    .ok_or_else(|| {
+                    CkptError::format(2, "phase-space dimensions overflow".to_string())
+                })?;
+                if cells == 0 || !vmax.is_finite() || vmax <= 0.0 || vn.iter().any(|&d| d < 2) {
+                    return Err(CkptError::format(
+                        2,
+                        format!(
+                            "invalid phase-space shape: sdims {sdims:?} vgrid {vn:?} vmax {vmax}"
+                        ),
+                    ));
+                }
+                if raw_len != cells * 4 {
+                    return Err(CkptError::format(
+                        payload_off,
+                        format!(
+                            "phase-space payload is {raw_len} bytes but the dims promise {} cells ({} bytes)",
+                            cells,
+                            cells * 4
+                        ),
+                    ));
+                }
+                let mut ps =
+                    PhaseSpace::zeros_block(sdims, soffset, sglobal, VelocityGrid::new(vn, vmax));
+                for slot in ps.as_mut_slice() {
+                    *slot = f32::from_bits(pcur.u32("phase-space cell")?);
+                }
+                Record::PhaseSpace(ps)
+            }
+            Meta::Particles { count, mass } => {
+                if raw_len != count.saturating_mul(48) {
+                    return Err(CkptError::format(
+                        payload_off,
+                        format!(
+                            "particle payload is {raw_len} bytes but the count promises {count} particles ({} bytes)",
+                            count.saturating_mul(48)
+                        ),
+                    ));
+                }
+                let mut p = ParticleSet::new(mass);
+                p.pos.reserve(count);
+                p.vel.reserve(count);
+                for _ in 0..count {
+                    let mut v = [0.0f64; 3];
+                    for c in &mut v {
+                        *c = pcur.f64_bits("particle position")?;
+                    }
+                    p.pos.push(v);
+                }
+                for _ in 0..count {
+                    let mut v = [0.0f64; 3];
+                    for c in &mut v {
+                        *c = pcur.f64_bits("particle velocity")?;
+                    }
+                    p.vel.push(v);
+                }
+                Record::Particles(p)
+            }
+            Meta::FieldMesh { name, dims } => {
+                let cells = checked_product(&dims).ok_or_else(|| {
+                    CkptError::format(2, "field-mesh dimensions overflow".to_string())
+                })?;
+                if cells == 0 {
+                    return Err(CkptError::format(
+                        2,
+                        format!("field-mesh dims {dims:?} contain a zero axis"),
+                    ));
+                }
+                if raw_len != cells * 8 {
+                    return Err(CkptError::format(
+                        payload_off,
+                        format!(
+                            "field-mesh payload is {raw_len} bytes but dims {dims:?} promise {} bytes",
+                            cells * 8
+                        ),
+                    ));
+                }
+                let mut data = Vec::with_capacity(cells);
+                for _ in 0..cells {
+                    data.push(pcur.f64_bits("field-mesh cell")?);
+                }
+                Record::FieldMesh {
+                    name,
+                    field: Field3::from_vec(dims, data),
+                }
+            }
+            Meta::SimState => {
+                let step = pcur.u64("sim-state step")?;
+                let tag_counter = pcur.u64("sim-state tag counter")?;
+                let a = pcur.f64_bits("sim-state scale factor")?;
+                let omega_component = pcur.f64_bits("sim-state omega")?;
+                let cfl_spatial = pcur.f64_bits("sim-state cfl")?;
+                let max_dln_a = pcur.f64_bits("sim-state max_dln_a")?;
+                let scheme_word = pcur.u64("sim-state scheme")?;
+                let scheme = u8::try_from(scheme_word).map_err(|_| {
+                    CkptError::format(
+                        payload_off + pcur.offset(),
+                        format!("sim-state scheme word {scheme_word} is not a byte"),
+                    )
+                })?;
+                let rng_len = pcur.len_u64("sim-state rng length")?;
+                let mut rng = Vec::with_capacity(rng_len.min(payload.len() / 8));
+                for _ in 0..rng_len {
+                    rng.push(pcur.u64("sim-state rng word")?);
+                }
+                Record::SimState(SimState {
+                    step,
+                    tag_counter,
+                    a,
+                    omega_component,
+                    cfl_spatial,
+                    max_dln_a,
+                    scheme,
+                    rng,
+                })
+            }
+            Meta::RunReport { n_lines } => {
+                let text = String::from_utf8(payload.clone()).map_err(|_| {
+                    CkptError::format(payload_off, "run-report payload is not UTF-8")
+                })?;
+                let lines: Vec<String> = if text.is_empty() {
+                    Vec::new()
+                } else {
+                    text.strip_suffix('\n')
+                        .ok_or_else(|| {
+                            CkptError::format(
+                                payload_off,
+                                "run-report payload is not newline-terminated",
+                            )
+                        })?
+                        .split('\n')
+                        .map(str::to_owned)
+                        .collect()
+                };
+                if lines.len() != n_lines {
+                    return Err(CkptError::format(
+                        2,
+                        format!(
+                            "run-report header promises {n_lines} lines, payload holds {}",
+                            lines.len()
+                        ),
+                    ));
+                }
+                // `pcur` was not used for text; mark it consumed.
+                let _ = pcur.take(payload.len(), "run-report text")?;
+                Record::RunReport { lines }
+            }
+        };
+        if !pcur.is_at_end() {
+            return Err(CkptError::format(
+                payload_off + pcur.offset(),
+                format!(
+                    "{} trailing bytes after the decoded {} payload",
+                    payload.len() as u64 - pcur.offset(),
+                    record.kind_name()
+                ),
+            ));
+        }
+        Ok(record)
+    }
+}
+
+fn checked_product(dims: &[usize]) -> Option<usize> {
+    dims.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))
+}
+
+/// Offset-tracking reader over a byte slice. Every accessor names what it
+/// was reading so errors pinpoint both *where* and *what*.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+
+    fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(CkptError::format(
+                self.offset(),
+                format!(
+                    "truncated while reading {what}: need {n} bytes, {} remain",
+                    self.buf.len() - self.pos
+                ),
+            )),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CkptError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CkptError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CkptError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// A u64 that must fit in usize (lengths, counts).
+    fn len_u64(&mut self, what: &str) -> Result<usize, CkptError> {
+        let off = self.offset();
+        let v = self.u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| CkptError::format(off, format!("{what} value {v} does not fit in usize")))
+    }
+
+    fn f64_bits(&mut self, what: &str) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn usize3(&mut self, what: &str) -> Result<[usize; 3], CkptError> {
+        Ok([
+            self.len_u64(what)?,
+            self.len_u64(what)?,
+            self.len_u64(what)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_phase_space() -> PhaseSpace {
+        let mut ps = PhaseSpace::zeros_block(
+            [2, 3, 2],
+            [4, 0, 0],
+            [8, 3, 2],
+            VelocityGrid::new([2, 2, 4], 1.5),
+        );
+        for (i, v) in ps.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 * 0.37).sin();
+        }
+        ps
+    }
+
+    fn assert_ps_eq(a: &PhaseSpace, b: &PhaseSpace) {
+        assert_eq!(a.sdims, b.sdims);
+        assert_eq!(a.soffset, b.soffset);
+        assert_eq!(a.sglobal, b.sglobal);
+        assert_eq!(a.vgrid, b.vgrid);
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        assert_eq!(av.len(), bv.len());
+        for (x, y) in av.iter().zip(bv) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn phase_space_roundtrips_both_encodings() {
+        let ps = sample_phase_space();
+        for enc in [Encoding::Raw, Encoding::ShuffleRle] {
+            let e = Record::PhaseSpace(ps.clone()).encode(enc);
+            assert_eq!(e.raw_len, ps.len() * 4);
+            match Record::decode(&e.bytes).expect("decode") {
+                Record::PhaseSpace(out) => assert_ps_eq(&ps, &out),
+                other => panic!("wrong kind {}", other.kind_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_f32_cells_roundtrip_bitwise() {
+        let mut ps = PhaseSpace::zeros([1, 1, 1], VelocityGrid::cubic(2, 1.0));
+        let specials = [
+            f32::NAN,
+            f32::from_bits(0x7FA0_1234), // signalling NaN with payload
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::from_bits(1), // smallest denormal
+            f32::MIN_POSITIVE,
+            1.0,
+        ];
+        ps.as_mut_slice().copy_from_slice(&specials);
+        let e = Record::PhaseSpace(ps.clone()).encode(Encoding::ShuffleRle);
+        match Record::decode(&e.bytes).unwrap() {
+            Record::PhaseSpace(out) => assert_ps_eq(&ps, &out),
+            other => panic!("wrong kind {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn particles_roundtrip_including_empty() {
+        let mut p = ParticleSet::new(0.125);
+        p.pos = vec![[0.1, 0.2, 0.3], [0.9, 0.99, 1e-300]];
+        p.vel = vec![[1.0, -2.0, 3.0], [f64::MIN_POSITIVE, -0.0, 7.5]];
+        for set in [p, ParticleSet::new(2.5)] {
+            let e = Record::Particles(set.clone()).encode(Encoding::ShuffleRle);
+            match Record::decode(&e.bytes).unwrap() {
+                Record::Particles(out) => {
+                    assert_eq!(out.mass.to_bits(), set.mass.to_bits());
+                    assert_eq!(out.len(), set.len());
+                    for (a, b) in out
+                        .pos
+                        .iter()
+                        .chain(&out.vel)
+                        .zip(set.pos.iter().chain(&set.vel))
+                    {
+                        for d in 0..3 {
+                            assert_eq!(a[d].to_bits(), b[d].to_bits());
+                        }
+                    }
+                }
+                other => panic!("wrong kind {}", other.kind_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn field_mesh_and_sim_state_and_report_roundtrip() {
+        let mut f = Field3::zeros([2, 2, 3]);
+        for (i, v) in f.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64).exp();
+        }
+        let e = Record::FieldMesh {
+            name: "density".into(),
+            field: f.clone(),
+        }
+        .encode(Encoding::ShuffleRle);
+        match Record::decode(&e.bytes).unwrap() {
+            Record::FieldMesh { name, field } => {
+                assert_eq!(name, "density");
+                assert_eq!(field, f);
+            }
+            other => panic!("wrong kind {}", other.kind_name()),
+        }
+
+        let s = SimState {
+            step: 42,
+            tag_counter: 9001,
+            a: 0.0123456789,
+            omega_component: 0.3,
+            cfl_spatial: 0.4,
+            max_dln_a: 0.01,
+            scheme: 3,
+            rng: vec![0xDEAD_BEEF, 7],
+        };
+        let e = Record::SimState(s.clone()).encode(Encoding::Raw);
+        match Record::decode(&e.bytes).unwrap() {
+            Record::SimState(out) => assert_eq!(out, s),
+            other => panic!("wrong kind {}", other.kind_name()),
+        }
+
+        for lines in [
+            vec![],
+            vec!["{\"step\":0}".to_string(), "{\"step\":1}".to_string()],
+        ] {
+            let e = Record::RunReport {
+                lines: lines.clone(),
+            }
+            .encode(Encoding::ShuffleRle);
+            match Record::decode(&e.bytes).unwrap() {
+                Record::RunReport { lines: out } => assert_eq!(out, lines),
+                other => panic!("wrong kind {}", other.kind_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_with_offset() {
+        let e = Record::SimState(SimState {
+            step: 1,
+            tag_counter: 2,
+            a: 0.5,
+            omega_component: 0.3,
+            cfl_spatial: 0.4,
+            max_dln_a: 0.01,
+            scheme: 0,
+            rng: vec![],
+        })
+        .encode(Encoding::Raw);
+        let mut padded = e.bytes.clone();
+        padded.push(0);
+        let err = Record::decode(&padded).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("trailing"), "{msg}");
+        assert!(
+            msg.contains(&format!("offset {}", e.bytes.len())),
+            "expected offset {} in: {msg}",
+            e.bytes.len()
+        );
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let e = Record::PhaseSpace(sample_phase_space()).encode(Encoding::ShuffleRle);
+        for cut in [0, 1, 2, 10, e.bytes.len() / 2, e.bytes.len() - 1] {
+            assert!(
+                Record::decode(&e.bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_payload_mismatches_are_rejected() {
+        // Tamper with the phase-space dims so they no longer match raw_len.
+        let e = Record::PhaseSpace(sample_phase_space()).encode(Encoding::Raw);
+        let mut bad = e.bytes.clone();
+        bad[2] = bad[2].wrapping_add(1); // sdims[0] low byte
+        assert!(Record::decode(&bad).is_err());
+    }
+}

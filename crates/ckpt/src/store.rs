@@ -1,0 +1,655 @@
+//! The checkpoint store: generation directories, the collective write
+//! protocol, restart with fallback, and rotation.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/gen-000001/rank-0000.vck
+//!                   rank-0001.vck
+//!                   MANIFEST.vckm      ← commit point
+//! <root>/gen-000002/…
+//! ```
+//!
+//! Writes are collective (every rank of the `mpisim` communicator calls
+//! [`CheckpointStore::write_collective`] with its local records) and so are
+//! loads; both end in agreement on every rank. Restart walks generations
+//! newest-first, each rank validates its own file against the manifest, and
+//! an `allreduce_min` of the per-rank verdicts decides — unanimously —
+//! whether to resume from that generation or fall back to an older one.
+//! Serial (non-distributed) drivers use [`CheckpointStore::write_serial`] /
+//! [`CheckpointStore::load_serial`], which run the same protocol degenerated
+//! to one rank.
+
+use crate::codec::Encoding;
+use crate::container::{ContainerFile, ContainerWriter};
+use crate::crc::crc32;
+use crate::manifest::{Manifest, RankFile};
+use crate::record::Record;
+use crate::CkptError;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vlasov6d_mpisim::Comm;
+use vlasov6d_obs::{MetricValue, Stopwatch};
+
+/// A checkpoint store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    root: PathBuf,
+    chunk_len: Option<usize>,
+}
+
+/// Per-rank accounting of one checkpoint write.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptStats {
+    /// Generation that was committed.
+    pub generation: u64,
+    /// Step recorded in the manifest.
+    pub step: u64,
+    /// Payload bytes before encoding (this rank).
+    pub raw_bytes: u64,
+    /// Payload bytes after encoding (this rank).
+    pub encoded_bytes: u64,
+    /// Container file size on disk (this rank).
+    pub file_bytes: u64,
+    /// Seconds spent encoding records.
+    pub encode_secs: f64,
+    /// Seconds spent committing the container (write + fsync + rename).
+    pub write_secs: f64,
+    /// Generations remaining in the store after rotation.
+    pub generations_kept: usize,
+}
+
+impl CkptStats {
+    /// Payload compression ratio, `raw / encoded` (1.0 when nothing was
+    /// written).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.encoded_bytes as f64
+        }
+    }
+
+    /// Metric pairs for merging into an obs step event
+    /// (`ckpt/bytes_written`, `ckpt/compression_ratio`, …).
+    pub fn metrics(&self) -> Vec<(String, MetricValue)> {
+        vec![
+            (
+                "ckpt/bytes_written".to_string(),
+                MetricValue::Counter(self.file_bytes),
+            ),
+            (
+                "ckpt/raw_bytes".to_string(),
+                MetricValue::Counter(self.raw_bytes),
+            ),
+            (
+                "ckpt/compression_ratio".to_string(),
+                MetricValue::Gauge(self.compression_ratio()),
+            ),
+            (
+                "ckpt/encode_secs".to_string(),
+                MetricValue::Gauge(self.encode_secs),
+            ),
+            (
+                "ckpt/write_secs".to_string(),
+                MetricValue::Gauge(self.write_secs),
+            ),
+            (
+                "ckpt/generations_kept".to_string(),
+                MetricValue::Counter(self.generations_kept as u64),
+            ),
+        ]
+    }
+}
+
+/// Everything restored from one validated generation, for one rank.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// Generation the state came from.
+    pub generation: u64,
+    /// Completed step count at checkpoint time.
+    pub step: u64,
+    /// Scale factor bits at checkpoint time (manifest copy; the
+    /// authoritative per-rank value lives in the `SimState` record).
+    pub a_bits: u64,
+    /// This rank's records, in write order.
+    pub records: Vec<Record>,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `root` (created on first write).
+    pub fn new(root: impl Into<PathBuf>) -> CheckpointStore {
+        CheckpointStore {
+            root: root.into(),
+            chunk_len: None,
+        }
+    }
+
+    /// Override the container chunk size (tests use tiny chunks).
+    pub fn with_chunk_len(mut self, chunk_len: usize) -> CheckpointStore {
+        self.chunk_len = Some(chunk_len);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory of generation `g`.
+    pub fn gen_dir(&self, g: u64) -> PathBuf {
+        self.root.join(format!("gen-{g:06}"))
+    }
+
+    /// Container file name for `rank`.
+    pub fn rank_file_name(rank: usize) -> String {
+        format!("rank-{rank:04}.vck")
+    }
+
+    /// All generation numbers present on disk (any directory named
+    /// `gen-NNNNNN`, committed or not), ascending.
+    pub fn list_generations(&self) -> Vec<u64> {
+        let mut gens = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                if let Some(g) = entry
+                    .file_name()
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("gen-"))
+                    .and_then(|n| n.parse::<u64>().ok())
+                {
+                    gens.push(g);
+                }
+            }
+        }
+        gens.sort_unstable();
+        gens
+    }
+
+    /// Collective checkpoint write; every rank passes its local `records`.
+    ///
+    /// Runs the two-phase commit from the crate docs and rotates old
+    /// generations down to `keep`. Returns this rank's write statistics.
+    /// Errors are collective: if any rank fails, every rank returns `Err`
+    /// and no manifest is written (the half-written generation is invisible
+    /// to restart and reaped by the next rotation).
+    pub fn write_collective(
+        &self,
+        comm: &Comm,
+        step: u64,
+        a: f64,
+        records: &[Record],
+        enc: Encoding,
+        keep: usize,
+    ) -> Result<CkptStats, CkptError> {
+        let keep = keep.max(1);
+        // Rank 0 picks the generation number and creates its directory, so
+        // every rank agrees and the mkdir cannot race.
+        let generation = if comm.rank() == 0 {
+            let g = self.list_generations().last().copied().unwrap_or(0) + 1;
+            let made =
+                fs::create_dir_all(self.gen_dir(g)).map_err(|e| CkptError::io(self.gen_dir(g), &e));
+            let g = match made {
+                Ok(()) => g,
+                Err(_) => 0, // signal failure with the reserved generation 0
+            };
+            comm.broadcast(0, Some(g))
+        } else {
+            comm.broadcast::<u64>(0, None)
+        };
+        if generation == 0 {
+            return Err(CkptError::Mismatch {
+                detail: "rank 0 could not create the generation directory".to_string(),
+            });
+        }
+        let gen_dir = self.gen_dir(generation);
+
+        // Phase 1: every rank encodes and commits its container.
+        let mut encode_watch = Stopwatch::start();
+        let mut writer = match self.chunk_len {
+            Some(c) => ContainerWriter::with_chunk_len(comm.rank(), comm.size(), c),
+            None => ContainerWriter::new(comm.rank(), comm.size()),
+        };
+        for r in records {
+            writer.put(r, enc);
+        }
+        let (raw_bytes, encoded_bytes) = (writer.raw_bytes(), writer.encoded_bytes());
+        let encode_secs = encode_watch.elapsed_secs();
+
+        encode_watch.restart();
+        let path = gen_dir.join(Self::rank_file_name(comm.rank()));
+        let committed = writer.commit(&path);
+        let write_secs = encode_watch.elapsed_secs();
+
+        // Collective error agreement before anyone proceeds to phase 2.
+        let all_ok = comm.allreduce_min(if committed.is_ok() { 1.0 } else { 0.0 }) > 0.5;
+        if !all_ok {
+            return Err(committed.err().unwrap_or(CkptError::Mismatch {
+                detail: format!(
+                    "a peer rank failed to commit its container for generation {generation}"
+                ),
+            }));
+        }
+        let (file_bytes, file_crc) = committed.expect("checked above");
+
+        // Phase 2: rank 0 gathers (size, crc) pairs and commits the manifest.
+        let gathered = comm.gather(0, (file_bytes, file_crc as u64));
+        let manifest_ok = if comm.rank() == 0 {
+            let files = gathered
+                .expect("gather returns Some on root")
+                .into_iter()
+                .enumerate()
+                .map(|(rank, (bytes, crc))| RankFile {
+                    name: Self::rank_file_name(rank),
+                    bytes,
+                    crc: crc as u32,
+                })
+                .collect();
+            let manifest = Manifest {
+                generation,
+                step,
+                a_bits: a.to_bits(),
+                n_ranks: comm.size() as u64,
+                files,
+            };
+            let ok = manifest.commit(&gen_dir).is_ok();
+            comm.broadcast(0, Some(u64::from(ok)))
+        } else {
+            comm.broadcast::<u64>(0, None)
+        };
+        if manifest_ok == 0 {
+            return Err(CkptError::Mismatch {
+                detail: format!("rank 0 could not commit the manifest of generation {generation}"),
+            });
+        }
+
+        // Rotation, then a barrier so no caller resumes stepping while the
+        // commit/rotation of this generation is still in flight elsewhere.
+        let generations_kept = if comm.rank() == 0 {
+            self.rotate(keep)
+        } else {
+            keep
+        };
+        comm.barrier();
+
+        Ok(CkptStats {
+            generation,
+            step,
+            raw_bytes,
+            encoded_bytes,
+            file_bytes,
+            encode_secs,
+            write_secs,
+            generations_kept,
+        })
+    }
+
+    /// Collective restart: walk generations newest-first; all ranks agree
+    /// (via `allreduce_min`) on the newest generation that validates
+    /// everywhere, and each rank returns its own records from it.
+    pub fn load_collective(&self, comm: &Comm) -> Result<LoadedCheckpoint, CkptError> {
+        // Rank 0 lists so every rank walks the identical sequence.
+        let mut gens = if comm.rank() == 0 {
+            comm.broadcast(0, Some(self.list_generations()))
+        } else {
+            comm.broadcast::<Vec<u64>>(0, None)
+        };
+        gens.reverse();
+        let mut failures: Vec<String> = Vec::new();
+        for g in gens {
+            let attempt = self.validate_and_read(g, comm.rank(), comm.size());
+            let all_ok = comm.allreduce_min(if attempt.is_ok() { 1.0 } else { 0.0 }) > 0.5;
+            match (all_ok, attempt) {
+                (true, Ok(loaded)) => return Ok(loaded),
+                (true, Err(_)) => unreachable!("allreduce said ok but local validation failed"),
+                (false, Err(e)) => failures.push(format!("gen-{g:06}: {e}")),
+                (false, Ok(_)) => {
+                    failures.push(format!("gen-{g:06}: rejected by a peer rank"));
+                }
+            }
+        }
+        Err(CkptError::NoValidGeneration {
+            dir: self.root.clone(),
+            detail: if failures.is_empty() {
+                "store holds no generations".to_string()
+            } else {
+                failures.join("; ")
+            },
+        })
+    }
+
+    /// Serial checkpoint write (one implicit rank, no communicator).
+    pub fn write_serial(
+        &self,
+        step: u64,
+        a: f64,
+        records: &[Record],
+        enc: Encoding,
+        keep: usize,
+    ) -> Result<CkptStats, CkptError> {
+        let keep = keep.max(1);
+        let generation = self.list_generations().last().copied().unwrap_or(0) + 1;
+        let gen_dir = self.gen_dir(generation);
+        fs::create_dir_all(&gen_dir).map_err(|e| CkptError::io(&gen_dir, &e))?;
+
+        let mut watch = Stopwatch::start();
+        let mut writer = match self.chunk_len {
+            Some(c) => ContainerWriter::with_chunk_len(0, 1, c),
+            None => ContainerWriter::new(0, 1),
+        };
+        for r in records {
+            writer.put(r, enc);
+        }
+        let (raw_bytes, encoded_bytes) = (writer.raw_bytes(), writer.encoded_bytes());
+        let encode_secs = watch.elapsed_secs();
+
+        watch.restart();
+        let path = gen_dir.join(Self::rank_file_name(0));
+        let (file_bytes, file_crc) = writer.commit(&path)?;
+        let write_secs = watch.elapsed_secs();
+
+        Manifest {
+            generation,
+            step,
+            a_bits: a.to_bits(),
+            n_ranks: 1,
+            files: vec![RankFile {
+                name: Self::rank_file_name(0),
+                bytes: file_bytes,
+                crc: file_crc,
+            }],
+        }
+        .commit(&gen_dir)?;
+        let generations_kept = self.rotate(keep);
+
+        Ok(CkptStats {
+            generation,
+            step,
+            raw_bytes,
+            encoded_bytes,
+            file_bytes,
+            encode_secs,
+            write_secs,
+            generations_kept,
+        })
+    }
+
+    /// Serial restart with the same newest-intact-generation fallback as
+    /// [`CheckpointStore::load_collective`].
+    pub fn load_serial(&self) -> Result<LoadedCheckpoint, CkptError> {
+        let mut failures: Vec<String> = Vec::new();
+        for g in self.list_generations().into_iter().rev() {
+            match self.validate_and_read(g, 0, 1) {
+                Ok(loaded) => return Ok(loaded),
+                Err(e) => failures.push(format!("gen-{g:06}: {e}")),
+            }
+        }
+        Err(CkptError::NoValidGeneration {
+            dir: self.root.clone(),
+            detail: if failures.is_empty() {
+                "store holds no generations".to_string()
+            } else {
+                failures.join("; ")
+            },
+        })
+    }
+
+    /// Validate generation `g` from `rank`'s perspective and read its
+    /// records. Checks, in order: manifest integrity, world-size agreement,
+    /// the manifest's size + CRC for this rank's file, then the container's
+    /// own chunk CRCs and record decoding.
+    fn validate_and_read(
+        &self,
+        g: u64,
+        rank: usize,
+        n_ranks: usize,
+    ) -> Result<LoadedCheckpoint, CkptError> {
+        let gen_dir = self.gen_dir(g);
+        let manifest = Manifest::load(&gen_dir)?;
+        if manifest.n_ranks != n_ranks as u64 {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "generation {g} was written by {} ranks, this run has {n_ranks}",
+                    manifest.n_ranks
+                ),
+            });
+        }
+        let entry = manifest
+            .files
+            .iter()
+            .find(|f| f.name == Self::rank_file_name(rank))
+            .ok_or_else(|| CkptError::Mismatch {
+                detail: format!("generation {g} manifest has no entry for rank {rank}"),
+            })?;
+        let path = gen_dir.join(&entry.name);
+        let bytes = fs::read(&path).map_err(|e| CkptError::io(&path, &e))?;
+        if bytes.len() as u64 != entry.bytes {
+            return Err(CkptError::Corrupt {
+                path: Some(path),
+                offset: bytes.len().min(entry.bytes as usize) as u64,
+                detail: format!(
+                    "file is {} bytes, manifest recorded {}",
+                    bytes.len(),
+                    entry.bytes
+                ),
+            });
+        }
+        let actual_crc = crc32(&bytes);
+        if actual_crc != entry.crc {
+            return Err(CkptError::Corrupt {
+                path: Some(path),
+                offset: 0,
+                detail: format!(
+                    "whole-file CRC {actual_crc:#010x} differs from the manifest's {:#010x}",
+                    entry.crc
+                ),
+            });
+        }
+        let container = ContainerFile::parse(&bytes).map_err(|e| e.in_file(&path))?;
+        if container.rank as usize != rank || container.n_ranks as usize != n_ranks {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "container header says rank {}/{}, expected {rank}/{n_ranks}",
+                    container.rank, container.n_ranks
+                ),
+            });
+        }
+        Ok(LoadedCheckpoint {
+            generation: g,
+            step: manifest.step,
+            a_bits: manifest.a_bits,
+            records: container.records,
+        })
+    }
+
+    /// Delete the oldest generations beyond the newest `keep`; returns how
+    /// many remain.
+    fn rotate(&self, keep: usize) -> usize {
+        let gens = self.list_generations();
+        let n = gens.len();
+        if n <= keep {
+            return n;
+        }
+        let mut kept = n;
+        for &g in &gens[..n - keep] {
+            if fs::remove_dir_all(self.gen_dir(g)).is_ok() {
+                kept -= 1;
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SimState;
+    use vlasov6d_mpisim::Universe;
+    use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vck-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rank_records(rank: usize) -> Vec<Record> {
+        let mut ps = PhaseSpace::zeros_block(
+            [2, 2, 2],
+            [2 * rank, 0, 0],
+            [4, 2, 2],
+            VelocityGrid::cubic(2, 1.0),
+        );
+        for (i, v) in ps.as_mut_slice().iter_mut().enumerate() {
+            *v = (rank * 1000 + i) as f32;
+        }
+        vec![
+            Record::PhaseSpace(ps),
+            Record::SimState(SimState {
+                step: 5,
+                tag_counter: 7,
+                a: 0.02,
+                omega_component: 0.3,
+                cfl_spatial: 0.4,
+                max_dln_a: 0.01,
+                scheme: 2,
+                rng: vec![],
+            }),
+        ]
+    }
+
+    #[test]
+    fn collective_write_then_load_roundtrips() {
+        let root = scratch("roundtrip");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        let s2 = store.clone();
+        let out = Universe::run(2, move |c| {
+            let stats = s2
+                .write_collective(c, 5, 0.02, &rank_records(c.rank()), Encoding::ShuffleRle, 2)
+                .expect("write");
+            let loaded = s2.load_collective(c).expect("load");
+            (stats, loaded.generation, loaded.step, loaded.records.len())
+        });
+        for (rank, (stats, generation, step, n_records)) in out.iter().enumerate() {
+            assert_eq!(stats.generation, 1);
+            assert_eq!(*generation, 1);
+            assert_eq!(*step, 5);
+            assert_eq!(*n_records, 2);
+            assert!(stats.file_bytes > 0, "rank {rank} wrote nothing");
+        }
+        let manifest = Manifest::load(&store.gen_dir(1)).expect("manifest");
+        assert_eq!(manifest.files.len(), 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_the_newest_generations() {
+        let root = scratch("rotate");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        for step in 1..=5u64 {
+            store
+                .write_serial(step, 0.01, &rank_records(0), Encoding::Raw, 2)
+                .expect("write");
+        }
+        assert_eq!(store.list_generations(), vec![4, 5]);
+        let loaded = store.load_serial().expect("load");
+        assert_eq!(loaded.generation, 5);
+        assert_eq!(loaded.step, 5);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupted_newest_generation_falls_back_to_previous() {
+        let root = scratch("fallback");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        store
+            .write_serial(3, 0.01, &rank_records(0), Encoding::ShuffleRle, 3)
+            .unwrap();
+        store
+            .write_serial(6, 0.02, &rank_records(0), Encoding::ShuffleRle, 3)
+            .unwrap();
+        // Flip a bit in the middle of generation 2's rank file.
+        let victim = store.gen_dir(2).join(CheckpointStore::rank_file_name(0));
+        let len = fs::metadata(&victim).unwrap().len();
+        crate::fault::flip_bit(&victim, len / 2, 4).unwrap();
+        let loaded = store.load_serial().expect("fallback load");
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.step, 3);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn generation_without_manifest_is_invisible() {
+        let root = scratch("no-manifest");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        store
+            .write_serial(3, 0.01, &rank_records(0), Encoding::Raw, 3)
+            .unwrap();
+        // Simulate a crash after phase 1 of generation 2: rank file exists,
+        // manifest never written.
+        let gen2 = store.gen_dir(2);
+        fs::create_dir_all(&gen2).unwrap();
+        fs::copy(
+            store.gen_dir(1).join(CheckpointStore::rank_file_name(0)),
+            gen2.join(CheckpointStore::rank_file_name(0)),
+        )
+        .unwrap();
+        let loaded = store.load_serial().expect("load");
+        assert_eq!(
+            loaded.generation, 1,
+            "uncommitted generation must be skipped"
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_detected_via_manifest_size() {
+        let root = scratch("truncate");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        store
+            .write_serial(3, 0.01, &rank_records(0), Encoding::Raw, 3)
+            .unwrap();
+        let victim = store.gen_dir(1).join(CheckpointStore::rank_file_name(0));
+        crate::fault::truncate_tail(&victim, 5).unwrap();
+        let err = store.load_serial().unwrap_err();
+        assert!(matches!(err, CkptError::NoValidGeneration { .. }), "{err}");
+        assert!(err.to_string().contains("bytes"), "{err}");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn world_size_mismatch_is_rejected() {
+        let root = scratch("world-size");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        store
+            .write_serial(3, 0.01, &rank_records(0), Encoding::Raw, 3)
+            .unwrap();
+        let s2 = store.clone();
+        let out = Universe::run(2, move |c| s2.load_collective(c).is_err());
+        assert_eq!(out, vec![true, true]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stats_report_compression_and_metrics() {
+        let root = scratch("stats");
+        let store = CheckpointStore::new(&root);
+        // Smooth data compresses well.
+        let mut ps = PhaseSpace::zeros([4, 4, 4], VelocityGrid::cubic(4, 1.0));
+        for (i, v) in ps.as_mut_slice().iter_mut().enumerate() {
+            *v = 1.0 + 1e-3 * (i as f32 * 0.01).sin();
+        }
+        let stats = store
+            .write_serial(1, 0.01, &[Record::PhaseSpace(ps)], Encoding::ShuffleRle, 2)
+            .unwrap();
+        assert!(
+            stats.compression_ratio() > 1.5,
+            "{}",
+            stats.compression_ratio()
+        );
+        let metrics = stats.metrics();
+        assert!(metrics.iter().any(|(k, _)| k == "ckpt/bytes_written"));
+        assert!(metrics.iter().any(|(k, _)| k == "ckpt/compression_ratio"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

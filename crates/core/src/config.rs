@@ -45,6 +45,10 @@ pub struct SimulationConfig {
     pub with_cdm: bool,
     /// Plummer softening in units of the mean CDM inter-particle spacing.
     pub softening_frac: f64,
+    /// Checkpoint cadence in steps (0 disables checkpointing).
+    pub checkpoint_every_steps: u64,
+    /// Checkpoint generations to retain on disk (≥ 1 when checkpointing).
+    pub checkpoint_keep: usize,
 }
 
 impl SimulationConfig {
@@ -68,6 +72,8 @@ impl SimulationConfig {
             with_neutrinos: true,
             with_cdm: true,
             softening_frac: 0.04,
+            checkpoint_every_steps: 0,
+            checkpoint_keep: 2,
         }
     }
 
@@ -117,6 +123,16 @@ impl SimulationConfig {
         self.n_phase_space() * 4
     }
 
+    /// The checkpoint cadence as a `vlasov6d-ckpt` policy
+    /// (disabled when `checkpoint_every_steps` is 0).
+    pub fn checkpoint_policy(&self) -> vlasov6d_ckpt::CheckpointPolicy {
+        vlasov6d_ckpt::CheckpointPolicy {
+            every_steps: self.checkpoint_every_steps,
+            keep: self.checkpoint_keep.max(1),
+            ..vlasov6d_ckpt::CheckpointPolicy::disabled()
+        }
+    }
+
     pub fn validate(&self) -> Result<(), String> {
         self.cosmology.validate()?;
         if self.nx < 4 || self.nu < 8 {
@@ -142,6 +158,9 @@ impl SimulationConfig {
         }
         if !self.with_neutrinos && !self.with_cdm {
             return Err("nothing to simulate".into());
+        }
+        if self.checkpoint_every_steps > 0 && self.checkpoint_keep == 0 {
+            return Err("checkpointing needs checkpoint_keep >= 1".into());
         }
         Ok(())
     }

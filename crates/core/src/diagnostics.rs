@@ -19,13 +19,15 @@ pub struct StepTimers {
     pub tree: f64,
     /// Density deposits, FFT solves and force interpolation.
     pub pm: f64,
+    /// Checkpoint/restart I/O (encode + commit).
+    pub io: f64,
     /// Everything else (moments, Δt control, bookkeeping).
     pub other: f64,
 }
 
 impl StepTimers {
     pub fn total(&self) -> f64 {
-        self.vlasov + self.tree + self.pm + self.other
+        self.vlasov + self.tree + self.pm + self.io + self.other
     }
 }
 
@@ -35,6 +37,7 @@ impl From<BucketTotals> for StepTimers {
             vlasov: b.vlasov,
             tree: b.tree,
             pm: b.pm,
+            io: b.io,
             other: b.other,
         }
     }
@@ -46,6 +49,7 @@ impl From<StepTimers> for BucketTotals {
             vlasov: t.vlasov,
             tree: t.tree,
             pm: t.pm,
+            io: t.io,
             other: t.other,
         }
     }
@@ -102,6 +106,7 @@ pub struct RunTimings {
     pub vlasov: f64,
     pub tree: f64,
     pub pm: f64,
+    pub io: f64,
     pub other: f64,
 }
 
@@ -115,13 +120,14 @@ impl RunTimings {
             t.vlasov += r.timers.vlasov;
             t.tree += r.timers.tree;
             t.pm += r.timers.pm;
+            t.io += r.timers.io;
             t.other += r.timers.other;
         }
         t
     }
 
     pub fn total(&self) -> f64 {
-        self.vlasov + self.tree + self.pm + self.other
+        self.vlasov + self.tree + self.pm + self.io + self.other
     }
 
     /// Median-free mean time per step (the paper reports medians over 40
@@ -132,6 +138,7 @@ impl RunTimings {
             vlasov: self.vlasov / n,
             tree: self.tree / n,
             pm: self.pm / n,
+            io: self.io / n,
             other: self.other / n,
         }
     }
@@ -146,7 +153,8 @@ mod tests {
         let t = StepTimers {
             vlasov: 1.0,
             tree: 0.5,
-            pm: 0.25,
+            pm: 0.125,
+            io: 0.125,
             other: 0.25,
         };
         assert_eq!(t.total(), 2.0);
@@ -158,6 +166,7 @@ mod tests {
             vlasov: 1.0,
             tree: 0.5,
             pm: 0.25,
+            io: 0.0625,
             other: 0.125,
         };
         let b: BucketTotals = t.into();
@@ -177,6 +186,7 @@ mod tests {
                 vlasov: v,
                 tree: 1.0,
                 pm: 0.5,
+                io: 0.0,
                 other: 0.0,
             },
             spans: Vec::new(),
@@ -217,6 +227,7 @@ mod tests {
                 vlasov: 1.0,
                 tree: 0.5,
                 pm: 0.25,
+                io: 0.0,
                 other: 0.0,
             },
             spans: vec![SpanNode {

@@ -13,7 +13,11 @@
 //! the paper reports at 94–99 %.
 
 use crate::diagnostics::StepTimers;
+use crate::snapshot::{scheme_from_u8, scheme_to_u8};
 use vlasov6d_advection::line::Scheme;
+use vlasov6d_ckpt::{
+    CheckpointPolicy, CheckpointStore, CkptError, CkptStats, LoadedCheckpoint, Record, SimState,
+};
 use vlasov6d_cosmology::Background;
 use vlasov6d_mesh::{Decomp3, Field3};
 use vlasov6d_mpisim::{cart_neighbor_edges, Cart3, Comm, CommPlan, PlanChecks, Traffic};
@@ -248,6 +252,120 @@ impl DistributedVlasov {
     /// Global component mass (allreduced).
     pub fn total_mass(&self, comm: &Comm) -> f64 {
         comm.allreduce_sum(self.ps.total_mass())
+    }
+
+    /// Completed steps so far (drives the checkpoint cadence).
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
+    /// Everything a bitwise-exact resume needs besides the distribution
+    /// function itself: counters, scale factor, CFL caps, the scheme.
+    fn sim_state(&self) -> SimState {
+        SimState {
+            step: self.step_index,
+            tag_counter: self.tag_counter,
+            a: self.a,
+            omega_component: self.omega_component,
+            cfl_spatial: self.cfl_spatial,
+            max_dln_a: self.max_dln_a,
+            scheme: scheme_to_u8(self.scheme),
+            rng: Vec::new(),
+        }
+    }
+
+    /// Take a checkpoint now (collective — every rank must call it).
+    ///
+    /// Writes this rank's phase-space block plus a [`SimState`] record
+    /// through the store's two-phase commit, rotating old generations per
+    /// the policy. Runs under a `ckpt.write` span in the I/O bucket.
+    pub fn checkpoint(
+        &self,
+        comm: &Comm,
+        store: &CheckpointStore,
+        policy: &CheckpointPolicy,
+    ) -> Result<CkptStats, CkptError> {
+        let _s = span!("ckpt.write", Bucket::Io);
+        let records = [
+            Record::PhaseSpace(self.ps.clone()),
+            Record::SimState(self.sim_state()),
+        ];
+        store.write_collective(
+            comm,
+            self.step_index,
+            self.a,
+            &records,
+            policy.encoding,
+            policy.keep,
+        )
+    }
+
+    /// Checkpoint iff the policy's cadence is due at the current step
+    /// (collective when it fires; `policy.due` agrees on every rank, so
+    /// either all ranks enter the write or none do).
+    pub fn maybe_checkpoint(
+        &self,
+        comm: &Comm,
+        store: &CheckpointStore,
+        policy: &CheckpointPolicy,
+    ) -> Option<Result<CkptStats, CkptError>> {
+        policy
+            .due(self.step_index)
+            .then(|| self.checkpoint(comm, store, policy))
+    }
+
+    /// Resume from the newest intact generation in `store` (collective).
+    ///
+    /// Bitwise-exact: the restored driver continues the trajectory with the
+    /// same bits as an uninterrupted run — the distribution function, scale
+    /// factor, tag counter and step index are all restored exactly (floats
+    /// travel as raw bits). Falls back to older generations when the newest
+    /// is corrupt; every rank agrees on the chosen generation.
+    pub fn resume_from(
+        comm: &Comm,
+        store: &CheckpointStore,
+        background: Background,
+    ) -> Result<Self, CkptError> {
+        let loaded = {
+            let _s = span!("ckpt.read", Bucket::Io);
+            store.load_collective(comm)?
+        };
+        Self::from_loaded(comm, loaded, background)
+    }
+
+    /// Rebuild the driver from one rank's loaded records.
+    fn from_loaded(
+        comm: &Comm,
+        loaded: LoadedCheckpoint,
+        background: Background,
+    ) -> Result<Self, CkptError> {
+        let mut ps = None;
+        let mut state = None;
+        for r in loaded.records {
+            match r {
+                Record::PhaseSpace(p) => ps = Some(p),
+                Record::SimState(s) => state = Some(s),
+                _ => {}
+            }
+        }
+        let missing = |what: &str| CkptError::Mismatch {
+            detail: format!(
+                "generation {} holds no {what} record for rank {}",
+                loaded.generation,
+                comm.rank()
+            ),
+        };
+        let ps = ps.ok_or_else(|| missing("phase-space"))?;
+        let state = state.ok_or_else(|| missing("sim-state"))?;
+        let scheme =
+            scheme_from_u8(state.scheme).map_err(|detail| CkptError::Mismatch { detail })?;
+        let mut sim = DistributedVlasov::new(comm, ps, background, state.a, state.omega_component);
+        sim.scheme = scheme;
+        sim.cfl_spatial = state.cfl_spatial;
+        sim.max_dln_a = state.max_dln_a;
+        sim.tag_counter = state.tag_counter;
+        sim.step_index = state.step;
+        Ok(sim)
     }
 
     /// Assemble this rank's JSONL-ready [`StepEvent`] for one traced step.

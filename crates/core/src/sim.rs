@@ -17,6 +17,8 @@
 use crate::config::SimulationConfig;
 use crate::diagnostics::StepRecord;
 use crate::fields;
+use crate::snapshot::{scheme_from_u8, scheme_to_u8};
+use vlasov6d_ckpt::{CheckpointStore, CkptError, CkptStats, Record, SimState};
 use vlasov6d_cosmology::{Background, FermiDirac, Growth, PowerSpectrum, TransferFunction, Units};
 use vlasov6d_ic::{load_neutrino_phase_space, GaussianField, ZeldovichIc};
 use vlasov6d_mesh::Field3;
@@ -375,6 +377,77 @@ impl HybridSimulation {
             }
         }
         total
+    }
+
+    /// Write a checkpoint of the full hybrid state (serial driver: one
+    /// implicit rank) using the config's checkpoint policy for codec and
+    /// retention.
+    pub fn save_checkpoint(&self, store: &CheckpointStore) -> Result<CkptStats, CkptError> {
+        let policy = self.config.checkpoint_policy();
+        let mut records = Vec::new();
+        if let Some(nu) = &self.neutrinos {
+            records.push(Record::PhaseSpace(nu.clone()));
+        }
+        if let Some(cdm) = &self.cdm {
+            records.push(Record::Particles(cdm.clone()));
+        }
+        records.push(Record::SimState(SimState {
+            step: self.step_count as u64,
+            tag_counter: 0,
+            a: self.a,
+            omega_component: self.config.cosmology.omega_nu(),
+            cfl_spatial: self.config.cfl_spatial,
+            max_dln_a: self.config.max_dln_a,
+            scheme: scheme_to_u8(self.config.scheme),
+            rng: Vec::new(),
+        }));
+        store.write_serial(
+            self.step_count as u64,
+            self.a,
+            &records,
+            policy.encoding,
+            policy.keep,
+        )
+    }
+
+    /// Checkpoint iff the config's cadence is due after the last completed
+    /// step; returns `None` when not due (or checkpointing is disabled).
+    pub fn maybe_checkpoint(
+        &self,
+        store: &CheckpointStore,
+    ) -> Option<Result<CkptStats, CkptError>> {
+        self.config
+            .checkpoint_policy()
+            .due(self.step_count as u64)
+            .then(|| self.save_checkpoint(store))
+    }
+
+    /// Restore state from the newest intact generation in `store`, then
+    /// rebuild the cached forces. Returns the restored step count.
+    ///
+    /// The simulation must have been built with the same configuration that
+    /// wrote the checkpoint (the store only holds evolving state, not the
+    /// grids or cosmology).
+    pub fn restore_checkpoint(&mut self, store: &CheckpointStore) -> Result<u64, CkptError> {
+        let loaded = store.load_serial()?;
+        let mut state = None;
+        for r in loaded.records {
+            match r {
+                Record::PhaseSpace(ps) => self.neutrinos = Some(ps),
+                Record::Particles(p) => self.cdm = Some(p),
+                Record::SimState(s) => state = Some(s),
+                _ => {}
+            }
+        }
+        let state = state.ok_or_else(|| CkptError::Mismatch {
+            detail: format!("generation {} holds no sim-state record", loaded.generation),
+        })?;
+        scheme_from_u8(state.scheme).map_err(|detail| CkptError::Mismatch { detail })?;
+        self.a = state.a;
+        self.step_count = state.step as usize;
+        self.records.truncate(self.step_count);
+        self.compute_gravity();
+        Ok(state.step)
     }
 
     /// Run until redshift `z_final`, invoking `callback` after every step.

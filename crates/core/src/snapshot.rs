@@ -1,139 +1,96 @@
-//! Binary snapshot I/O.
+//! Binary snapshot I/O — compatibility shims over `vlasov6d-ckpt`.
 //!
-//! The paper's time-to-solution includes I/O (733 s of the H1024 run), so the
-//! workspace needs a real writer: a small self-describing binary format —
-//! magic, version, dims, then raw little-endian payloads — built with the
-//! `bytes` crate and written through buffered files.
+//! The paper's time-to-solution includes I/O (733 s of the H1024 run). The
+//! workspace's durable format now lives in `vlasov6d-ckpt` (chunked,
+//! CRC-checksummed containers with typed records); this module keeps the
+//! original `snapshot` API as thin shims that delegate to the ckpt record
+//! codec, so existing callers keep working while all bytes on disk share one
+//! verified format. Unlike the retired ad-hoc format, decoding rejects
+//! trailing bytes and reports the byte offset of any damage.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::io::{Read, Write};
+use bytes::Bytes;
+use std::io::Read;
 use std::path::Path;
+use vlasov6d_ckpt::container::atomic_write;
+use vlasov6d_ckpt::{Encoding, Record};
 use vlasov6d_nbody::ParticleSet;
-use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+use vlasov6d_phase_space::PhaseSpace;
 
-const MAGIC: u32 = 0x564C_3644; // "VL6D"
-const VERSION: u32 = 1;
-
-/// Serialise a phase-space block (header + raw f32 payload).
+/// Serialise a phase-space block as a ckpt record frame (raw encoding).
 pub fn phase_space_to_bytes(ps: &PhaseSpace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + ps.len() * 4);
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u8(b'P'); // payload kind: phase space
-    for d in ps.sdims {
-        buf.put_u64_le(d as u64);
-    }
-    for d in ps.soffset {
-        buf.put_u64_le(d as u64);
-    }
-    for d in ps.sglobal {
-        buf.put_u64_le(d as u64);
-    }
-    for d in ps.vgrid.n {
-        buf.put_u64_le(d as u64);
-    }
-    buf.put_f64_le(ps.vgrid.vmax);
-    for &v in ps.as_slice() {
-        buf.put_f32_le(v);
-    }
-    buf.freeze()
+    let rec = Record::PhaseSpace(ps.clone());
+    Bytes::from(rec.encode(Encoding::Raw).bytes)
 }
 
 /// Deserialise a phase-space block.
-pub fn phase_space_from_bytes(mut data: Bytes) -> Result<PhaseSpace, String> {
-    let err = |m: &str| -> String { format!("snapshot: {m}") };
-    if data.remaining() < 9 {
-        return Err(err("truncated header"));
+///
+/// Strict: trailing bytes after the payload are an error, and error messages
+/// carry the byte offset of the problem.
+pub fn phase_space_from_bytes(data: Bytes) -> Result<PhaseSpace, String> {
+    match Record::decode(&data).map_err(|e| format!("snapshot: {e}"))? {
+        Record::PhaseSpace(ps) => Ok(ps),
+        other => Err(format!(
+            "snapshot: not a phase-space payload (found {})",
+            record_kind_name(&other)
+        )),
     }
-    if data.get_u32_le() != MAGIC {
-        return Err(err("bad magic"));
-    }
-    if data.get_u32_le() != VERSION {
-        return Err(err("unsupported version"));
-    }
-    if data.get_u8() != b'P' {
-        return Err(err("not a phase-space payload"));
-    }
-    let read3 = |data: &mut Bytes| -> [usize; 3] {
-        [
-            data.get_u64_le() as usize,
-            data.get_u64_le() as usize,
-            data.get_u64_le() as usize,
-        ]
-    };
-    let sdims = read3(&mut data);
-    let soffset = read3(&mut data);
-    let sglobal = read3(&mut data);
-    let vn = read3(&mut data);
-    let vmax = data.get_f64_le();
-    let vgrid = VelocityGrid::new(vn, vmax);
-    let mut ps = PhaseSpace::zeros_block(sdims, soffset, sglobal, vgrid);
-    let n = ps.len();
-    if data.remaining() != n * 4 {
-        return Err(err("payload size mismatch"));
-    }
-    for v in ps.as_mut_slice() {
-        *v = data.get_f32_le();
-    }
-    Ok(ps)
 }
 
-/// Serialise a particle set.
+/// Serialise a particle set as a ckpt record frame (raw encoding).
 pub fn particles_to_bytes(p: &ParticleSet) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32 + p.len() * 48);
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u8(b'N'); // payload kind: N-body
-    buf.put_u64_le(p.len() as u64);
-    buf.put_f64_le(p.mass);
-    for x in &p.pos {
-        for &c in x {
-            buf.put_f64_le(c);
-        }
-    }
-    for v in &p.vel {
-        for &c in v {
-            buf.put_f64_le(c);
-        }
-    }
-    buf.freeze()
+    let rec = Record::Particles(p.clone());
+    Bytes::from(rec.encode(Encoding::Raw).bytes)
 }
 
-/// Deserialise a particle set.
-pub fn particles_from_bytes(mut data: Bytes) -> Result<ParticleSet, String> {
-    let err = |m: &str| -> String { format!("snapshot: {m}") };
-    if data.remaining() < 9 {
-        return Err(err("truncated header"));
+/// Deserialise a particle set (strict, offset-reporting — see
+/// [`phase_space_from_bytes`]).
+pub fn particles_from_bytes(data: Bytes) -> Result<ParticleSet, String> {
+    match Record::decode(&data).map_err(|e| format!("snapshot: {e}"))? {
+        Record::Particles(p) => Ok(p),
+        other => Err(format!(
+            "snapshot: not a particle payload (found {})",
+            record_kind_name(&other)
+        )),
     }
-    if data.get_u32_le() != MAGIC {
-        return Err(err("bad magic"));
-    }
-    if data.get_u32_le() != VERSION {
-        return Err(err("unsupported version"));
-    }
-    if data.get_u8() != b'N' {
-        return Err(err("not a particle payload"));
-    }
-    let n = data.get_u64_le() as usize;
-    let mass = data.get_f64_le();
-    if data.remaining() != n * 48 {
-        return Err(err("payload size mismatch"));
-    }
-    let read_vec = |data: &mut Bytes| -> Vec<[f64; 3]> {
-        (0..n)
-            .map(|_| [data.get_f64_le(), data.get_f64_le(), data.get_f64_le()])
-            .collect()
-    };
-    let pos = read_vec(&mut data);
-    let vel = read_vec(&mut data);
-    Ok(ParticleSet { pos, vel, mass })
 }
 
-/// Write bytes to a file (buffered).
+/// Wire value of an advection scheme inside ckpt `SimState` records.
+pub fn scheme_to_u8(s: vlasov6d_advection::line::Scheme) -> u8 {
+    use vlasov6d_advection::line::Scheme;
+    match s {
+        Scheme::Upwind1 => 0,
+        Scheme::Sl3 => 1,
+        Scheme::Sl5 => 2,
+        Scheme::SlMpp5 => 3,
+    }
+}
+
+/// Inverse of [`scheme_to_u8`].
+pub fn scheme_from_u8(v: u8) -> Result<vlasov6d_advection::line::Scheme, String> {
+    use vlasov6d_advection::line::Scheme;
+    match v {
+        0 => Ok(Scheme::Upwind1),
+        1 => Ok(Scheme::Sl3),
+        2 => Ok(Scheme::Sl5),
+        3 => Ok(Scheme::SlMpp5),
+        other => Err(format!("unknown advection scheme code {other}")),
+    }
+}
+
+fn record_kind_name(r: &Record) -> &'static str {
+    match r {
+        Record::PhaseSpace(_) => "phase space",
+        Record::Particles(_) => "particles",
+        Record::FieldMesh { .. } => "field mesh",
+        Record::SimState(_) => "sim state",
+        Record::RunReport { .. } => "run report",
+    }
+}
+
+/// Write bytes to a file atomically (write-temp → fsync → rename, via the
+/// ckpt commit primitive).
 pub fn write_file(path: &Path, data: &Bytes) -> std::io::Result<()> {
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(data)?;
-    Ok(())
+    atomic_write(path, data).map_err(std::io::Error::other)
 }
 
 /// Read a whole snapshot file.
@@ -147,6 +104,7 @@ pub fn read_file(path: &Path) -> std::io::Result<Bytes> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vlasov6d_phase_space::VelocityGrid;
 
     #[test]
     fn phase_space_roundtrip() {
@@ -190,7 +148,22 @@ mod tests {
             vel: vec![[0.0; 3]],
             mass: 1.0,
         };
-        assert!(phase_space_from_bytes(particles_to_bytes(&p)).is_err());
+        let err = phase_space_from_bytes(particles_to_bytes(&p)).unwrap_err();
+        assert!(err.contains("not a phase-space payload"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_with_offset() {
+        // The retired format silently ignored trailing garbage; the ckpt
+        // records must reject it and name the offset where it starts.
+        let vg = VelocityGrid::cubic(8, 1.0);
+        let ps = PhaseSpace::zeros([2, 2, 2], vg);
+        let mut raw = phase_space_to_bytes(&ps).to_vec();
+        let clean_len = raw.len();
+        raw.extend_from_slice(&[0xAB; 7]);
+        let err = phase_space_from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(err.contains("offset"), "{err}");
+        assert!(err.contains(&clean_len.to_string()), "{err}");
     }
 
     #[test]

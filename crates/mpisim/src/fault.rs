@@ -1,0 +1,110 @@
+//! Rank fault injection.
+//!
+//! A [`KillSwitch`] lets a test kill a chosen rank after a chosen number of
+//! survival checks, simulating a node loss mid-step. The victim panics;
+//! [`crate::Universe::run_checked`] reports that as
+//! [`crate::SimError::RankPanic`], exactly how a real job scheduler surfaces
+//! a dead rank to the survivors. Checkpoint/restart tests use this to prove
+//! that a run killed between commit points resumes from the last committed
+//! generation.
+//!
+//! The switch is cloneable and thread-safe; arm it before [`crate::Universe`]
+//! spawns the ranks and move clones into the SPMD closure.
+
+use crate::comm::Comm;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Programmable rank killer. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct KillSwitch {
+    /// Remaining survival checks per armed rank.
+    armed: Arc<Mutex<HashMap<usize, u64>>>,
+}
+
+impl KillSwitch {
+    /// A switch with nothing armed; every check passes.
+    pub fn new() -> KillSwitch {
+        KillSwitch::default()
+    }
+
+    /// Arm the switch for `rank`: its `after_checks + 1`-th call to
+    /// [`KillSwitch::check`] panics (so `after_checks = 0` kills at the very
+    /// first check).
+    pub fn arm(&self, rank: usize, after_checks: u64) {
+        self.armed
+            .lock()
+            .expect("kill switch poisoned")
+            .insert(rank, after_checks);
+    }
+
+    /// Survival check, called by instrumented code at its fault points.
+    /// Panics if this rank's armed countdown has expired.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately — that is the injected fault.
+    pub fn check(&self, comm: &Comm) {
+        let rank = comm.rank();
+        let mut armed = self.armed.lock().expect("kill switch poisoned");
+        if let Some(remaining) = armed.get_mut(&rank) {
+            if *remaining == 0 {
+                armed.remove(&rank);
+                drop(armed);
+                panic!("fault injection: rank {rank} killed by KillSwitch");
+            }
+            *remaining -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{SimError, SimOptions, Universe};
+
+    #[test]
+    fn unarmed_switch_is_inert() {
+        let ks = KillSwitch::new();
+        let out = Universe::run(2, move |c| {
+            for _ in 0..10 {
+                ks.check(c);
+            }
+            c.rank()
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn armed_rank_dies_at_the_programmed_check() {
+        let ks = KillSwitch::new();
+        ks.arm(1, 2);
+        let result = Universe::run_checked(2, SimOptions::default(), move |c| {
+            let mut survived = 0u64;
+            for _ in 0..10 {
+                ks.check(c);
+                survived += 1;
+            }
+            survived
+        });
+        match result {
+            Err(SimError::RankPanic { rank, .. }) => assert_eq!(rank, 1),
+            other => panic!("expected rank 1 panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn other_ranks_are_untouched() {
+        let ks = KillSwitch::new();
+        ks.arm(0, 0);
+        let ks2 = ks.clone();
+        let result = Universe::run_checked(2, SimOptions::default(), move |c| {
+            ks2.check(c);
+            true
+        });
+        match result {
+            Err(SimError::RankPanic { rank, .. }) => assert_eq!(rank, 0),
+            other => panic!("expected rank 0 panic, got {other:?}"),
+        }
+    }
+}

@@ -43,6 +43,7 @@
 pub mod cart;
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod plan;
 pub mod sched;
 pub mod topology;
@@ -50,6 +51,7 @@ pub mod traffic;
 
 pub use cart::Cart3;
 pub use comm::{BlockKind, BlockedOp, Comm, LeakRecord, Payload, SimError, SimOptions, Universe};
+pub use fault::KillSwitch;
 pub use plan::{cart_neighbor_edges, CommPlan, PlanChecks, PlanError, PlanStats, ANY_BYTES};
 pub use sched::{ExplorationReport, Explorer};
 pub use topology::TofuTorus;

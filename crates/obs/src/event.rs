@@ -297,6 +297,7 @@ mod tests {
                 vlasov: 1.25,
                 tree: 0.5,
                 pm: 0.125,
+                io: 0.03125,
                 other: 0.0625,
             },
             spans: vec![SpanNode {

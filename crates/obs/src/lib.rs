@@ -45,6 +45,6 @@ pub mod span;
 
 pub use event::{JsonlSink, StepEvent};
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry};
 pub use report::RunReport;
 pub use span::{visit_spans, Bucket, BucketTotals, SpanNode, StepScope, StepSpans, Stopwatch};

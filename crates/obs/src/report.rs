@@ -221,6 +221,7 @@ fn bucket_title(b: Bucket) -> &'static str {
         Bucket::Vlasov => "Vlasov solver",
         Bucket::Tree => "tree force",
         Bucket::Pm => "particle-mesh force",
+        Bucket::Io => "checkpoint I/O",
         Bucket::Other => "other",
     }
 }
@@ -240,6 +241,7 @@ mod tests {
                 vlasov,
                 tree: 0.0,
                 pm,
+                io: 0.0,
                 other: 0.0,
             },
             spans: vec![

@@ -26,7 +26,9 @@ use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::time::Instant;
 
-/// The four cost buckets of the paper's Table 3/4 decomposition.
+/// The cost buckets of the paper's Table 3/4 decomposition, plus `Io` for
+/// checkpoint/restart so its overhead is visible against the solver cost
+/// (the paper budgets checkpointing at a few percent of a step).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Bucket {
     /// Vlasov solver: phase-space advection sweeps (directional splitting).
@@ -35,7 +37,9 @@ pub enum Bucket {
     Tree,
     /// Long-range particle-mesh force: deposit, FFT Poisson solve, gather.
     Pm,
-    /// Everything else: diagnostics, I/O, reductions, bookkeeping.
+    /// Durable-state I/O: checkpoint encode/commit and restart reads.
+    Io,
+    /// Everything else: diagnostics, reductions, bookkeeping.
     Other,
 }
 
@@ -46,6 +50,7 @@ impl Bucket {
             Bucket::Vlasov => "vlasov",
             Bucket::Tree => "tree",
             Bucket::Pm => "pm",
+            Bucket::Io => "io",
             Bucket::Other => "other",
         }
     }
@@ -56,12 +61,19 @@ impl Bucket {
             "vlasov" => Bucket::Vlasov,
             "tree" => Bucket::Tree,
             "pm" => Bucket::Pm,
+            "io" => Bucket::Io,
             _ => Bucket::Other,
         }
     }
 
     /// All buckets in report order.
-    pub const ALL: [Bucket; 4] = [Bucket::Vlasov, Bucket::Tree, Bucket::Pm, Bucket::Other];
+    pub const ALL: [Bucket; 5] = [
+        Bucket::Vlasov,
+        Bucket::Tree,
+        Bucket::Pm,
+        Bucket::Io,
+        Bucket::Other,
+    ];
 }
 
 /// Seconds accumulated per bucket; the folded form of a span tree.
@@ -73,14 +85,16 @@ pub struct BucketTotals {
     pub tree: f64,
     /// Seconds attributed to [`Bucket::Pm`].
     pub pm: f64,
+    /// Seconds attributed to [`Bucket::Io`].
+    pub io: f64,
     /// Seconds attributed to [`Bucket::Other`].
     pub other: f64,
 }
 
 impl BucketTotals {
-    /// Total seconds across all four buckets.
+    /// Total seconds across all buckets.
     pub fn total(&self) -> f64 {
-        self.vlasov + self.tree + self.pm + self.other
+        self.vlasov + self.tree + self.pm + self.io + self.other
     }
 
     /// Read one bucket.
@@ -89,6 +103,7 @@ impl BucketTotals {
             Bucket::Vlasov => self.vlasov,
             Bucket::Tree => self.tree,
             Bucket::Pm => self.pm,
+            Bucket::Io => self.io,
             Bucket::Other => self.other,
         }
     }
@@ -99,6 +114,7 @@ impl BucketTotals {
             Bucket::Vlasov => self.vlasov += secs,
             Bucket::Tree => self.tree += secs,
             Bucket::Pm => self.pm += secs,
+            Bucket::Io => self.io += secs,
             Bucket::Other => self.other += secs,
         }
     }
@@ -108,6 +124,7 @@ impl BucketTotals {
         self.vlasov += rhs.vlasov;
         self.tree += rhs.tree;
         self.pm += rhs.pm;
+        self.io += rhs.io;
         self.other += rhs.other;
     }
 }

@@ -21,10 +21,17 @@
 //!     the designated stencil homes (`crates/advection/src/`,
 //!     `crates/mesh/src/stencil.rs`) where kerncheck verifies them; a copy
 //!     anywhere else is an unverified fork of a kernel constant.
+//!   * **raw-fs-writes** — no direct `fs::write` / `File::create` outside
+//!     the designated writer homes (the `vlasov6d-ckpt` layer, the obs
+//!     JSONL sink, the map/image writers, benches and xtask itself).
+//!     Durable simulation state must go through the ckpt container format —
+//!     chunk CRCs, whole-file checksum, two-phase atomic commit — never
+//!     through an ad-hoc `fs::write` that a torn write can corrupt silently.
 //!
 //!   `#[cfg(test)]` modules are exempt from `hot-path-panics`,
-//!   `span-names` and `stencil-literals` (tests panic on purpose and spell
-//!   out expected coefficients), but never from `safety-comments`.
+//!   `span-names`, `stencil-literals` and `raw-fs-writes` (tests panic on
+//!   purpose, spell out expected coefficients and build fixture files), but
+//!   never from `safety-comments`.
 //!
 //! * `verify-kernels` — run every `vlasov6d-kerncheck` analysis pass
 //!   (symbolic weights, interval abstract interpretation, stencil
@@ -156,13 +163,17 @@ fn lint(root: &Path) -> ExitCode {
         if !is_stencil_home(rel) {
             violations.extend(check_stencil_literals(rel, &source));
         }
+        if !is_fs_write_home(rel) {
+            violations.extend(check_raw_fs_writes(rel, &source));
+        }
         spans.scan(rel, &source);
     }
     violations.extend(spans.check());
 
     if violations.is_empty() {
         println!(
-            "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names, stencil-literals)",
+            "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names, \
+             stencil-literals, raw-fs-writes)",
             files.len()
         );
         ExitCode::SUCCESS
@@ -495,6 +506,60 @@ fn check_stencil_literals(rel: &Path, source: &str) -> Vec<Violation> {
     violations
 }
 
+/// Where direct file creation is allowed: the checkpoint layer (whose
+/// atomic two-phase commit is the workspace's durable-write primitive), the
+/// obs JSONL sink, the map/image writers (lossy visual exports, not state),
+/// benches and xtask itself. Everything else — snapshots, restart files,
+/// any serialised simulation state — must go through `vlasov6d-ckpt`.
+const RAW_FS_WRITE_HOMES: &[&str] = &[
+    "crates/ckpt/src/",
+    "crates/obs/src/event.rs",
+    "crates/core/src/maps.rs",
+    "crates/bench/",
+    "xtask/",
+];
+
+fn is_fs_write_home(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    RAW_FS_WRITE_HOMES.iter().any(|h| {
+        if h.ends_with('/') {
+            p.starts_with(h)
+        } else {
+            p == *h
+        }
+    })
+}
+
+/// Lint 5: no direct `fs::write` / `File::create` outside the writer homes.
+fn check_raw_fs_writes(rel: &Path, source: &str) -> Vec<Violation> {
+    let masked = test_code_lines(source);
+    let mut violations = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        if masked.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = code_only(raw);
+        for (needle, what) in [
+            ("fs::write(", "`fs::write`"),
+            ("File::create(", "`File::create`"),
+        ] {
+            if code.contains(needle) {
+                violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    lint: "raw-fs-writes",
+                    message: format!(
+                        "{what} outside the designated writer modules; durable \
+                         simulation state must go through `vlasov6d-ckpt` \
+                         (atomic commit + checksums)"
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
 /// Lint 3: span-name registry across the workspace.
 #[derive(Default)]
 struct SpanRegistry {
@@ -718,6 +783,31 @@ mod tests {
         )));
         assert!(!is_stencil_home(Path::new("crates/mesh/src/field.rs")));
         assert!(!is_stencil_home(Path::new("crates/poisson/src/lib.rs")));
+    }
+
+    #[test]
+    fn raw_fs_write_lint() {
+        let bad = "fn save() { std::fs::write(path, bytes).unwrap(); }\n";
+        let v = check_raw_fs_writes(Path::new("a.rs"), bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("vlasov6d-ckpt"));
+        let bad_create = "let f = std::fs::File::create(path)?;\n";
+        assert_eq!(check_raw_fs_writes(Path::new("a.rs"), bad_create).len(), 1);
+        // Reads, mentions in comments/strings, and cfg(test) fixtures pass.
+        let ok = "let b = fs::read(path)?; // fs::write( would be flagged\n";
+        assert!(check_raw_fs_writes(Path::new("a.rs"), ok).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n  fs::write(&p, b\"x\").unwrap();\n}\n";
+        assert!(check_raw_fs_writes(Path::new("a.rs"), test_code).is_empty());
+    }
+
+    #[test]
+    fn fs_write_home_selection() {
+        assert!(is_fs_write_home(Path::new("crates/ckpt/src/container.rs")));
+        assert!(is_fs_write_home(Path::new("crates/obs/src/event.rs")));
+        assert!(is_fs_write_home(Path::new("crates/core/src/maps.rs")));
+        assert!(is_fs_write_home(Path::new("xtask/src/main.rs")));
+        assert!(!is_fs_write_home(Path::new("crates/core/src/snapshot.rs")));
+        assert!(!is_fs_write_home(Path::new("crates/obs/src/report.rs")));
     }
 
     #[test]
