@@ -1,0 +1,145 @@
+//! Ghost-exchange overlap: the distributed drift under the synchronous and
+//! split-phase schedules, measured through the `comm.hidden` / `comm.exposed`
+//! spans the sweeps record. Prints the per-policy exchange split and the
+//! overlap efficiency (`hidden / (hidden + exposed)`), then feeds the
+//! measured efficiency into the weak-scaling model to show what the hidden
+//! exchange buys along the paper's Table 3 chain.
+//!
+//! The synchronous path is the oracle: its exchange is fully exposed, so the
+//! split-phase rows must show `hidden > 0` and strictly less exposed time.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-bench --bin overlap_ghost_comm
+//! ```
+
+use vlasov6d::dist_sim::{DistributedVlasov, OverlapPolicy};
+use vlasov6d_cosmology::{Background, CosmologyParams};
+use vlasov6d_mesh::Decomp3;
+use vlasov6d_mpisim::Universe;
+use vlasov6d_obs::{OverlapSummary, RunReport};
+use vlasov6d_perfmodel::model::{step_time, step_time_overlapped};
+use vlasov6d_perfmodel::{paper_runs, MachineModel};
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+use vlasov6d_suite::{table_header, table_row};
+
+fn fill(s: [usize; 3], u: [f64; 3]) -> f64 {
+    let sx = (s[0] as f64 * 0.55).sin() + (s[1] as f64 * 0.35).cos() + (s[2] as f64 * 0.75).sin();
+    0.002 * (2.5 + sx) * (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.03).exp()
+}
+
+/// Run `steps` distributed steps under `policy` and fold every rank's span
+/// tree into a run report.
+fn measure(policy: OverlapPolicy, n_ranks: usize, steps: usize) -> (RunReport, OverlapSummary) {
+    let sglobal = [32usize, 8, 8];
+    let vg = VelocityGrid::cubic(8, 0.6);
+    let per_rank = Universe::run(n_ranks, move |comm| {
+        let decomp = Decomp3::new(sglobal, [comm.size(), 1, 1]);
+        let off = decomp.local_offset(comm.rank());
+        let dims = decomp.local_dims(comm.rank());
+        let mut local = PhaseSpace::zeros_block(dims, off, sglobal, vg);
+        local.fill_with(fill);
+        let bg = Background::new(CosmologyParams::planck2015());
+        let mut sim = DistributedVlasov::new(comm, local, bg, 0.2, 1.0).with_overlap(policy);
+        let mut events = Vec::new();
+        for _ in 0..steps {
+            let (_, dt, telemetry) = sim.step_traced(comm);
+            events.push(sim.step_event(comm, dt, &telemetry, None));
+            comm.barrier();
+        }
+        events
+    });
+    let mut report = RunReport::new();
+    for events in per_rank {
+        for e in events {
+            report.add(e);
+        }
+    }
+    let overlap = report.comm_overlap();
+    (report, overlap)
+}
+
+fn main() {
+    let n_ranks = 4;
+    let steps = 4;
+    println!("ghost-exchange overlap, {n_ranks} ranks x {steps} steps\n");
+
+    let widths = [12usize, 14, 14, 12];
+    println!(
+        "{}",
+        table_header(
+            &["policy", "hidden [s]", "exposed [s]", "efficiency"],
+            &widths
+        )
+    );
+    let mut measured = Vec::new();
+    for (name, policy) in [
+        ("sync", OverlapPolicy::Synchronous),
+        ("overlapped", OverlapPolicy::Overlapped),
+    ] {
+        let (_, overlap) = measure(policy, n_ranks, steps);
+        println!(
+            "{}",
+            table_row(
+                &[
+                    name.to_string(),
+                    format!("{:.6}", overlap.hidden),
+                    format!("{:.6}", overlap.exposed),
+                    format!("{:.1}%", 100.0 * overlap.efficiency()),
+                ],
+                &widths
+            )
+        );
+        measured.push(overlap);
+    }
+    let (sync, over) = (measured[0], measured[1]);
+    println!(
+        "\nsplit-phase verdict: hidden {} s ({}), exposed {:.6} s vs {:.6} s synchronous ({})",
+        over.hidden,
+        if over.hidden > 0.0 {
+            "> 0, ok"
+        } else {
+            "ZERO — no overlap happened"
+        },
+        over.exposed,
+        sync.exposed,
+        if over.exposed < sync.exposed {
+            "strictly below, ok"
+        } else {
+            "NOT below the synchronous baseline"
+        }
+    );
+
+    // Feed the measured efficiency into the scaling model: what the hidden
+    // exchange buys per step along the paper's weak chain.
+    let eff = over.efficiency();
+    let machine = MachineModel::fugaku_per_cmg();
+    println!(
+        "\nmodelled Vlasov step time with the exchange hidden at {:.0}% efficiency",
+        100.0 * eff
+    );
+    let widths = [8usize, 12, 14, 14, 10];
+    println!(
+        "{}",
+        table_header(
+            &["run", "nodes", "sync [s]", "overlap [s]", "saved"],
+            &widths
+        )
+    );
+    for run in paper_runs() {
+        let t_sync = step_time(&run, &machine).vlasov;
+        let t_over = step_time_overlapped(&run, &machine, eff).vlasov;
+        println!(
+            "{}",
+            table_row(
+                &[
+                    run.id.to_string(),
+                    run.nodes.to_string(),
+                    format!("{t_sync:.4}"),
+                    format!("{t_over:.4}"),
+                    format!("{:.1}%", 100.0 * (1.0 - t_over / t_sync)),
+                ],
+                &widths
+            )
+        );
+    }
+}

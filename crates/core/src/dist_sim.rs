@@ -23,9 +23,27 @@ use vlasov6d_mesh::{Decomp3, Field3};
 use vlasov6d_mpisim::{cart_neighbor_edges, Cart3, Comm, CommPlan, PlanChecks, Traffic};
 use vlasov6d_obs::metrics::MetricValue;
 use vlasov6d_obs::{span, Bucket, StepEvent, StepScope, StepSpans};
-use vlasov6d_phase_space::exchange::{ghost_exchange_plan, sweep_spatial_distributed, GHOST_WIDTH};
+use vlasov6d_phase_space::exchange::{
+    ghost_exchange_plan, ghost_exchange_split_plan, sweep_spatial_distributed,
+    sweep_spatial_overlapped, GHOST_WIDTH,
+};
 use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace};
 use vlasov6d_poisson::DistPoisson;
+
+/// How the drift's axis-0 ghost exchange is scheduled against the sweep.
+///
+/// Both policies are bitwise-identical by construction (the differential
+/// suite in `tests/distributed_consistency.rs` enforces it), so the
+/// synchronous path doubles as the oracle for the overlapped one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapPolicy {
+    /// Blocking exchange, then the full sweep — the oracle path.
+    #[default]
+    Synchronous,
+    /// Split-phase exchange hidden behind the interior sweep
+    /// ([`sweep_spatial_overlapped`]); only the boundary pencils wait.
+    Overlapped,
+}
 
 /// Per-rank state of a distributed ν-only simulation.
 pub struct DistributedVlasov {
@@ -43,6 +61,7 @@ pub struct DistributedVlasov {
     tag_counter: u64,
     step_index: u64,
     verify_plans: bool,
+    overlap: OverlapPolicy,
 }
 
 /// Per-rank timing record of one distributed step: the structured span tree
@@ -88,7 +107,20 @@ impl DistributedVlasov {
             tag_counter: 1,
             step_index: 0,
             verify_plans: false,
+            overlap: OverlapPolicy::default(),
         }
+    }
+
+    /// Choose how the drift hides (or doesn't) its ghost exchange.
+    pub fn with_overlap(mut self, overlap: OverlapPolicy) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Replace the advection scheme (default [`Scheme::SlMpp5`]).
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
     }
 
     /// Statically verify the step's communication plans (ghost sweep,
@@ -116,8 +148,12 @@ impl DistributedVlasov {
             topology: Some(cart_neighbor_edges(&self.decomp)),
             volume_symmetry: true,
         };
-        // Drift: axis-0 ghost-plane exchange of the distributed sweep.
+        // Drift: axis-0 ghost-plane exchange of the distributed sweep, in
+        // both its blocking and split-phase (overlapped) forms — the split
+        // plan additionally proves every posted request is waited on.
         ghost_exchange_plan(&self.decomp, self.ps.vgrid.len(), 0, GHOST_WIDTH, 100)
+            .assert_valid(&cart_checks);
+        ghost_exchange_split_plan(&self.decomp, self.ps.vgrid.len(), 0, GHOST_WIDTH, 100)
             .assert_valid(&cart_checks);
         // Gravity: two-plane potential exchange for the 4-point gradient.
         gradient_plan(&self.decomp, self.ps.sdims, 200).assert_valid(&cart_checks);
@@ -209,14 +245,15 @@ impl DistributedVlasov {
             let cfl0: Vec<f64> = (0..self.ps.vgrid.n[0])
                 .map(|k| self.ps.vgrid.center(0, k) * drift * nx)
                 .collect();
-            sweep_spatial_distributed(
-                &mut self.ps,
-                &Cart3::new(comm, self.decomp),
-                0,
-                &cfl0,
-                self.scheme,
-                tag,
-            );
+            let cart = Cart3::new(comm, self.decomp);
+            match self.overlap {
+                OverlapPolicy::Synchronous => {
+                    sweep_spatial_distributed(&mut self.ps, &cart, 0, &cfl0, self.scheme, tag);
+                }
+                OverlapPolicy::Overlapped => {
+                    sweep_spatial_overlapped(&mut self.ps, &cart, 0, &cfl0, self.scheme, tag);
+                }
+            }
             for d in 1..3 {
                 let n_d = self.ps.sglobal[d] as f64;
                 let cfl: Vec<f64> = (0..self.ps.vgrid.n[d])
@@ -612,22 +649,60 @@ mod tests {
     fn distributed_mass_is_conserved() {
         let sglobal = [8usize, 8, 8];
         let vg = VelocityGrid::cubic(8, 0.6);
-        Universe::run(2, move |comm| {
-            let decomp = Decomp3::new(sglobal, [comm.size(), 1, 1]);
-            let off = decomp.local_offset(comm.rank());
-            let dims = decomp.local_dims(comm.rank());
-            let mut local = PhaseSpace::zeros_block(dims, off, sglobal, vg);
-            local.fill_with(fill);
-            let bg = Background::new(CosmologyParams::planck2015());
-            let mut sim =
-                DistributedVlasov::new(comm, local, bg, 0.2, 1.0).with_plan_verification();
-            let m0 = sim.total_mass(comm);
-            for _ in 0..3 {
-                sim.step(comm);
-            }
-            let m1 = sim.total_mass(comm);
-            assert!((m1 / m0 - 1.0).abs() < 1e-3, "mass {m0} → {m1}");
-            assert!(sim.ps.min_value() >= 0.0);
-        });
+        for overlap in [OverlapPolicy::Synchronous, OverlapPolicy::Overlapped] {
+            Universe::run(2, move |comm| {
+                let decomp = Decomp3::new(sglobal, [comm.size(), 1, 1]);
+                let off = decomp.local_offset(comm.rank());
+                let dims = decomp.local_dims(comm.rank());
+                let mut local = PhaseSpace::zeros_block(dims, off, sglobal, vg);
+                local.fill_with(fill);
+                let bg = Background::new(CosmologyParams::planck2015());
+                let mut sim = DistributedVlasov::new(comm, local, bg, 0.2, 1.0)
+                    .with_plan_verification()
+                    .with_overlap(overlap);
+                let m0 = sim.total_mass(comm);
+                for _ in 0..3 {
+                    sim.step(comm);
+                }
+                let m1 = sim.total_mass(comm);
+                assert!(
+                    (m1 / m0 - 1.0).abs() < 1e-3,
+                    "{overlap:?}: mass {m0} → {m1}"
+                );
+                assert!(sim.ps.min_value() >= 0.0);
+            });
+        }
+    }
+
+    #[test]
+    fn step_tags_are_never_reused() {
+        // Regression guard on `tag_counter`: every point-to-point message a
+        // run posts — ghost planes (blocking and split-phase), gradient
+        // planes, FFT transposes — must use a fresh `(src, dst, tag)` triple,
+        // within a step and across step boundaries. A counter reset or an
+        // under-reserved `next_tags` window shows up here as tag reuse.
+        let sglobal = [8usize, 8, 8];
+        let vg = VelocityGrid::cubic(8, 0.6);
+        for overlap in [OverlapPolicy::Synchronous, OverlapPolicy::Overlapped] {
+            let (_, traffic) = Universe::run_with_traffic(2, move |comm| {
+                let decomp = Decomp3::new(sglobal, [comm.size(), 1, 1]);
+                let off = decomp.local_offset(comm.rank());
+                let dims = decomp.local_dims(comm.rank());
+                let mut local = PhaseSpace::zeros_block(dims, off, sglobal, vg);
+                local.fill_with(fill);
+                let bg = Background::new(CosmologyParams::planck2015());
+                let mut sim =
+                    DistributedVlasov::new(comm, local, bg, 0.2, 1.0).with_overlap(overlap);
+                for _ in 0..4 {
+                    sim.step(comm);
+                    comm.barrier();
+                }
+            });
+            let reused = traffic.tag_reuse();
+            assert!(
+                reused.is_empty(),
+                "{overlap:?}: (src, dst, tag) triples reused across requests: {reused:?}"
+            );
+        }
     }
 }

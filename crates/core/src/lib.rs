@@ -48,6 +48,6 @@ pub mod spectrum;
 
 pub use config::SimulationConfig;
 pub use diagnostics::StepRecord;
-pub use dist_sim::DistributedVlasov;
+pub use dist_sim::{DistributedVlasov, OverlapPolicy};
 pub use sim::HybridSimulation;
 pub use spectrum::Spectrum;

@@ -116,6 +116,9 @@ pub enum SimError {
     Deadlock { blocked: Vec<BlockedOp> },
     /// Messages were never received ([`SimOptions::verify_leaks`]).
     Leak { leaks: Vec<LeakRecord> },
+    /// Split-phase requests were dropped without a `wait`/successful `test`
+    /// ([`SimOptions::verify_leaks`]).
+    RequestLeak { leaks: Vec<RequestLeak> },
     /// A rank panicked; the message is the panic payload's text.
     RankPanic { rank: usize, message: String },
 }
@@ -150,6 +153,24 @@ impl fmt::Display for SimError {
                         f,
                         "{} message(s) from rank {} tag {} still in rank {}'s mailbox",
                         l.count, l.source, l.tag, l.dest
+                    )?;
+                }
+                Ok(())
+            }
+            SimError::RequestLeak { leaks } => {
+                write!(f, "requests dropped without wait: ")?;
+                for (i, l) in leaks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    let kind = match l.kind {
+                        RequestKind::Send => "isend",
+                        RequestKind::Recv => "irecv",
+                    };
+                    write!(
+                        f,
+                        "rank {} dropped an un-waited {kind} (peer {}, tag {})",
+                        l.rank, l.peer, l.tag
                     )?;
                 }
                 Ok(())
@@ -190,6 +211,30 @@ pub struct LeakRecord {
     pub tag: u64,
     /// How many messages were stranded on this `(source, tag)` queue.
     pub count: usize,
+}
+
+/// Whether a leaked split-phase request was a send or a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// An [`Comm::isend`] handle.
+    Send,
+    /// An [`Comm::irecv`] handle.
+    Recv,
+}
+
+/// A split-phase request that was dropped without being waited on —
+/// the non-blocking analogue of a [`LeakRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestLeak {
+    /// Rank that posted (and then dropped) the request.
+    pub rank: usize,
+    /// Send or receive side.
+    pub kind: RequestKind,
+    /// The peer rank of the request (destination for sends, source for
+    /// receives).
+    pub peer: usize,
+    /// Tag of the request.
+    pub tag: u64,
 }
 
 /// Panic payload used to unwind ranks out of blocking calls after an abort.
@@ -237,6 +282,9 @@ struct Control {
     seq: AtomicU64,
     blocked: Vec<Mutex<Option<BlockKind>>>,
     finished: AtomicUsize,
+    /// Split-phase requests dropped without a `wait`, reported at teardown
+    /// under [`SimOptions::verify_leaks`].
+    request_leaks: Mutex<Vec<RequestLeak>>,
 }
 
 impl Control {
@@ -250,7 +298,15 @@ impl Control {
             seq: AtomicU64::new(0),
             blocked: (0..n).map(|_| Mutex::new(None)).collect(),
             finished: AtomicUsize::new(0),
+            request_leaks: Mutex::new(Vec::new()),
         }
+    }
+
+    fn record_request_leak(&self, leak: RequestLeak) {
+        self.request_leaks
+            .lock()
+            .expect("request-leak slot poisoned")
+            .push(leak);
     }
 
     fn set_blocked(&self, rank: usize, kind: Option<BlockKind>) {
@@ -372,6 +428,11 @@ impl Mailbox {
         let msg = inner.queues.get_mut(&key).and_then(|q| q.pop_front());
         if msg.is_some() {
             ctrl.progress.fetch_add(1, Ordering::Relaxed);
+        } else if ctrl.schedule_seed.is_some() {
+            // A failed probe advances the schedule clock: a polling loop
+            // (`RecvRequest::test`) must eventually see a schedule-held
+            // message, just as blocked waits bump the epoch over time.
+            ctrl.epoch.fetch_add(1, Ordering::Relaxed);
         }
         msg
     }
@@ -511,6 +572,11 @@ impl Comm {
         self.shared
             .traffic
             .record(self.rank, dest, value.byte_len());
+        if tag < COLLECTIVE_TAG_BASE {
+            // Collectives allot fresh tags by construction; only user tags
+            // feed the reuse audit.
+            self.shared.traffic.record_tag(self.rank, dest, tag);
+        }
         self.shared.mailboxes[dest].push((self.rank, tag), Box::new(value), &self.shared.ctrl);
     }
 
@@ -589,6 +655,143 @@ impl Comm {
     pub fn traffic(&self) -> &Traffic {
         &self.shared.traffic
     }
+
+    /// Split-phase send: posts `value` for `dest` immediately (sends are
+    /// buffered, so completion is local) and returns a handle whose `wait`
+    /// marks the request complete. Dropping the handle un-waited is a
+    /// program bug, reported by [`SimOptions::verify_leaks`].
+    #[must_use = "the returned request must be waited on"]
+    pub fn isend<T: Payload>(&self, dest: usize, tag: u64, value: T) -> SendRequest<'_> {
+        assert!(dest < self.size, "isend to rank {dest} of {}", self.size);
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^62");
+        self.send_internal(dest, tag, value);
+        SendRequest {
+            comm: self,
+            peer: dest,
+            tag,
+            done: false,
+        }
+    }
+
+    /// Split-phase receive: posts a receive for `(source, tag)` and returns a
+    /// handle; `wait` blocks until the message arrives, `test` polls.
+    /// Dropping the handle before completion is a program bug, reported by
+    /// [`SimOptions::verify_leaks`] (and the undelivered message additionally
+    /// trips the mailbox leak check).
+    #[must_use = "the returned request must be waited on"]
+    pub fn irecv<T: Payload>(&self, source: usize, tag: u64) -> RecvRequest<'_, T> {
+        assert!(
+            source < self.size,
+            "irecv from rank {source} of {}",
+            self.size
+        );
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^62");
+        RecvRequest {
+            comm: self,
+            source,
+            tag,
+            state: RecvState::Pending,
+        }
+    }
+}
+
+/// Handle for a posted [`Comm::isend`]. Sends are buffered, so `wait` never
+/// blocks — its job is to mark the request retired so the teardown checks
+/// can prove every post was paired with a completion.
+#[must_use = "a posted isend must be waited on"]
+pub struct SendRequest<'c> {
+    comm: &'c Comm,
+    peer: usize,
+    tag: u64,
+    done: bool,
+}
+
+impl SendRequest<'_> {
+    /// Complete the send. Never blocks (sends are buffered).
+    pub fn wait(mut self) {
+        self.done = true;
+    }
+
+    /// Poll for completion. Buffered sends are always complete, so this
+    /// returns `true` and retires the request.
+    pub fn test(&mut self) -> bool {
+        self.done = true;
+        true
+    }
+}
+
+impl Drop for SendRequest<'_> {
+    fn drop(&mut self) {
+        if !self.done && !std::thread::panicking() {
+            self.comm.shared.ctrl.record_request_leak(RequestLeak {
+                rank: self.comm.rank,
+                kind: RequestKind::Send,
+                peer: self.peer,
+                tag: self.tag,
+            });
+        }
+    }
+}
+
+enum RecvState<T> {
+    Pending,
+    Ready(T),
+    Taken,
+}
+
+/// Handle for a posted [`Comm::irecv`]. `wait` consumes the handle and
+/// returns the payload; `test` polls and buffers the payload for a later
+/// `wait`.
+#[must_use = "a posted irecv must be waited on"]
+pub struct RecvRequest<'c, T: Payload> {
+    comm: &'c Comm,
+    source: usize,
+    tag: u64,
+    state: RecvState<T>,
+}
+
+impl<T: Payload> RecvRequest<'_, T> {
+    /// Block until the matching message arrives and return it.
+    ///
+    /// # Panics
+    /// Panics on payload type mismatch, like [`Comm::recv`].
+    pub fn wait(mut self) -> T {
+        match std::mem::replace(&mut self.state, RecvState::Taken) {
+            RecvState::Pending => self.comm.recv_internal(self.source, self.tag),
+            RecvState::Ready(value) => value,
+            RecvState::Taken => unreachable!("wait consumes the request"),
+        }
+    }
+
+    /// Poll for completion: `true` once the message has arrived (the payload
+    /// is buffered in the handle until `wait` collects it).
+    pub fn test(&mut self) -> bool {
+        match self.state {
+            RecvState::Pending => {
+                if let Some(value) = self.comm.try_recv::<T>(self.source, self.tag) {
+                    self.state = RecvState::Ready(value);
+                    true
+                } else {
+                    false
+                }
+            }
+            RecvState::Ready(_) => true,
+            RecvState::Taken => unreachable!("wait consumes the request"),
+        }
+    }
+}
+
+impl<T: Payload> Drop for RecvRequest<'_, T> {
+    fn drop(&mut self) {
+        if matches!(self.state, RecvState::Pending) && !std::thread::panicking() {
+            self.comm.shared.ctrl.record_request_leak(RequestLeak {
+                rank: self.comm.rank,
+                kind: RequestKind::Recv,
+                peer: self.source,
+                tag: self.tag,
+            });
+        }
+    }
 }
 
 /// Factory for SPMD runs.
@@ -643,6 +846,7 @@ impl Universe {
         Self::run_inner(n, &opts, &f).map_err(|failure| match failure {
             RunFailure::Deadlock { blocked } => SimError::Deadlock { blocked },
             RunFailure::Leak { leaks } => SimError::Leak { leaks },
+            RunFailure::RequestLeak { leaks } => SimError::RequestLeak { leaks },
             RunFailure::Panic { rank, payload } => SimError::RankPanic {
                 rank,
                 message: panic_message(payload.as_ref()),
@@ -724,6 +928,21 @@ impl Universe {
             return Err(RunFailure::Deadlock { blocked });
         }
         if opts.verify_leaks {
+            // Request leaks first: they name the culprit rank and side, which
+            // is more actionable than the stranded-message view of the same
+            // bug.
+            let mut request_leaks = shared
+                .ctrl
+                .request_leaks
+                .lock()
+                .expect("request-leak slot poisoned")
+                .clone();
+            if !request_leaks.is_empty() {
+                request_leaks.sort_by_key(|l| (l.rank, l.peer, l.tag));
+                return Err(RunFailure::RequestLeak {
+                    leaks: request_leaks,
+                });
+            }
             let leaks: Vec<LeakRecord> = shared
                 .mailboxes
                 .iter()
@@ -808,6 +1027,9 @@ enum RunFailure {
     Leak {
         leaks: Vec<LeakRecord>,
     },
+    RequestLeak {
+        leaks: Vec<RequestLeak>,
+    },
     Panic {
         rank: usize,
         payload: Box<dyn Any + Send>,
@@ -819,6 +1041,7 @@ impl RunFailure {
         match self {
             RunFailure::Deadlock { .. } => "deadlock",
             RunFailure::Leak { .. } => "leak",
+            RunFailure::RequestLeak { .. } => "request leak",
             RunFailure::Panic { .. } => "panic",
         }
     }
@@ -1076,6 +1299,162 @@ mod tests {
             })
             .expect("ordered stream");
             assert_eq!(out[1], (0..40).collect::<Vec<u64>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn split_phase_ring_overlaps_compute() {
+        // Post the exchange, "compute" while in flight, then wait.
+        let out = Universe::run(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            let s = c.isend(next, 11, c.rank() as u64);
+            let r = c.irecv::<u64>(prev, 11);
+            let local: u64 = (0..100).sum(); // interior work while in flight
+            assert_eq!(local, 4950);
+            let got = r.wait();
+            s.wait();
+            got
+        });
+        for (i, got) in out.iter().enumerate() {
+            assert_eq!(*got, ((i + 3) % 4) as u64);
+        }
+    }
+
+    #[test]
+    fn irecv_test_polls_until_ready() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.barrier(); // hold the send until rank 1 has polled once
+                let s = c.isend(1, 2, 77u64);
+                s.wait();
+                0
+            } else {
+                let mut r = c.irecv::<u64>(0, 2);
+                assert!(!r.test(), "nothing sent yet");
+                c.barrier();
+                while !r.test() {
+                    std::thread::yield_now();
+                }
+                r.wait()
+            }
+        });
+        assert_eq!(out[1], 77);
+    }
+
+    #[test]
+    fn send_test_is_immediately_complete() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                let mut s = c.isend(1, 4, 1u64);
+                assert!(s.test(), "buffered sends complete locally");
+                s.wait();
+            } else {
+                let r = c.irecv::<u64>(0, 4);
+                assert_eq!(r.wait(), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_send_wait_is_caught() {
+        let opts = SimOptions {
+            verify_leaks: true,
+            ..SimOptions::default()
+        };
+        let err = Universe::run_checked(2, opts, |c| {
+            if c.rank() == 0 {
+                let _ = c.isend(1, 6, 5u64); // dropped un-waited
+            } else {
+                let _: u64 = c.recv(0, 6);
+            }
+        })
+        .expect_err("dropped wait must fail teardown");
+        let SimError::RequestLeak { leaks } = err else {
+            panic!("expected request leak, got {err}");
+        };
+        assert_eq!(
+            leaks,
+            vec![RequestLeak {
+                rank: 0,
+                kind: RequestKind::Send,
+                peer: 1,
+                tag: 6
+            }]
+        );
+    }
+
+    #[test]
+    fn dropped_recv_wait_is_caught() {
+        let opts = SimOptions {
+            verify_leaks: true,
+            ..SimOptions::default()
+        };
+        let err = Universe::run_checked(2, opts, |c| {
+            if c.rank() == 0 {
+                let s = c.isend(1, 8, 5u64);
+                s.wait();
+            } else {
+                let _ = c.irecv::<u64>(0, 8); // dropped un-waited
+            }
+        })
+        .expect_err("dropped irecv must fail teardown");
+        let SimError::RequestLeak { leaks } = err else {
+            panic!("expected request leak, got {err}");
+        };
+        assert_eq!(
+            leaks,
+            vec![RequestLeak {
+                rank: 1,
+                kind: RequestKind::Recv,
+                peer: 0,
+                tag: 8
+            }]
+        );
+    }
+
+    #[test]
+    fn completed_requests_pass_leak_check() {
+        let opts = SimOptions {
+            verify_leaks: true,
+            deadlock_timeout: Some(Duration::from_secs(2)),
+            schedule_seed: None,
+        };
+        let (out, _) = Universe::run_checked(3, opts, |c| {
+            let next = (c.rank() + 1) % 3;
+            let prev = (c.rank() + 2) % 3;
+            let s = c.isend(next, 1, c.rank() as u64);
+            let r = c.irecv::<u64>(prev, 1);
+            let got = r.wait();
+            s.wait();
+            got
+        })
+        .expect("clean split-phase exchange");
+        assert_eq!(out, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn split_phase_survives_schedule_perturbation() {
+        for seed in 0..6 {
+            let opts = SimOptions::checked(seed, Duration::from_secs(2));
+            let (out, _) = Universe::run_checked(4, opts, |c| {
+                let next = (c.rank() + 1) % c.size();
+                let prev = (c.rank() + c.size() - 1) % c.size();
+                let mut got = Vec::new();
+                for round in 0..5u64 {
+                    let s = c.isend(next, 20 + round, c.rank() as u64 * 100 + round);
+                    let r = c.irecv::<u64>(prev, 20 + round);
+                    got.push(r.wait());
+                    s.wait();
+                }
+                got
+            })
+            .expect("split-phase under perturbed delivery");
+            for (rank, got) in out.iter().enumerate() {
+                let prev = (rank + 3) % 4;
+                let want: Vec<u64> = (0..5).map(|r| prev as u64 * 100 + r).collect();
+                assert_eq!(*got, want, "seed {seed}, rank {rank}");
+            }
         }
     }
 

@@ -26,6 +26,12 @@
 //! blocks until a matching `(source, tag)` message arrives. Message order is
 //! preserved per `(source, tag)` pair, like MPI's non-overtaking guarantee.
 //!
+//! Split-phase messaging mirrors `MPI_Isend`/`MPI_Irecv`: [`Comm::isend`] and
+//! [`Comm::irecv`] return typed [`comm::SendRequest`]/[`comm::RecvRequest`]
+//! handles with `wait`/`test`; a handle dropped without completion is
+//! reported at teardown by the leak checks, so an overlap region can never
+//! silently forget a posted request.
+//!
 //! # Verification
 //!
 //! Exchange patterns can be checked *before* execution and stress-tested
@@ -50,7 +56,10 @@ pub mod topology;
 pub mod traffic;
 
 pub use cart::Cart3;
-pub use comm::{BlockKind, BlockedOp, Comm, LeakRecord, Payload, SimError, SimOptions, Universe};
+pub use comm::{
+    BlockKind, BlockedOp, Comm, LeakRecord, Payload, RecvRequest, RequestKind, RequestLeak,
+    SendRequest, SimError, SimOptions, Universe,
+};
 pub use fault::KillSwitch;
 pub use plan::{cart_neighbor_edges, CommPlan, PlanChecks, PlanError, PlanStats, ANY_BYTES};
 pub use sched::{ExplorationReport, Explorer};

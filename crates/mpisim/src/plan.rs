@@ -41,6 +41,18 @@ pub enum Op {
     Send { to: usize, tag: u64, bytes: u64 },
     /// Blocking receive, as in [`crate::Comm::recv`].
     Recv { from: usize, tag: u64, bytes: u64 },
+    /// Split-phase send post, as in [`crate::Comm::isend`]. Must be retired
+    /// by a later [`Op::WaitSend`] in the same rank's program.
+    Isend { to: usize, tag: u64, bytes: u64 },
+    /// Split-phase receive post, as in [`crate::Comm::irecv`]. Must be
+    /// retired by a later [`Op::WaitRecv`] in the same rank's program.
+    Irecv { from: usize, tag: u64, bytes: u64 },
+    /// Completion of a posted [`Op::Isend`]. Never blocks (sends are
+    /// buffered).
+    WaitSend { to: usize, tag: u64 },
+    /// Completion of a posted [`Op::Irecv`]; blocks until the matching send
+    /// has executed.
+    WaitRecv { from: usize, tag: u64 },
 }
 
 /// A declarative plan: one ordered [`Op`] program per rank.
@@ -93,6 +105,22 @@ pub enum PlanError {
         tag: u64,
         sent: u64,
         expected: u64,
+    },
+    /// A `WaitSend`/`WaitRecv` with no matching posted request earlier in the
+    /// same rank's program.
+    WaitWithoutRequest {
+        rank: usize,
+        peer: usize,
+        tag: u64,
+        kind: &'static str,
+    },
+    /// A posted `Isend`/`Irecv` never retired by a wait in the same rank's
+    /// program — the plan-level image of a dropped request handle.
+    UnwaitedRequest {
+        rank: usize,
+        peer: usize,
+        tag: u64,
+        kind: &'static str,
     },
     /// An edge leaves the allowed topology.
     TopologyViolation { src: usize, dst: usize, tag: u64 },
@@ -155,6 +183,24 @@ impl fmt::Display for PlanError {
             } => write!(
                 f,
                 "byte mismatch on {src} -> {dst} tag {tag}: send declares {sent} B, recv expects {expected} B"
+            ),
+            PlanError::WaitWithoutRequest {
+                rank,
+                peer,
+                tag,
+                kind,
+            } => write!(
+                f,
+                "wait without request: rank {rank} waits on an un-posted {kind} (peer {peer}, tag {tag})"
+            ),
+            PlanError::UnwaitedRequest {
+                rank,
+                peer,
+                tag,
+                kind,
+            } => write!(
+                f,
+                "unwaited request: rank {rank} posts an {kind} (peer {peer}, tag {tag}) that is never waited on"
             ),
             PlanError::TopologyViolation { src, dst, tag } => write!(
                 f,
@@ -231,6 +277,44 @@ impl CommPlan {
         self
     }
 
+    /// Rank `src`'s program gains a split-phase send post to `dst`.
+    pub fn isend(&mut self, src: usize, dst: usize, tag: u64, bytes: u64) -> &mut Self {
+        assert!(src < self.n_ranks() && dst < self.n_ranks());
+        self.programs[src].push(Op::Isend {
+            to: dst,
+            tag,
+            bytes,
+        });
+        self
+    }
+
+    /// Rank `dst`'s program gains a split-phase receive post from `src`.
+    pub fn irecv(&mut self, dst: usize, src: usize, tag: u64, bytes: u64) -> &mut Self {
+        assert!(src < self.n_ranks() && dst < self.n_ranks());
+        self.programs[dst].push(Op::Irecv {
+            from: src,
+            tag,
+            bytes,
+        });
+        self
+    }
+
+    /// Rank `rank`'s program gains the completion of its posted isend to
+    /// `peer`.
+    pub fn wait_send(&mut self, rank: usize, peer: usize, tag: u64) -> &mut Self {
+        assert!(rank < self.n_ranks() && peer < self.n_ranks());
+        self.programs[rank].push(Op::WaitSend { to: peer, tag });
+        self
+    }
+
+    /// Rank `rank`'s program gains the completion of its posted irecv from
+    /// `peer`.
+    pub fn wait_recv(&mut self, rank: usize, peer: usize, tag: u64) -> &mut Self {
+        assert!(rank < self.n_ranks() && peer < self.n_ranks());
+        self.programs[rank].push(Op::WaitRecv { from: peer, tag });
+        self
+    }
+
     /// The [`crate::Comm::sendrecv`] motif: `rank` sends to `dst` then
     /// receives from `src`, both of `bytes` size.
     pub fn sendrecv(
@@ -259,7 +343,7 @@ impl CommPlan {
         let mut edges = Vec::new();
         for (src, program) in self.programs.iter().enumerate() {
             for op in program {
-                if let Op::Send { to, tag, bytes } = *op {
+                if let Op::Send { to, tag, bytes } | Op::Isend { to, tag, bytes } = *op {
                     edges.push((src, to, tag, bytes));
                 }
             }
@@ -279,13 +363,20 @@ impl CommPlan {
         let mut errors = Vec::new();
 
         // Index sends and recvs by (src, dst, tag); flag key collisions.
+        // Split-phase posts land in the same maps as their blocking
+        // counterparts, so an `Isend` colliding with a `Send` (or another
+        // `Isend`) on one edge is caught identically. The per-rank `posted_*`
+        // sets pair every post with its wait.
         let mut sends: HashMap<(usize, usize, u64), u64> = HashMap::new();
         let mut recvs: HashMap<(usize, usize, u64), u64> = HashMap::new();
         let (mut n_sends, mut n_recvs, mut total_bytes) = (0usize, 0usize, 0u64);
+        let mut have_request_error = false;
         for (rank, prog) in self.programs.iter().enumerate() {
+            let mut posted_isends: HashSet<(usize, u64)> = HashSet::new();
+            let mut posted_irecvs: HashSet<(usize, u64)> = HashSet::new();
             for op in prog {
                 match *op {
-                    Op::Send { to, tag, bytes } => {
+                    Op::Send { to, tag, bytes } | Op::Isend { to, tag, bytes } => {
                         n_sends += 1;
                         if bytes != ANY_BYTES {
                             total_bytes += bytes;
@@ -298,8 +389,11 @@ impl CommPlan {
                                 kind: "send",
                             });
                         }
+                        if matches!(op, Op::Isend { .. }) {
+                            posted_isends.insert((to, tag));
+                        }
                     }
-                    Op::Recv { from, tag, bytes } => {
+                    Op::Recv { from, tag, bytes } | Op::Irecv { from, tag, bytes } => {
                         n_recvs += 1;
                         if recvs.insert((from, rank, tag), bytes).is_some() {
                             errors.push(PlanError::TagCollision {
@@ -309,8 +403,52 @@ impl CommPlan {
                                 kind: "recv",
                             });
                         }
+                        if matches!(op, Op::Irecv { .. }) {
+                            posted_irecvs.insert((from, tag));
+                        }
+                    }
+                    Op::WaitSend { to, tag } => {
+                        if !posted_isends.remove(&(to, tag)) {
+                            errors.push(PlanError::WaitWithoutRequest {
+                                rank,
+                                peer: to,
+                                tag,
+                                kind: "isend",
+                            });
+                            have_request_error = true;
+                        }
+                    }
+                    Op::WaitRecv { from, tag } => {
+                        if !posted_irecvs.remove(&(from, tag)) {
+                            errors.push(PlanError::WaitWithoutRequest {
+                                rank,
+                                peer: from,
+                                tag,
+                                kind: "irecv",
+                            });
+                            have_request_error = true;
+                        }
                     }
                 }
+            }
+            let mut leftovers: Vec<(usize, u64, &'static str)> = posted_isends
+                .iter()
+                .map(|&(peer, tag)| (peer, tag, "isend"))
+                .chain(
+                    posted_irecvs
+                        .iter()
+                        .map(|&(peer, tag)| (peer, tag, "irecv")),
+                )
+                .collect();
+            leftovers.sort_unstable();
+            for (peer, tag, kind) in leftovers {
+                errors.push(PlanError::UnwaitedRequest {
+                    rank,
+                    peer,
+                    tag,
+                    kind,
+                });
+                have_request_error = true;
             }
         }
 
@@ -371,10 +509,11 @@ impl CommPlan {
             }
         }
 
-        // Deadlock freedom via abstract execution. Unmatched receives would
-        // trivially wedge it, so only run once matching is clean — the
-        // unmatched-recv error already tells the caller what is wrong.
-        if !have_unmatched_recv {
+        // Deadlock freedom via abstract execution. Unmatched receives (and
+        // miswired request/wait pairings) would trivially wedge it, so only
+        // run once matching is clean — the earlier errors already tell the
+        // caller what is wrong.
+        if !have_unmatched_recv && !have_request_error {
             if let Some(err) = self.simulate() {
                 errors.push(err);
             }
@@ -407,10 +546,11 @@ impl CommPlan {
         }
     }
 
-    /// Abstract execution: sends never block; a receive executes once the
-    /// matching send has executed (per-key FIFO is irrelevant here because
-    /// collisions were already rejected). Returns the deadlock report if the
-    /// execution wedges.
+    /// Abstract execution: sends (and isends, and both wait-send and irecv
+    /// posts) never block; a receive or wait-recv executes once the matching
+    /// send has executed (per-key FIFO is irrelevant here because collisions
+    /// were already rejected). Returns the deadlock report if the execution
+    /// wedges.
     fn simulate(&self) -> Option<PlanError> {
         let n = self.n_ranks();
         let mut pc = vec![0usize; n];
@@ -421,10 +561,13 @@ impl CommPlan {
             for rank in 0..n {
                 while pc[rank] < self.programs[rank].len() {
                     match self.programs[rank][pc[rank]] {
-                        Op::Send { to, tag, .. } => {
+                        Op::Send { to, tag, .. } | Op::Isend { to, tag, .. } => {
                             posted.insert((rank, to, tag));
                         }
-                        Op::Recv { from, tag, .. } => {
+                        // Posting a receive and completing a buffered send
+                        // are local.
+                        Op::Irecv { .. } | Op::WaitSend { .. } => {}
+                        Op::Recv { from, tag, .. } | Op::WaitRecv { from, tag, .. } => {
                             if !posted.remove(&(from, rank, tag)) {
                                 break;
                             }
@@ -439,14 +582,16 @@ impl CommPlan {
         let blocked: Vec<BlockedRecv> = (0..n)
             .filter(|&r| pc[r] < self.programs[r].len())
             .map(|r| match self.programs[r][pc[r]] {
-                Op::Recv { from, tag, .. } => BlockedRecv {
+                Op::Recv { from, tag, .. } | Op::WaitRecv { from, tag, .. } => BlockedRecv {
                     rank: r,
                     op_index: pc[r],
                     from,
                     tag,
                 },
-                // Sends always execute, so a wedged rank is mid-receive.
-                Op::Send { .. } => unreachable!("abstract execution never blocks on a send"),
+                // Everything else is local, so a wedged rank is mid-receive.
+                Op::Send { .. } | Op::Isend { .. } | Op::Irecv { .. } | Op::WaitSend { .. } => {
+                    unreachable!("abstract execution only blocks on receives")
+                }
             })
             .collect();
         if blocked.is_empty() {
@@ -488,11 +633,13 @@ fn error_order(e: &PlanError) -> u8 {
     match e {
         PlanError::TagCollision { .. } => 0,
         PlanError::ByteMismatch { .. } => 1,
-        PlanError::UnmatchedRecv { .. } => 2,
-        PlanError::UnmatchedSend { .. } => 3,
-        PlanError::TopologyViolation { .. } => 4,
-        PlanError::VolumeAsymmetry { .. } => 5,
-        PlanError::Deadlock { .. } => 6,
+        PlanError::WaitWithoutRequest { .. } => 2,
+        PlanError::UnwaitedRequest { .. } => 3,
+        PlanError::UnmatchedRecv { .. } => 4,
+        PlanError::UnmatchedSend { .. } => 5,
+        PlanError::TopologyViolation { .. } => 6,
+        PlanError::VolumeAsymmetry { .. } => 7,
+        PlanError::Deadlock { .. } => 8,
     }
 }
 
@@ -676,6 +823,137 @@ mod tests {
             volume_symmetry: true,
         })
         .expect("self exchange on P=1 axis is legal");
+    }
+
+    fn split_ring_plan(n: usize, tag: u64) -> CommPlan {
+        // The overlap motif: post both sides, compute, then wait.
+        let mut plan = CommPlan::new("split-ring", n);
+        for r in 0..n {
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            plan.isend(r, next, tag, 64);
+            plan.irecv(r, prev, tag, 64);
+            plan.wait_recv(r, prev, tag);
+            plan.wait_send(r, next, tag);
+        }
+        plan
+    }
+
+    #[test]
+    fn clean_split_ring_verifies() {
+        let stats = split_ring_plan(4, 9).verify().expect("split ring is clean");
+        assert_eq!(stats.sends, 4);
+        assert_eq!(stats.recvs, 4);
+        assert_eq!(stats.bytes, 4 * 64);
+    }
+
+    #[test]
+    fn unwaited_isend_is_flagged() {
+        let mut plan = split_ring_plan(3, 2);
+        // Rank 1 forgets to retire its send.
+        let pos = plan.programs[1]
+            .iter()
+            .position(|op| matches!(op, Op::WaitSend { .. }))
+            .expect("ring has a wait-send");
+        plan.programs[1].remove(pos);
+        let errs = plan.verify().unwrap_err();
+        assert_eq!(
+            errs[0],
+            PlanError::UnwaitedRequest {
+                rank: 1,
+                peer: 2,
+                tag: 2,
+                kind: "isend"
+            }
+        );
+    }
+
+    #[test]
+    fn unwaited_irecv_is_flagged() {
+        let mut plan = split_ring_plan(3, 2);
+        let pos = plan.programs[0]
+            .iter()
+            .position(|op| matches!(op, Op::WaitRecv { .. }))
+            .expect("ring has a wait-recv");
+        plan.programs[0].remove(pos);
+        let errs = plan.verify().unwrap_err();
+        assert_eq!(
+            errs[0],
+            PlanError::UnwaitedRequest {
+                rank: 0,
+                peer: 2,
+                tag: 2,
+                kind: "irecv"
+            }
+        );
+    }
+
+    #[test]
+    fn wait_without_post_is_flagged() {
+        let mut plan = CommPlan::new("spurious-wait", 2);
+        plan.send(0, 1, 1, 8).recv(1, 0, 1, 8);
+        plan.wait_recv(1, 0, 1); // no irecv was ever posted
+        let errs = plan.verify().unwrap_err();
+        assert_eq!(
+            errs[0],
+            PlanError::WaitWithoutRequest {
+                rank: 1,
+                peer: 0,
+                tag: 1,
+                kind: "irecv"
+            }
+        );
+    }
+
+    #[test]
+    fn isend_collides_with_blocking_send_on_same_edge() {
+        let mut plan = CommPlan::new("mixed-collision", 2);
+        plan.send(0, 1, 5, 8);
+        plan.isend(0, 1, 5, 8).wait_send(0, 1, 5);
+        plan.recv(1, 0, 5, 8);
+        let errs = plan.verify().unwrap_err();
+        assert!(matches!(
+            errs[0],
+            PlanError::TagCollision { kind: "send", .. }
+        ));
+    }
+
+    #[test]
+    fn split_wait_cycle_is_a_deadlock() {
+        // Both ranks wait for the peer's message before posting their own
+        // send: the waits wedge exactly like blocking receives.
+        let mut plan = CommPlan::new("split-deadlock", 2);
+        for r in 0..2 {
+            let other = 1 - r;
+            plan.irecv(r, other, 3, 8);
+            plan.wait_recv(r, other, 3);
+            plan.isend(r, other, 3, 8);
+            plan.wait_send(r, other, 3);
+        }
+        let errs = plan.verify().unwrap_err();
+        let PlanError::Deadlock { blocked, cycle } = &errs[0] else {
+            panic!("expected deadlock, got {:?}", errs[0]);
+        };
+        assert_eq!(blocked.len(), 2);
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn split_edges_appear_in_send_edges() {
+        let plan = split_ring_plan(3, 1);
+        let edges = plan.send_edges();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(0, 1, 1, 64)));
+    }
+
+    #[test]
+    fn split_errors_render_readably() {
+        let mut plan = CommPlan::new("demo", 2);
+        plan.isend(0, 1, 3, 8).recv(1, 0, 3, 8);
+        let errs = plan.verify().unwrap_err();
+        let text = errs[0].to_string();
+        assert!(text.contains("unwaited request"), "{text}");
+        assert!(text.contains("isend"), "{text}");
     }
 
     #[test]

@@ -214,6 +214,88 @@ mod tests {
     }
 
     #[test]
+    fn split_phase_overlap_is_schedule_independent() {
+        // The overlap motif: post the ring exchange, "compute" while the
+        // messages are in flight (polling with `test` so completion timing
+        // varies by schedule), then wait. The *result* must not depend on
+        // when the deliveries land.
+        let report = Explorer::new(4)
+            .with_seeds(0..12)
+            .with_timeout(Duration::from_secs(2))
+            .explore(|c| {
+                let next = (c.rank() + 1) % c.size();
+                let prev = (c.rank() + c.size() - 1) % c.size();
+                let mut acc = 0u64;
+                for round in 0..4u64 {
+                    let s = c.isend(next, 30 + round, c.rank() as u64 + round);
+                    let mut r = c.irecv::<u64>(prev, 30 + round);
+                    let mut interior = 0u64;
+                    while !r.test() {
+                        interior = interior.wrapping_add(1); // in-flight work
+                    }
+                    acc = acc.wrapping_mul(31).wrapping_add(r.wait());
+                    s.wait();
+                    let _ = interior; // timing-dependent, never in the result
+                }
+                acc
+            });
+        assert!(report.ok(), "{}", report.summary());
+    }
+
+    #[test]
+    fn dropped_wait_is_caught_not_hung() {
+        // Rank 1 posts its receive and forgets to wait on it: run_checked
+        // must report the dropped request (not hang, not pass).
+        let opts = SimOptions {
+            verify_leaks: true,
+            deadlock_timeout: Some(Duration::from_secs(2)),
+            schedule_seed: Some(3),
+        };
+        let err = Universe::run_checked(2, opts, |c| {
+            let other = 1 - c.rank();
+            let s = c.isend(other, 1, c.rank() as u64);
+            let r = c.irecv::<u64>(other, 1);
+            s.wait();
+            if c.rank() == 0 {
+                let _ = r.wait();
+            } else {
+                drop(r); // the forgotten wait
+            }
+        })
+        .expect_err("dropped wait must fail teardown");
+        let SimError::RequestLeak { leaks } = err else {
+            panic!("expected request leak, got {err}");
+        };
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].rank, 1);
+        assert_eq!(leaks[0].tag, 1);
+    }
+
+    #[test]
+    fn dropped_wait_is_flagged_on_every_schedule() {
+        let report = Explorer::new(2)
+            .with_seeds(0..6)
+            .with_timeout(Duration::from_secs(2))
+            .explore(|c| {
+                let other = 1 - c.rank();
+                let s = c.isend(other, 4, 1u64);
+                let r = c.irecv::<u64>(other, 4);
+                s.wait();
+                if c.rank() == 0 {
+                    r.wait()
+                } else {
+                    drop(r); // dropped request on rank 1, every schedule
+                    0
+                }
+            });
+        assert!(!report.ok());
+        assert_eq!(report.failures().count(), 6);
+        for (_, err) in report.failures() {
+            assert!(matches!(err, SimError::RequestLeak { .. }), "{err}");
+        }
+    }
+
+    #[test]
     fn order_dependent_results_detected() {
         // The result depends on whether rank 1's message has been *delivered*
         // by the time rank 0 probes with `try_recv` — exactly the class of

@@ -10,17 +10,24 @@
 //! land in clearly separated bins) and offers per-rank send/receive totals,
 //! a load-imbalance summary and interval accounting via [`Traffic::diff`].
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use vlasov6d_obs::metrics::{Histogram, HistogramSnapshot};
 
 /// Byte and message counters for every ordered rank pair, plus a
-/// message-size histogram over all sends.
+/// message-size histogram over all sends and a `(src, dst, tag)` use count
+/// backing the tag-reuse audit.
 #[derive(Debug)]
 pub struct Traffic {
     n: usize,
     bytes: Vec<AtomicU64>,
     messages: Vec<AtomicU64>,
     msg_sizes: Histogram,
+    /// Sends per `(src, dst, tag)` — user tags only. A count above one means
+    /// two in-flight messages shared an edge and a tag, which FIFO matching
+    /// tolerates but a split-phase step must never rely on.
+    tags: Mutex<HashMap<(usize, usize, u64), u64>>,
 }
 
 impl Traffic {
@@ -30,6 +37,7 @@ impl Traffic {
             bytes: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
             messages: (0..n_ranks * n_ranks).map(|_| AtomicU64::new(0)).collect(),
             msg_sizes: Histogram::new(),
+            tags: Mutex::new(HashMap::new()),
         }
     }
 
@@ -39,6 +47,43 @@ impl Traffic {
         self.bytes[idx].fetch_add(bytes as u64, Ordering::Relaxed);
         self.messages[idx].fetch_add(1, Ordering::Relaxed);
         self.msg_sizes.record(bytes as u64);
+    }
+
+    #[inline]
+    pub(crate) fn record_tag(&self, src: usize, dst: usize, tag: u64) {
+        *self
+            .tags
+            .lock()
+            .expect("tag map poisoned")
+            .entry((src, dst, tag))
+            .or_insert(0) += 1;
+    }
+
+    /// How many sends used `(src, dst, tag)`.
+    pub fn tag_use_count(&self, src: usize, dst: usize, tag: u64) -> u64 {
+        self.tags
+            .lock()
+            .expect("tag map poisoned")
+            .get(&(src, dst, tag))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every `(src, dst, tag)` triple used by more than one send, with its
+    /// use count, sorted. Empty means every posted message had a unique tag
+    /// on its edge — the invariant the distributed step's tag counter must
+    /// uphold.
+    pub fn tag_reuse(&self) -> Vec<((usize, usize, u64), u64)> {
+        let mut out: Vec<_> = self
+            .tags
+            .lock()
+            .expect("tag map poisoned")
+            .iter()
+            .filter(|(_, &count)| count > 1)
+            .map(|(&key, &count)| (key, count))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     pub fn n_ranks(&self) -> usize {
@@ -131,6 +176,17 @@ impl Traffic {
             t.bytes[i].store(b, Ordering::Relaxed);
             t.messages[i].store(m, Ordering::Relaxed);
         }
+        let earlier_tags = earlier.tags.lock().expect("tag map poisoned");
+        let tags: HashMap<(usize, usize, u64), u64> = self
+            .tags
+            .lock()
+            .expect("tag map poisoned")
+            .iter()
+            .filter_map(|(&key, &count)| {
+                let delta = count.saturating_sub(earlier_tags.get(&key).copied().unwrap_or(0));
+                (delta > 0).then_some((key, delta))
+            })
+            .collect();
         Traffic {
             msg_sizes: Histogram::from_snapshot(
                 &self
@@ -138,6 +194,7 @@ impl Traffic {
                     .snapshot()
                     .delta_since(&earlier.msg_sizes.snapshot()),
             ),
+            tags: Mutex::new(tags),
             ..t
         }
     }
@@ -151,6 +208,7 @@ impl Traffic {
         }
         Traffic {
             msg_sizes: Histogram::from_snapshot(&self.msg_sizes.snapshot()),
+            tags: Mutex::new(self.tags.lock().expect("tag map poisoned").clone()),
             ..t
         }
     }
@@ -164,6 +222,7 @@ impl Traffic {
             m.store(0, Ordering::Relaxed);
         }
         self.msg_sizes.reset();
+        self.tags.lock().expect("tag map poisoned").clear();
     }
 }
 
@@ -270,9 +329,40 @@ mod tests {
     fn reset_zeroes_counters() {
         let t = Traffic::new(2);
         t.record(1, 0, 99);
+        t.record_tag(1, 0, 5);
         t.reset();
         assert_eq!(t.total_bytes(), 0);
         assert_eq!(t.total_messages(), 0);
         assert_eq!(t.msg_size_snapshot().count, 0);
+        assert_eq!(t.tag_use_count(1, 0, 5), 0);
+    }
+
+    #[test]
+    fn tag_reuse_flags_only_repeated_triples() {
+        let t = Traffic::new(3);
+        t.record_tag(0, 1, 7);
+        t.record_tag(0, 1, 8);
+        t.record_tag(1, 0, 7); // same tag, different edge: fine
+        assert!(t.tag_reuse().is_empty());
+        t.record_tag(0, 1, 7); // second use of (0, 1, 7)
+        assert_eq!(t.tag_reuse(), vec![((0, 1, 7), 2)]);
+        assert_eq!(t.tag_use_count(0, 1, 7), 2);
+    }
+
+    #[test]
+    fn tag_audit_survives_snapshot_and_diff() {
+        let t = Traffic::new(2);
+        t.record_tag(0, 1, 3);
+        let mark = t.clone_snapshot();
+        assert_eq!(mark.tag_use_count(0, 1, 3), 1);
+        t.record_tag(0, 1, 3);
+        t.record_tag(0, 1, 4);
+        let d = t.diff(&mark);
+        // The interval saw one send on each tag: no reuse inside it.
+        assert_eq!(d.tag_use_count(0, 1, 3), 1);
+        assert_eq!(d.tag_use_count(0, 1, 4), 1);
+        assert!(d.tag_reuse().is_empty());
+        // The full run did reuse (0, 1, 3).
+        assert_eq!(t.tag_reuse(), vec![((0, 1, 3), 2)]);
     }
 }

@@ -46,5 +46,5 @@ pub mod span;
 pub use event::{JsonlSink, StepEvent};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry};
-pub use report::RunReport;
+pub use report::{OverlapSummary, RunReport};
 pub use span::{visit_spans, Bucket, BucketTotals, SpanNode, StepScope, StepSpans, Stopwatch};

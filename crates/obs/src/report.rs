@@ -87,6 +87,22 @@ impl RunReport {
         }
     }
 
+    /// Hidden vs exposed communication time summed over all events, from the
+    /// `comm.hidden` / `comm.exposed` spans the overlapped distributed sweep
+    /// records ([`OverlapSummary::hidden`] is the exchange time spent behind
+    /// interior compute; `exposed` is what remained on the critical path).
+    pub fn comm_overlap(&self) -> OverlapSummary {
+        let mut s = OverlapSummary::default();
+        for e in &self.events {
+            visit_spans(&e.spans, |node| match node.name.as_str() {
+                "comm.hidden" => s.hidden += node.elapsed,
+                "comm.exposed" => s.exposed += node.elapsed,
+                _ => {}
+            });
+        }
+        s
+    }
+
     /// Top-`n` spans by summed self-time across all events:
     /// `(name, self seconds, occurrence count)`.
     pub fn hotspots(&self, n: usize) -> Vec<(String, f64, u64)> {
@@ -182,6 +198,19 @@ impl RunReport {
             );
         }
 
+        // Communication overlap, when the overlapped sweep ran.
+        let overlap = self.comm_overlap();
+        if overlap.hidden + overlap.exposed > 0.0 {
+            out.push_str("\ncommunication overlap\n");
+            let _ = writeln!(out, "  hidden behind compute: {:>12.6} s", overlap.hidden);
+            let _ = writeln!(out, "  exposed (waited):      {:>12.6} s", overlap.exposed);
+            let _ = writeln!(
+                out,
+                "  overlap efficiency:    {:>11.1}%",
+                100.0 * overlap.efficiency()
+            );
+        }
+
         // Conservation drift over the run, from the earliest to the latest
         // step (rank 0's records when present).
         let mut tracked: Vec<&StepEvent> = self.events.iter().filter(|e| e.rank == 0).collect();
@@ -213,6 +242,31 @@ impl RunReport {
             );
         }
         out
+    }
+}
+
+/// Split of a run's ghost-exchange wall-clock into time hidden behind
+/// interior compute and time exposed on the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverlapSummary {
+    /// Seconds of exchange time overlapped with interior advection
+    /// (`comm.hidden` spans).
+    pub hidden: f64,
+    /// Seconds spent waiting on in-flight ghost planes (`comm.exposed`
+    /// spans).
+    pub exposed: f64,
+}
+
+impl OverlapSummary {
+    /// Fraction of the exchange hidden behind compute: `hidden / (hidden +
+    /// exposed)`, or 0.0 when no overlap spans were recorded.
+    pub fn efficiency(&self) -> f64 {
+        let total = self.hidden + self.exposed;
+        if total > 0.0 {
+            self.hidden / total
+        } else {
+            0.0
+        }
     }
 }
 
@@ -317,6 +371,61 @@ mod tests {
     #[test]
     fn empty_report_renders_gracefully() {
         assert!(RunReport::new().render().contains("no step events"));
+    }
+
+    fn overlap_event(step: u64, hidden: f64, exposed: f64) -> StepEvent {
+        let mut e = event(step, 0, hidden + exposed, 0.0);
+        e.spans = vec![SpanNode {
+            name: "sweep.overlap.x".into(),
+            bucket: Bucket::Vlasov,
+            elapsed: hidden + exposed,
+            children: vec![
+                SpanNode {
+                    name: "comm.hidden".into(),
+                    bucket: Bucket::Vlasov,
+                    elapsed: hidden,
+                    children: Vec::new(),
+                },
+                SpanNode {
+                    name: "comm.exposed".into(),
+                    bucket: Bucket::Vlasov,
+                    elapsed: exposed,
+                    children: Vec::new(),
+                },
+            ],
+        }];
+        e
+    }
+
+    #[test]
+    fn comm_overlap_sums_hidden_and_exposed_spans() {
+        let mut r = RunReport::new();
+        r.add(overlap_event(0, 3.0, 1.0));
+        r.add(overlap_event(1, 1.0, 1.0));
+        let s = r.comm_overlap();
+        assert!((s.hidden - 4.0).abs() < 1e-12);
+        assert!((s.exposed - 2.0).abs() < 1e-12);
+        assert!((s.efficiency() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_section_renders_only_when_present() {
+        let mut plain = RunReport::new();
+        plain.add(event(0, 0, 1.0, 0.5));
+        assert!(!plain.render().contains("communication overlap"));
+
+        let mut r = RunReport::new();
+        r.add(overlap_event(0, 3.0, 1.0));
+        let text = r.render();
+        assert!(text.contains("communication overlap"));
+        assert!(text.contains("overlap efficiency"));
+        assert!(text.contains("75.0%"));
+    }
+
+    #[test]
+    fn overlap_efficiency_is_zero_without_spans() {
+        assert_eq!(OverlapSummary::default().efficiency(), 0.0);
+        assert_eq!(RunReport::new().comm_overlap(), OverlapSummary::default());
     }
 
     #[test]

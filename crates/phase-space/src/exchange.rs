@@ -12,7 +12,7 @@
 //! guarantees this (the paper does the same — spatial CFL below unity).
 
 use crate::dist_fn::PhaseSpace;
-use crate::sweep::Exec;
+use crate::sweep::{partition_axis, Exec};
 use vlasov6d_advection::line::{advect_line, LineWork, Scheme};
 use vlasov6d_advection::Boundary;
 use vlasov6d_mesh::Decomp3;
@@ -55,6 +55,41 @@ pub fn ghost_exchange_plan(
         plan.recv(r, high, tag, plane_bytes(high));
         plan.send(r, high, tag + 1, plane_bytes(r));
         plan.recv(r, low, tag + 1, plane_bytes(low));
+    }
+    plan
+}
+
+/// Declarative plan of the split-phase ghost exchange used by
+/// [`sweep_spatial_overlapped`]: the same edges, tags and byte counts as
+/// [`ghost_exchange_plan`], but posted as `isend`/`irecv` pairs whose waits
+/// come after the interior compute. Verifying it proves the overlap posts
+/// every request it later waits on and waits on every request it posts.
+pub fn ghost_exchange_split_plan(
+    decomp: &Decomp3,
+    vlen: usize,
+    d: usize,
+    width: usize,
+    tag: u64,
+) -> CommPlan {
+    let mut plan = CommPlan::new(format!("ghost_exchange_split.axis{d}"), decomp.n_ranks());
+    let plane_bytes = |rank: usize| -> u64 {
+        let ld = decomp.local_dims(rank);
+        let cross: usize = (0..3).filter(|&a| a != d).map(|a| ld[a]).product();
+        (width * cross * vlen * std::mem::size_of::<f32>()) as u64
+    };
+    for r in 0..decomp.n_ranks() {
+        let low = decomp.neighbor(r, d, -1);
+        let high = decomp.neighbor(r, d, 1);
+        // Post phase (before the interior sweep)...
+        plan.isend(r, low, tag, plane_bytes(r));
+        plan.irecv(r, high, tag, plane_bytes(high));
+        plan.isend(r, high, tag + 1, plane_bytes(r));
+        plan.irecv(r, low, tag + 1, plane_bytes(low));
+        // ...then the waits (after it), receives first.
+        plan.wait_recv(r, high, tag);
+        plan.wait_recv(r, low, tag + 1);
+        plan.wait_send(r, low, tag);
+        plan.wait_send(r, high, tag + 1);
     }
     plan
 }
@@ -130,9 +165,25 @@ pub fn sweep_spatial_distributed(
     let _obs = vlasov6d_obs::span!(SPAN[d], vlasov6d_obs::Bucket::Vlasov);
     let (from_low, from_high) = {
         let _g = vlasov6d_obs::span!("sweep.ghost_exchange");
+        // The blocking exchange serialises before the sweep: all of its
+        // time is exposed on the critical path.
+        let _e = vlasov6d_obs::span!("comm.exposed");
         exchange_ghosts(ps, cart, d, GHOST_WIDTH, tag)
     };
+    advect_lines_with_ghosts(ps, d, cfl_per_u, scheme, &from_low, &from_high);
+}
 
+/// Advect every pencil of `ps` along axis `d` through a ghost-extended line
+/// assembled from the received neighbour planes — the shared core of the
+/// synchronous sweep and the thin-block path of the overlapped one.
+fn advect_lines_with_ghosts(
+    ps: &mut PhaseSpace,
+    d: usize,
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+    from_low: &[f32],
+    from_high: &[f32],
+) {
     let dims = ps.dims6();
     let n = dims[d];
     let stride: usize = dims[d + 1..].iter().product();
@@ -159,6 +210,161 @@ pub fn sweep_spatial_distributed(
             advect_line(scheme, &mut ext, cfl, Boundary::Zero, &mut work);
             for i in 0..n {
                 data[(outer * n + i) * stride + inner] = ext[GHOST_WIDTH + i];
+            }
+        }
+    }
+}
+
+/// Distributed spatial sweep along axis `d` that hides the ghost exchange
+/// behind the interior advection — the paper's overlap of halo traffic with
+/// the spatial sweeps. Bitwise-identical to [`sweep_spatial_distributed`]:
+///
+/// 1. **Post** the ghost-plane `isend`/`irecv` pairs (same neighbours, tags
+///    and byte counts as the blocking exchange).
+/// 2. **Interior** (`comm.hidden` span): advect every pencil over the raw
+///    local line and keep the cells of [`partition_axis`]'s interior — their
+///    `±GHOST_WIDTH` stencils never leave the block, so no value a ghost
+///    plane could influence is touched.
+/// 3. **Wait** (`comm.exposed` span): collect the four requests; only this
+///    remainder of the exchange sits on the critical path.
+/// 4. **Boundary**: advect each boundary cell inside a `3·GHOST_WIDTH`
+///    window of received ghosts plus saved pre-sweep planes, which holds
+///    exactly the values the synchronous ghost-extended line holds over the
+///    cell's stencil.
+///
+/// Every advected cell sees the same stencil values through the same kernel
+/// as the synchronous path, and the kernel is a pure per-cell function of its
+/// stencil window — hence bit-for-bit equality, which
+/// `tests/distributed_consistency.rs` enforces for every scheme and rank
+/// count.
+///
+/// Blocks thinner than `2·GHOST_WIDTH` along `d` have no interior; they wait
+/// immediately and take the synchronous pencil path.
+pub fn sweep_spatial_overlapped(
+    ps: &mut PhaseSpace,
+    cart: &Cart3<'_>,
+    d: usize,
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+    tag: u64,
+) {
+    assert!(d < 3);
+    assert_eq!(cfl_per_u.len(), ps.vgrid.n[d]);
+    assert!(
+        cfl_per_u.iter().all(|c| c.abs() < 1.0),
+        "distributed sweeps require |cfl| < 1 (ghost width {GHOST_WIDTH})"
+    );
+    const SPAN: [&str; 3] = ["sweep.overlap.x", "sweep.overlap.y", "sweep.overlap.z"];
+    let _obs = vlasov6d_obs::span!(SPAN[d], vlasov6d_obs::Bucket::Vlasov);
+
+    let n = ps.sdims[d];
+    assert!(
+        n >= GHOST_WIDTH,
+        "block thinner than the ghost width along axis {d}"
+    );
+    let comm = cart.comm();
+    let low_nb = cart.neighbor(d, -1);
+    let high_nb = cart.neighbor(d, 1);
+
+    // Post phase: the same messages (edges, tags, sizes) as
+    // `exchange_ghosts`, so plan verification, traffic accounting and the
+    // kerncheck byte audit see an identical exchange.
+    let my_low = extract_planes(ps, d, 0, GHOST_WIDTH);
+    let my_high = extract_planes(ps, d, n - GHOST_WIDTH, GHOST_WIDTH);
+    let send_low = comm.isend(low_nb, tag, my_low);
+    let recv_high = comm.irecv::<Vec<f32>>(high_nb, tag);
+    let send_high = comm.isend(high_nb, tag + 1, my_high);
+    let recv_low = comm.irecv::<Vec<f32>>(low_nb, tag + 1);
+
+    if n < 2 * GHOST_WIDTH {
+        // No interior to hide the messages behind: wait now and take the
+        // synchronous pencil path.
+        let (from_low, from_high) = {
+            let _e = vlasov6d_obs::span!("comm.exposed");
+            let from_high = recv_high.wait();
+            let from_low = recv_low.wait();
+            send_low.wait();
+            send_high.wait();
+            (from_low, from_high)
+        };
+        advect_lines_with_ghosts(ps, d, cfl_per_u, scheme, &from_low, &from_high);
+        return;
+    }
+
+    // The interior write-back clobbers cells [GHOST_WIDTH, 2·GHOST_WIDTH)
+    // and [n − 2·GHOST_WIDTH, n − GHOST_WIDTH), which the boundary stencils
+    // still need at their pre-sweep values: save those planes first.
+    let save_low = extract_planes(ps, d, 0, 2 * GHOST_WIDTH);
+    let save_high = extract_planes(ps, d, n - 2 * GHOST_WIDTH, 2 * GHOST_WIDTH);
+
+    let part = partition_axis(n, GHOST_WIDTH);
+    let dims = ps.dims6();
+    let stride: usize = dims[d + 1..].iter().product();
+    let n_outer: usize = dims[..d].iter().product();
+
+    // Interior phase, while the ghost planes are in flight.
+    {
+        let _h = vlasov6d_obs::span!("comm.hidden");
+        let mut line = vec![0.0f32; n];
+        let mut work = LineWork::new();
+        let data = ps.as_mut_slice();
+        for outer in 0..n_outer {
+            for inner in 0..stride {
+                let cfl = cfl_per_u[velocity_index_of_inner(d, inner, &dims)];
+                for (i, v) in line.iter_mut().enumerate() {
+                    *v = data[(outer * n + i) * stride + inner];
+                }
+                advect_line(scheme, &mut line, cfl, Boundary::Zero, &mut work);
+                for i in part.interior.clone() {
+                    data[(outer * n + i) * stride + inner] = line[i];
+                }
+            }
+        }
+    }
+
+    // Wait phase: only this remainder of the exchange is exposed.
+    let (from_low, from_high) = {
+        let _e = vlasov6d_obs::span!("comm.exposed");
+        let from_high = recv_high.wait();
+        let from_low = recv_low.wait();
+        send_low.wait();
+        send_high.wait();
+        (from_low, from_high)
+    };
+
+    // Boundary phase. Window coordinates: low side spans cells
+    // [−GHOST_WIDTH, 2·GHOST_WIDTH), high side [n − 2·GHOST_WIDTH,
+    // n + GHOST_WIDTH); a boundary cell sits GHOST_WIDTH deep, so its full
+    // stencil lies inside the window and the line boundary condition is
+    // never sampled.
+    let gw = GHOST_WIDTH;
+    let mut window = vec![0.0f32; 3 * gw];
+    let mut work = LineWork::new();
+    let data = ps.as_mut_slice();
+    for outer in 0..n_outer {
+        for inner in 0..stride {
+            let cfl = cfl_per_u[velocity_index_of_inner(d, inner, &dims)];
+            // Low side.
+            for g in 0..gw {
+                window[g] = from_low[(outer * gw + g) * stride + inner];
+            }
+            for j in 0..2 * gw {
+                window[gw + j] = save_low[(outer * 2 * gw + j) * stride + inner];
+            }
+            advect_line(scheme, &mut window, cfl, Boundary::Zero, &mut work);
+            for i in part.low.clone() {
+                data[(outer * n + i) * stride + inner] = window[gw + i];
+            }
+            // High side.
+            for j in 0..2 * gw {
+                window[j] = save_high[(outer * 2 * gw + j) * stride + inner];
+            }
+            for g in 0..gw {
+                window[2 * gw + g] = from_high[(outer * gw + g) * stride + inner];
+            }
+            advect_line(scheme, &mut window, cfl, Boundary::Zero, &mut work);
+            for (t, i) in part.high.clone().enumerate() {
+                data[(outer * n + i) * stride + inner] = window[gw + t];
             }
         }
     }
@@ -336,6 +542,105 @@ mod tests {
             )),
             "swapped tags must surface as unmatched/colliding edges: {errs:?}"
         );
+    }
+
+    #[test]
+    fn overlapped_sweep_is_bitwise_identical_to_synchronous() {
+        // The tentpole guarantee at sweep granularity: for every scheme, for
+        // decomposed and wrapped axes, for blocks thick enough to overlap and
+        // thin enough to hit the fallback (n = 4 < 2·GHOST_WIDTH), the
+        // overlapped sweep reproduces the synchronous sweep bit for bit.
+        let vg = VelocityGrid::cubic(4, 0.8);
+        // Mixed-sign CFL numbers so both line orientations are exercised.
+        let cfl: Vec<f64> = (0..4).map(|k| 0.45 * (k as f64 - 1.5)).collect();
+        for &(ranks, sglobal) in &[
+            (1usize, [8usize, 4, 4]), // n = 8, self-wrap neighbours
+            (2, [16, 4, 4]),          // n = 8, distinct neighbours
+            (4, [16, 4, 4]),          // n = 4, thin-block fallback
+        ] {
+            let decomp = Decomp3::new(sglobal, [ranks, 1, 1]);
+            for scheme in [Scheme::Upwind1, Scheme::Sl3, Scheme::Sl5, Scheme::SlMpp5] {
+                let cfl = cfl.clone();
+                Universe::run(ranks, move |comm| {
+                    let cart = Cart3::new(comm, decomp);
+                    let off = cart.local_offset();
+                    let ldims = cart.local_dims();
+                    let mut sync = PhaseSpace::zeros_block(ldims, off, sglobal, vg);
+                    sync.fill_with(global_fill);
+                    let mut over = PhaseSpace::zeros_block(ldims, off, sglobal, vg);
+                    over.fill_with(global_fill);
+                    for d in 0..3 {
+                        let base = 100 + d as u64 * 10;
+                        sweep_spatial_distributed(&mut sync, &cart, d, &cfl, scheme, base);
+                        cart.comm().barrier();
+                        sweep_spatial_overlapped(&mut over, &cart, d, &cfl, scheme, base + 5);
+                        cart.comm().barrier();
+                    }
+                    for (i, (a, b)) in sync.as_slice().iter().zip(over.as_slice()).enumerate() {
+                        assert!(
+                            a.to_bits() == b.to_bits(),
+                            "bit divergence: {ranks} rank(s), {scheme:?}, \
+                             block {off:?}, flat index {i}: {a:?} vs {b:?}"
+                        );
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_split_plan_verifies_on_cart_topology() {
+        use vlasov6d_mpisim::{cart_neighbor_edges, PlanChecks};
+        let decomp = Decomp3::new([16, 8, 8], [4, 1, 1]);
+        let checks = PlanChecks {
+            topology: Some(cart_neighbor_edges(&decomp)),
+            volume_symmetry: true,
+        };
+        for d in 0..3 {
+            let split = ghost_exchange_split_plan(&decomp, 512, d, GHOST_WIDTH, 40);
+            let stats = split.assert_valid(&checks);
+            // Identical message set to the blocking plan: same edge count and
+            // the same bytes on the wire.
+            let blocking = ghost_exchange_plan(&decomp, 512, d, GHOST_WIDTH, 40)
+                .verify()
+                .expect("clean");
+            assert_eq!(stats.sends, blocking.sends);
+            assert_eq!(stats.recvs, blocking.recvs);
+            assert_eq!(stats.bytes, blocking.bytes);
+        }
+    }
+
+    #[test]
+    fn overlapped_sweep_is_schedule_independent() {
+        // Delivery order must not change the bits and no schedule may
+        // deadlock or strand a request.
+        use vlasov6d_mpisim::sched::Explorer;
+        let vg = VelocityGrid::cubic(2, 0.8);
+        let sglobal = [16usize, 4, 4];
+        let decomp = Decomp3::new(sglobal, [4, 1, 1]);
+        let cfl = [-0.4f64, 0.4];
+        let report = Explorer::new(4).with_seeds(0..6).explore(move |comm| {
+            let cart = Cart3::new(comm, decomp);
+            let mut ps =
+                PhaseSpace::zeros_block(cart.local_dims(), cart.local_offset(), sglobal, vg);
+            ps.fill_with(global_fill);
+            for d in 0..3 {
+                sweep_spatial_overlapped(
+                    &mut ps,
+                    &cart,
+                    d,
+                    &cfl,
+                    Scheme::SlMpp5,
+                    60 + d as u64 * 10,
+                );
+                cart.comm().barrier();
+            }
+            ps.as_slice().iter().fold(0u64, |h, v| {
+                h.wrapping_mul(1_099_511_628_211)
+                    .wrapping_add(v.to_bits() as u64)
+            })
+        });
+        assert!(report.ok(), "{}", report.summary());
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod sweep;
 
 pub use dist_fn::PhaseSpace;
 pub use grid::VelocityGrid;
-pub use sweep::Exec;
+pub use sweep::{partition_axis, AxisPartition, Exec};
 
 /// The six phase-space axes in sweep order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -43,7 +43,34 @@ pub enum Exec {
     Lat,
 }
 
-/// Shared mutable base pointer for provably disjoint line updates.
+/// Partition of one axis's cell range into the boundary slabs whose stencils
+/// reach into ghost planes and the interior whose stencils stay local — the
+/// split that lets the distributed sweep advect interior pencils while the
+/// ghost exchange is still in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisPartition {
+    /// Cells `[0, ghost)` (clamped): stencils reach the low ghost planes.
+    pub low: std::ops::Range<usize>,
+    /// Cells whose full `±ghost` stencil footprint stays inside `[0, n)`.
+    pub interior: std::ops::Range<usize>,
+    /// Cells `[n - ghost, n)` (clamped): stencils reach the high ghost planes.
+    pub high: std::ops::Range<usize>,
+}
+
+/// Split `0..n` into low-boundary, interior and high-boundary ranges for a
+/// stencil of half-width `ghost`. The three ranges are disjoint, contiguous
+/// and cover `0..n` exactly for every input, including thin axes
+/// (`n < 2·ghost`) where the interior is empty and the slabs share the cells
+/// between them without overlap.
+pub fn partition_axis(n: usize, ghost: usize) -> AxisPartition {
+    let lo_end = ghost.min(n);
+    let hi_start = n.saturating_sub(ghost).max(lo_end);
+    AxisPartition {
+        low: 0..lo_end,
+        interior: lo_end..hi_start,
+        high: hi_start..n,
+    }
+}
 #[derive(Clone, Copy)]
 struct SendMutPtr(*mut f32);
 // SAFETY: the wrapper only moves the raw pointer across rayon tasks; every
@@ -536,6 +563,42 @@ mod tests {
 
     fn total(ps: &PhaseSpace) -> f64 {
         ps.as_slice().iter().map(|&v| v as f64).sum()
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for n in 0..40 {
+            for ghost in 0..8 {
+                let p = partition_axis(n, ghost);
+                assert_eq!(p.low.start, 0);
+                assert_eq!(p.low.end, p.interior.start, "n={n} ghost={ghost}");
+                assert_eq!(p.interior.end, p.high.start, "n={n} ghost={ghost}");
+                assert_eq!(p.high.end, n, "n={n} ghost={ghost}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_stencils_stay_local() {
+        let p = partition_axis(16, 3);
+        assert_eq!(p.low, 0..3);
+        assert_eq!(p.interior, 3..13);
+        assert_eq!(p.high, 13..16);
+        for i in p.interior {
+            assert!(i >= 3 && i + 3 < 16);
+        }
+    }
+
+    #[test]
+    fn thin_axis_has_empty_interior() {
+        let p = partition_axis(4, 3);
+        assert_eq!(p.low, 0..3);
+        assert!(p.interior.is_empty());
+        assert_eq!(p.high, 3..4);
+        let p = partition_axis(2, 3);
+        assert_eq!(p.low, 0..2);
+        assert!(p.interior.is_empty());
+        assert!(p.high.is_empty());
     }
 
     #[test]

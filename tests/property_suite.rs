@@ -180,7 +180,55 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interior/boundary pencil partition of the overlapped sweep covers
+    /// every cell of the axis exactly once, for arbitrary block lengths and
+    /// ghost widths (including degenerate thin blocks).
+    #[test]
+    fn axis_partition_covers_every_cell_exactly_once(
+        n in 0usize..64,
+        ghost in 0usize..10,
+    ) {
+        use vlasov6d_phase_space::partition_axis;
+        let p = partition_axis(n, ghost);
+        // Contiguous, ordered, disjoint by construction of the bounds…
+        prop_assert_eq!(p.low.start, 0);
+        prop_assert_eq!(p.low.end, p.interior.start);
+        prop_assert_eq!(p.interior.end, p.high.start);
+        prop_assert_eq!(p.high.end, n);
+        // …and an explicit exact-cover count over every cell.
+        let mut hits = vec![0u32; n];
+        for i in p.low.clone().chain(p.interior.clone()).chain(p.high.clone()) {
+            hits[i] += 1;
+        }
+        prop_assert!(hits.iter().all(|&h| h == 1), "{p:?} over n = {n}");
+    }
+
+    /// No interior pencil's stencil footprint reaches a ghost plane: a cell
+    /// in the interior range keeps its full `±ghost` window inside the local
+    /// block, which is the property that makes overlapping the exchange with
+    /// the interior sweep bitwise-safe.
+    #[test]
+    fn interior_stencil_footprints_stay_inside_the_block(
+        n in 1usize..64,
+        ghost in 1usize..10,
+    ) {
+        use vlasov6d_phase_space::partition_axis;
+        let p = partition_axis(n, ghost);
+        for i in p.interior.clone() {
+            prop_assert!(i >= ghost, "cell {i} reads below the block");
+            prop_assert!(i + ghost < n, "cell {i} reads above the block");
+        }
+        // Boundary cells are exactly the complement whose windows would
+        // touch the exchanged planes.
+        for i in p.low.clone() {
+            prop_assert!(i < ghost);
+        }
+        for i in p.high.clone() {
+            prop_assert!(i + ghost >= n);
+        }
+    }
 
     /// The fifth-order SL flux weights integrate a constant exactly: Σw = s.
     #[test]

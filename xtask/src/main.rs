@@ -1,7 +1,7 @@
 //! Workspace automation tasks (`cargo xtask <command>`).
 //!
 //! * `lint` — a custom static-analysis pass over the workspace sources
-//!   enforcing invariants rustc and clippy do not know about. Four lints,
+//!   enforcing invariants rustc and clippy do not know about. Six lints,
 //!   all text-based (zero dependencies, fast enough for every CI run):
 //!
 //!   * **safety-comments** — every `unsafe` keyword (impl, fn, block) must
@@ -27,6 +27,14 @@
 //!     Durable simulation state must go through the ckpt container format —
 //!     chunk CRCs, whole-file checksum, two-phase atomic commit — never
 //!     through an ad-hoc `fs::write` that a torn write can corrupt silently.
+//!   * **overlap-blocking-calls** — no blocking `send` / `recv` /
+//!     `sendrecv` / `shift_exchange` inside the overlapped-step region
+//!     (`sweep_spatial_overlapped`): a blocking call there serialises the
+//!     exchange and silently destroys the comm/compute overlap the split
+//!     pipeline exists to provide. Only the split-phase `isend` / `irecv` +
+//!     `wait` API is allowed; the synchronous oracle path
+//!     (`sweep_spatial_distributed` / `exchange_ghosts`) is allowlisted by
+//!     construction because only the overlapped function's body is scanned.
 //!
 //!   `#[cfg(test)]` modules are exempt from `hot-path-panics`,
 //!   `span-names`, `stencil-literals` and `raw-fs-writes` (tests panic on
@@ -166,6 +174,7 @@ fn lint(root: &Path) -> ExitCode {
         if !is_fs_write_home(rel) {
             violations.extend(check_raw_fs_writes(rel, &source));
         }
+        violations.extend(check_overlap_blocking_calls(rel, &source));
         spans.scan(rel, &source);
     }
     violations.extend(spans.check());
@@ -173,7 +182,7 @@ fn lint(root: &Path) -> ExitCode {
     if violations.is_empty() {
         println!(
             "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names, \
-             stencil-literals, raw-fs-writes)",
+             stencil-literals, raw-fs-writes, overlap-blocking-calls)",
             files.len()
         );
         ExitCode::SUCCESS
@@ -560,6 +569,96 @@ fn check_raw_fs_writes(rel: &Path, source: &str) -> Vec<Violation> {
     violations
 }
 
+/// The overlapped-step regions: `(file, function)` pairs whose bodies must
+/// stay free of blocking communication. The synchronous oracle
+/// (`sweep_spatial_distributed` / `exchange_ghosts` in the same file) is
+/// allowlisted by construction — only the named functions are scanned.
+const OVERLAP_REGION_FNS: &[(&str, &str)] = &[(
+    "crates/phase-space/src/exchange.rs",
+    "sweep_spatial_overlapped",
+)];
+
+/// Blocking point-to-point calls that would serialise the ghost exchange.
+/// The needles include the leading dot, so the split-phase `.isend(` /
+/// `.irecv(` never match (the character before `send(` there is `i`).
+const BLOCKING_COMM_CALLS: &[(&str, &str)] = &[
+    (".send(", "`Comm::send`"),
+    (".recv(", "`Comm::recv`"),
+    (".sendrecv(", "`Comm::sendrecv`"),
+    (".shift_exchange(", "`Cart3::shift_exchange`"),
+];
+
+/// Line span (0-based, inclusive) of `fn <name>`'s definition in `source`,
+/// from the signature line to the close of its brace block.
+fn function_body_lines(source: &str, fn_name: &str) -> Option<(usize, usize)> {
+    let lines: Vec<&str> = source.lines().collect();
+    let needle = format!("fn {fn_name}");
+    let start = lines.iter().position(|l| code_only(l).contains(&needle))?;
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (j, line) in lines.iter().enumerate().skip(start) {
+        for c in code_only(line).chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some((start, j));
+        }
+    }
+    None
+}
+
+/// Lint 6: no blocking communication inside the overlapped-step region.
+fn check_overlap_blocking_calls(rel: &Path, source: &str) -> Vec<Violation> {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    let mut violations = Vec::new();
+    for (file, fn_name) in OVERLAP_REGION_FNS {
+        if p != *file {
+            continue;
+        }
+        let Some((start, end)) = function_body_lines(source, fn_name) else {
+            // A rename must not silently disable the lint.
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: 1,
+                lint: "overlap-blocking-calls",
+                message: format!(
+                    "overlapped-region fn `{fn_name}` not found; update \
+                     OVERLAP_REGION_FNS in xtask if it moved or was renamed"
+                ),
+            });
+            continue;
+        };
+        for (idx, raw) in source.lines().enumerate().take(end + 1).skip(start) {
+            let code = code_only(raw);
+            for (needle, what) in BLOCKING_COMM_CALLS {
+                if code.contains(needle) {
+                    violations.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: idx + 1,
+                        lint: "overlap-blocking-calls",
+                        message: format!(
+                            "blocking {what} inside the overlapped-step region \
+                             `{fn_name}`; use the split-phase `isend`/`irecv` + \
+                             `wait` API so the exchange overlaps the interior \
+                             sweep (the synchronous oracle path is the only \
+                             blocking caller allowed, and it lives outside \
+                             this function)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
 /// Lint 3: span-name registry across the workspace.
 #[derive(Default)]
 struct SpanRegistry {
@@ -808,6 +907,84 @@ mod tests {
         assert!(is_fs_write_home(Path::new("xtask/src/main.rs")));
         assert!(!is_fs_write_home(Path::new("crates/core/src/snapshot.rs")));
         assert!(!is_fs_write_home(Path::new("crates/obs/src/report.rs")));
+    }
+
+    #[test]
+    fn overlap_blocking_lint() {
+        let exchange = Path::new("crates/phase-space/src/exchange.rs");
+        // Split-phase calls inside the region and blocking calls outside it
+        // both pass: only the named function's body is scanned.
+        let clean = "\
+pub fn sweep_spatial_overlapped(d: usize) {
+    let s = comm.isend(peer, tag, planes);
+    let r = comm.irecv::<Vec<f32>>(peer, tag);
+    let got = r.wait();
+    s.wait();
+}
+fn oracle() {
+    let got = cart.shift_exchange(0, -1, tag, planes);
+    comm.send(peer, tag, x);
+}
+";
+        assert!(check_overlap_blocking_calls(exchange, clean).is_empty());
+        // A blocking call inside the region is flagged with its line.
+        let bad = "\
+pub fn sweep_spatial_overlapped(d: usize) {
+    let got = cart.shift_exchange(0, -1, tag, planes);
+}
+";
+        let v = check_overlap_blocking_calls(exchange, bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("shift_exchange"));
+        let bad_recv = "\
+pub fn sweep_spatial_overlapped(d: usize) {
+    let s = comm.isend(peer, tag, planes);
+    let got: Vec<f32> = comm.recv(peer, tag);
+    s.wait();
+}
+";
+        assert_eq!(check_overlap_blocking_calls(exchange, bad_recv).len(), 1);
+        // Mentions in comments don't fire.
+        let comment = "\
+pub fn sweep_spatial_overlapped(d: usize) {
+    // unlike .sendrecv(, the split phases let the interior sweep run
+    let s = comm.isend(peer, tag, planes);
+    s.wait();
+}
+";
+        assert!(check_overlap_blocking_calls(exchange, comment).is_empty());
+        // Other files are never scanned, even with blocking calls.
+        let other = Path::new("crates/core/src/dist_sim.rs");
+        assert!(check_overlap_blocking_calls(other, bad).is_empty());
+        // A rename/removal of the region fn is itself a violation, so the
+        // lint cannot be disabled silently.
+        let gone = "fn unrelated() {}\n";
+        let v = check_overlap_blocking_calls(exchange, gone);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("OVERLAP_REGION_FNS"));
+    }
+
+    #[test]
+    fn function_body_span_by_brace_counting() {
+        let source = "\
+fn before() {
+    body();
+}
+pub fn target(
+    a: usize,
+) -> usize {
+    if a > 0 {
+        a
+    } else {
+        0
+    }
+}
+fn after() {}
+";
+        let (start, end) = function_body_lines(source, "target").expect("found");
+        assert_eq!((start, end), (3, 11));
+        assert!(function_body_lines(source, "missing").is_none());
     }
 
     #[test]
