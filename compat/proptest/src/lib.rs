@@ -8,7 +8,7 @@
 
 pub mod strategy;
 
-pub use strategy::{Strategy, TestRng};
+pub use strategy::{Map, Strategy, TestRng};
 
 /// Per-block configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +155,13 @@ mod tests {
         fn tuples_and_assume((a, b, c) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)) {
             prop_assume!(a > 0.01);
             prop_assert!(a + b + c < 3.0);
+        }
+
+        #[test]
+        fn prop_map_transforms_samples(s in (0u32..10).prop_map(|n| format!("n={n}"))) {
+            prop_assert!(s.starts_with("n="));
+            let n: u32 = s[2..].parse().unwrap();
+            prop_assert!(n < 10);
         }
     }
 

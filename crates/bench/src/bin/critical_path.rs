@@ -1,0 +1,134 @@
+//! Flight-recorder overhead and critical-path breakdown for the 4-rank
+//! overlapped run. Runs the same simulation with the recorder on and off,
+//! compares the best-of per-step wall-clock (the overhead bar is <2%), then
+//! stitches the recorded trace and prints the cross-rank critical-path
+//! report. Emits one JSONL row with the measured figures so runs can be
+//! collected alongside the other bench logs.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-bench --bin critical_path
+//! ```
+
+use vlasov6d::dist_sim::{DistributedVlasov, OverlapPolicy};
+use vlasov6d_cosmology::{Background, CosmologyParams};
+use vlasov6d_mesh::Decomp3;
+use vlasov6d_mpisim::Universe;
+use vlasov6d_obs::trace::{TraceReport, TraceSet};
+use vlasov6d_obs::{Json, Stopwatch};
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+use vlasov6d_suite::{table_header, table_row};
+
+const RANKS: usize = 4;
+const STEPS: usize = 4;
+const REPS: usize = 3;
+const TRACE_CAPACITY: usize = 1 << 16;
+/// Overhead acceptance bar from the tracing PR.
+const OVERHEAD_BAR_PCT: f64 = 2.0;
+
+fn fill(s: [usize; 3], u: [f64; 3]) -> f64 {
+    let sx = (s[0] as f64 * 0.55).sin() + (s[1] as f64 * 0.35).cos() + (s[2] as f64 * 0.75).sin();
+    0.002 * (2.5 + sx) * (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.03).exp()
+}
+
+/// One run: rank 0's best per-step wall-clock plus the collected traces.
+fn measure(traced: bool) -> (f64, TraceSet) {
+    let sglobal = [24usize, 8, 8];
+    let vg = VelocityGrid::cubic(8, 0.6);
+    let per_rank = Universe::run(RANKS, move |comm| {
+        let decomp = Decomp3::new(sglobal, [comm.size(), 1, 1]);
+        let off = decomp.local_offset(comm.rank());
+        let dims = decomp.local_dims(comm.rank());
+        let mut local = PhaseSpace::zeros_block(dims, off, sglobal, vg);
+        local.fill_with(fill);
+        let bg = Background::new(CosmologyParams::planck2015());
+        let mut sim = DistributedVlasov::new(comm, local, bg, 0.2, 1.0)
+            .with_overlap(OverlapPolicy::Overlapped);
+        if traced {
+            sim = sim.with_tracing(TRACE_CAPACITY);
+        }
+        let mut traces = Vec::new();
+        let mut best = f64::INFINITY;
+        for _ in 0..STEPS {
+            let sw = Stopwatch::start();
+            let (_, _, telemetry) = sim.step_traced(comm);
+            comm.barrier();
+            best = best.min(sw.elapsed_secs());
+            traces.extend(telemetry.trace);
+        }
+        (best, traces)
+    });
+    let mut set = TraceSet::new();
+    let mut best = f64::INFINITY;
+    for (rank, (wall, traces)) in per_rank.into_iter().enumerate() {
+        if rank == 0 {
+            best = wall;
+        }
+        for t in traces {
+            set.add(t);
+        }
+    }
+    (best, set)
+}
+
+fn main() {
+    println!(
+        "flight-recorder overhead, {RANKS} ranks x {STEPS} steps, best of {REPS} repetitions\n"
+    );
+
+    let mut best_traced = f64::INFINITY;
+    let mut best_untraced = f64::INFINITY;
+    let mut traces = TraceSet::new();
+    for _ in 0..REPS {
+        let (wall, set) = measure(true);
+        if wall < best_traced {
+            best_traced = wall;
+            traces = set;
+        }
+        let (wall, _) = measure(false);
+        best_untraced = best_untraced.min(wall);
+    }
+    let overhead_pct = 100.0 * (best_traced - best_untraced).max(0.0) / best_untraced;
+
+    let widths = [14usize, 16, 12];
+    println!(
+        "{}",
+        table_header(&["recorder", "wall/step [s]", "overhead"], &widths)
+    );
+    for (name, wall, over) in [
+        ("disabled", best_untraced, String::from("-")),
+        ("enabled", best_traced, format!("{overhead_pct:.2}%")),
+    ] {
+        println!(
+            "{}",
+            table_row(&[name.to_string(), format!("{wall:.6}"), over], &widths)
+        );
+    }
+    println!(
+        "\noverhead verdict: {:.2}% {} the {OVERHEAD_BAR_PCT}% bar",
+        overhead_pct,
+        if overhead_pct < OVERHEAD_BAR_PCT {
+            "within"
+        } else {
+            "ABOVE"
+        }
+    );
+
+    let report = TraceReport::from_set(&traces);
+    println!("\n{}", report.render());
+
+    // One machine-readable row for the bench logs.
+    let row = Json::obj([
+        ("kind", Json::str("bench")),
+        ("name", Json::str("critical_path")),
+        ("ranks", Json::num(RANKS as f64)),
+        ("steps", Json::num(STEPS as f64)),
+        ("untraced_s_per_step", Json::num(best_untraced)),
+        ("traced_s_per_step", Json::num(best_traced)),
+        ("tracing_overhead_pct", Json::num(overhead_pct)),
+        ("path_cover", Json::num(report.coverage())),
+        ("exposed_on_path_s", Json::num(report.exposed_on_path)),
+        ("unmatched_edges", Json::num(report.unmatched_edges as f64)),
+        ("dropped_events", Json::num(report.dropped_events as f64)),
+    ]);
+    println!("{}", row.to_string_compact());
+}

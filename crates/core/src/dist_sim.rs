@@ -62,6 +62,7 @@ pub struct DistributedVlasov {
     step_index: u64,
     verify_plans: bool,
     overlap: OverlapPolicy,
+    trace_capacity: Option<usize>,
 }
 
 /// Per-rank timing record of one distributed step: the structured span tree
@@ -72,6 +73,10 @@ pub struct StepTelemetry {
     pub spans: StepSpans,
     /// The legacy four-bucket decomposition, folded from `spans`.
     pub timers: StepTimers,
+    /// This rank's drained flight-recorder events, when tracing was enabled
+    /// via [`DistributedVlasov::with_tracing`] (`None` otherwise). Serialise
+    /// with `RankStepTrace::to_jsonl` next to the step's `StepEvent` line.
+    pub trace: Option<vlasov6d_obs::trace::RankStepTrace>,
 }
 
 impl DistributedVlasov {
@@ -108,12 +113,24 @@ impl DistributedVlasov {
             step_index: 0,
             verify_plans: false,
             overlap: OverlapPolicy::default(),
+            trace_capacity: None,
         }
     }
 
     /// Choose how the drift hides (or doesn't) its ghost exchange.
     pub fn with_overlap(mut self, overlap: OverlapPolicy) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Enable the cross-rank flight recorder with a ring buffer of
+    /// `capacity` events per rank. Each [`DistributedVlasov::step_traced`]
+    /// then installs the recorder (first step), tags events with the step
+    /// index, and drains them into [`StepTelemetry::trace`] — one
+    /// [`vlasov6d_obs::trace::RankStepTrace`] per rank per step, ready for
+    /// a JSONL sink and the [`vlasov6d_obs::trace::TraceSet`] stitcher.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 
@@ -202,6 +219,15 @@ impl DistributedVlasov {
     /// span tree and its four-bucket fold.
     pub fn step_traced(&mut self, comm: &Comm) -> (f64, f64, StepTelemetry) {
         self.step_index += 1;
+        if let Some(capacity) = self.trace_capacity {
+            // Install the recorder lazily on the first traced step (this
+            // runs on each rank's own thread, which is what the
+            // thread-local recorder needs) and stamp the step index.
+            if !vlasov6d_obs::trace::is_active() {
+                vlasov6d_obs::trace::enable(capacity);
+            }
+            vlasov6d_obs::trace::begin_step(self.step_index);
+        }
         if self.verify_plans && self.step_index == 1 {
             let _s = span!("plan_verify", Bucket::Other);
             self.verify_comm_plans();
@@ -270,6 +296,9 @@ impl DistributedVlasov {
         let telemetry = StepTelemetry {
             timers: spans.buckets.into(),
             spans,
+            trace: self
+                .trace_capacity
+                .and_then(|_| vlasov6d_obs::trace::drain(comm.rank())),
         };
         (a2, self.background.kick_factor(a1, a2), telemetry)
     }

@@ -22,6 +22,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use vlasov6d_obs::trace;
 
 /// Types that can ride in a message. `byte_len` feeds the traffic counters —
 /// it should return the wire size an MPI implementation would move.
@@ -569,14 +570,18 @@ impl Comm {
     }
 
     pub(crate) fn send_internal<T: Payload>(&self, dest: usize, tag: u64, value: T) {
-        self.shared
-            .traffic
-            .record(self.rank, dest, value.byte_len());
+        let bytes = value.byte_len();
+        self.shared.traffic.record(self.rank, dest, bytes);
         if tag < COLLECTIVE_TAG_BASE {
             // Collectives allot fresh tags by construction; only user tags
             // feed the reuse audit.
             self.shared.traffic.record_tag(self.rank, dest, tag);
         }
+        // Trace the post *before* the mailbox push: the push's lock release
+        // happens-before the matching receive's wakeup, so a traced receive
+        // can never complete with an earlier timestamp than its send — the
+        // ordering the cross-rank stitcher's happens-before DAG relies on.
+        trace::note_send(dest, tag, bytes as u64);
         self.shared.mailboxes[dest].push((self.rank, tag), Box::new(value), &self.shared.ctrl);
     }
 
@@ -592,6 +597,7 @@ impl Comm {
     }
 
     pub(crate) fn recv_internal<T: Payload>(&self, source: usize, tag: u64) -> T {
+        let trace_t0 = trace::interval_start();
         let any = match self.shared.mailboxes[self.rank].pop_blocking(
             (source, tag),
             &self.shared.ctrl,
@@ -600,12 +606,16 @@ impl Comm {
             Ok(msg) => msg,
             Err(Aborted) => std::panic::panic_any(Aborted),
         };
-        *any.downcast::<T>().unwrap_or_else(|_| {
+        let value = *any.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "rank {}: type mismatch receiving tag {tag} from rank {source}",
                 self.rank
             )
-        })
+        });
+        if let Some(t0) = trace_t0 {
+            trace::note_recv(t0, source, tag, value.byte_len() as u64);
+        }
+        value
     }
 
     /// Non-blocking receive: `Some(value)` if a matching message has already
@@ -616,13 +626,20 @@ impl Comm {
     pub fn try_recv<T: Payload>(&self, source: usize, tag: u64) -> Option<T> {
         assert!(source < self.size);
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^62");
+        let trace_t0 = trace::interval_start();
         let any = self.shared.mailboxes[self.rank].try_pop((source, tag), &self.shared.ctrl)?;
-        Some(*any.downcast::<T>().unwrap_or_else(|_| {
+        let value = *any.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "rank {}: type mismatch receiving tag {tag} from rank {source}",
                 self.rank
             )
-        }))
+        });
+        // Only a successful poll becomes a receive edge; an empty poll is
+        // not a wait and would pollute the timeline.
+        if let Some(t0) = trace_t0 {
+            trace::note_recv(t0, source, tag, value.byte_len() as u64);
+        }
+        Some(value)
     }
 
     /// Combined send-to-one / receive-from-another, the ghost-exchange motif.
@@ -641,6 +658,7 @@ impl Comm {
 
     /// Synchronise all ranks.
     pub fn barrier(&self) {
+        let trace_t0 = trace::interval_start();
         if self
             .shared
             .barrier
@@ -648,6 +666,9 @@ impl Comm {
             .is_err()
         {
             std::panic::panic_any(Aborted);
+        }
+        if let Some(t0) = trace_t0 {
+            trace::note_barrier(t0);
         }
     }
 

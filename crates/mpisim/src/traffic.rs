@@ -122,6 +122,22 @@ impl Traffic {
             .unwrap_or(0)
     }
 
+    /// The `n` heaviest `(src, dst, bytes)` pairs, descending by bytes
+    /// (ties broken by `(src, dst)` for determinism). Pairs that moved no
+    /// bytes are omitted, so fewer than `n` entries may come back.
+    pub fn top_pairs(&self, n: usize) -> Vec<(usize, usize, u64)> {
+        let mut pairs: Vec<(usize, usize, u64)> = (0..self.n)
+            .flat_map(|src| (0..self.n).map(move |dst| (src, dst)))
+            .filter_map(|(src, dst)| {
+                let b = self.bytes_between(src, dst);
+                (b > 0).then_some((src, dst, b))
+            })
+            .collect();
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        pairs.truncate(n);
+        pairs
+    }
+
     /// Bytes sent by one rank to all destinations.
     pub fn bytes_sent_by(&self, src: usize) -> u64 {
         (0..self.n).map(|d| self.bytes_between(src, d)).sum()
@@ -242,6 +258,17 @@ mod tests {
         assert_eq!(t.total_messages(), 3);
         assert_eq!(t.max_pair_bytes(), 150);
         assert_eq!(t.bytes_sent_by(0), 150);
+    }
+
+    #[test]
+    fn top_pairs_rank_by_bytes_and_omit_idle_pairs() {
+        let t = Traffic::new(4);
+        t.record(0, 1, 100);
+        t.record(2, 3, 700);
+        t.record(1, 0, 100);
+        assert_eq!(t.top_pairs(10), vec![(2, 3, 700), (0, 1, 100), (1, 0, 100)]);
+        assert_eq!(t.top_pairs(1), vec![(2, 3, 700)]);
+        assert!(Traffic::new(2).top_pairs(5).is_empty());
     }
 
     #[test]

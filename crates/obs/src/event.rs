@@ -278,6 +278,17 @@ impl JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Best-effort flush so a sink dropped without an explicit
+    /// [`JsonlSink::flush`] (early return, panic unwind) does not leave a
+    /// torn trailing line beyond what the OS already accepted. Errors are
+    /// ignored — there is no useful way to report them from a destructor,
+    /// and the loader side tolerates a torn tail regardless.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +363,23 @@ mod tests {
         assert_eq!(sink.lines().len(), 2);
         let parsed = StepEvent::parse(&sink.lines()[0]).unwrap();
         assert_eq!(parsed.step, 12);
+    }
+
+    #[test]
+    fn file_sink_flushes_on_drop() {
+        let path = std::env::temp_dir().join(format!("obs_sink_drop_{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.write_event(&sample_event()).unwrap();
+            // No explicit flush: the drop must push the buffered line out.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(
+            StepEvent::parse(text.lines().next().unwrap()).unwrap(),
+            sample_event()
+        );
     }
 
     #[test]

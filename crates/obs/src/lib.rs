@@ -17,6 +17,11 @@
 //! * [`report`] — [`report::RunReport`]: end-of-run tables in the paper's
 //!   Table 3/4 layout plus a span hotspot ranking and per-rank load-imbalance
 //!   summaries.
+//! * [`trace`] — cross-rank flight recorder and critical-path profiler: a
+//!   bounded per-rank ring buffer of span/message/barrier events, a stitcher
+//!   matching send/recv edges into a happens-before DAG, per-step critical
+//!   path extraction with span × rank blame, and a Chrome-trace/Perfetto
+//!   exporter.
 //!
 //! # Example
 //!
@@ -42,9 +47,13 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use event::{JsonlSink, StepEvent};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry};
-pub use report::{OverlapSummary, RunReport};
+pub use report::{LineOutcome, OverlapSummary, RunReport};
 pub use span::{visit_spans, Bucket, BucketTotals, SpanNode, StepScope, StepSpans, Stopwatch};
+pub use trace::{
+    CriticalPath, RankStepTrace, StepDag, TraceEvent, TraceEventKind, TraceReport, TraceSet,
+};

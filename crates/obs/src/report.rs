@@ -8,14 +8,30 @@
 //! drift over the run.
 
 use crate::event::StepEvent;
+use crate::json::Json;
 use crate::span::{visit_spans, Bucket, BucketTotals};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// What [`RunReport::add_jsonl_line`] did with a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// The line parsed as a [`StepEvent`] and was added.
+    Added,
+    /// The line was valid JSON of another record kind sharing the stream
+    /// (e.g. a `"kind": "trace"` flight-recorder line) and was skipped.
+    SkippedOtherKind,
+    /// The line was truncated mid-document — the torn tail of a stream cut
+    /// off mid-write. Skipped and counted in [`RunReport::torn_lines`].
+    SkippedTorn,
+}
 
 /// Aggregator and renderer for a run's step events.
 #[derive(Default)]
 pub struct RunReport {
     events: Vec<StepEvent>,
+    torn: usize,
+    top_pairs: Vec<(usize, usize, u64)>,
 }
 
 impl RunReport {
@@ -30,9 +46,40 @@ impl RunReport {
     }
 
     /// Parse and add one JSONL line.
-    pub fn add_jsonl_line(&mut self, line: &str) -> Result<(), String> {
+    ///
+    /// Tolerant of the stream it actually loads from: a line of another
+    /// record kind (flight-recorder traces share the file) is skipped, and a
+    /// line whose JSON breaks off at end-of-input — the torn tail left by a
+    /// writer killed mid-write — is skipped and counted rather than failing
+    /// the whole load. Malformed JSON *within* a line is still an error.
+    pub fn add_jsonl_line(&mut self, line: &str) -> Result<LineOutcome, String> {
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) if e.offset >= line.len() => {
+                self.torn += 1;
+                return Ok(LineOutcome::SkippedTorn);
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        if v.get("kind").as_str().is_some() {
+            // StepEvent lines carry no "kind" field; anything that does is a
+            // different record sharing the stream.
+            return Ok(LineOutcome::SkippedOtherKind);
+        }
         self.add(StepEvent::parse(line)?);
-        Ok(())
+        Ok(LineOutcome::Added)
+    }
+
+    /// Torn (truncated) trailing lines skipped by [`RunReport::add_jsonl_line`].
+    pub fn torn_lines(&self) -> usize {
+        self.torn
+    }
+
+    /// Attach the heaviest communication pairs (from
+    /// `Traffic::top_pairs`) so [`RunReport::render`] can show them next to
+    /// the load-imbalance figure. Entries are `(src, dst, bytes)`.
+    pub fn set_top_pairs(&mut self, pairs: Vec<(usize, usize, u64)>) {
+        self.top_pairs = pairs;
     }
 
     /// Number of events added.
@@ -195,6 +242,22 @@ impl RunReport {
                 out,
                 "  load imbalance (max/mean): {:.4}",
                 self.load_imbalance()
+            );
+        }
+
+        // Heaviest communication pairs, when traffic data was attached.
+        if !self.top_pairs.is_empty() {
+            out.push_str("\nheaviest rank pairs (bytes sent)\n");
+            for (src, dst, bytes) in &self.top_pairs {
+                let _ = writeln!(out, "  {src:>4} -> {dst:<4} {bytes:>14} B");
+            }
+        }
+
+        if self.torn > 0 {
+            let _ = writeln!(
+                out,
+                "\nnote: skipped {} torn trailing line(s) while loading",
+                self.torn
             );
         }
 
@@ -432,9 +495,48 @@ mod tests {
     fn jsonl_lines_feed_the_report() {
         let mut r = RunReport::new();
         let line = event(5, 0, 1.0, 0.25).to_jsonl();
-        r.add_jsonl_line(&line).unwrap();
+        assert_eq!(r.add_jsonl_line(&line), Ok(LineOutcome::Added));
         assert_eq!(r.len(), 1);
         assert_eq!(r.step_count(), 1);
         assert!(r.add_jsonl_line("not json").is_err());
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_and_counted() {
+        let mut r = RunReport::new();
+        let full = event(5, 0, 1.0, 0.25).to_jsonl();
+        assert_eq!(r.add_jsonl_line(&full), Ok(LineOutcome::Added));
+        // Cut the line mid-document, as a killed writer would leave it.
+        let torn = &full[..full.len() / 2];
+        assert_eq!(r.add_jsonl_line(torn), Ok(LineOutcome::SkippedTorn));
+        assert_eq!(r.torn_lines(), 1);
+        assert_eq!(r.len(), 1);
+        assert!(r.render().contains("torn trailing line"));
+        // Garbage mid-line is still a hard error, not silently skipped.
+        assert!(r.add_jsonl_line("{\"step\": ???}").is_err());
+    }
+
+    #[test]
+    fn trace_kind_lines_are_skipped_not_errors() {
+        let mut r = RunReport::new();
+        assert_eq!(
+            r.add_jsonl_line("{\"kind\":\"trace\",\"step\":1,\"rank\":0,\"events\":[]}"),
+            Ok(LineOutcome::SkippedOtherKind)
+        );
+        assert!(r.is_empty());
+        assert_eq!(r.torn_lines(), 0);
+    }
+
+    #[test]
+    fn top_pairs_render_next_to_imbalance() {
+        let mut r = RunReport::new();
+        r.add(event(0, 0, 3.0, 0.0));
+        r.add(event(0, 1, 1.0, 0.0));
+        r.set_top_pairs(vec![(0, 1, 4096), (1, 0, 1024)]);
+        let text = r.render();
+        assert!(text.contains("load imbalance (max/mean)"));
+        assert!(text.contains("heaviest rank pairs"));
+        assert!(text.contains("0 -> 1"));
+        assert!(text.contains("4096"));
     }
 }

@@ -291,22 +291,28 @@ impl StepScope {
 
 /// RAII guard for one timed region; created by the [`span!`] macro.
 ///
-/// Inert (no timing, no allocation) when no [`StepScope`] is active on the
-/// thread. Not `Send`: a guard must drop on the thread that opened it.
+/// Inert (no timing, no allocation) when neither a [`StepScope`] nor a
+/// [`crate::trace`] flight recorder is active on the thread. When a recorder
+/// is active the guard also emits a trace event on drop, carrying the *same*
+/// elapsed value that enters the span tree — so trace-derived and tree-derived
+/// durations agree exactly. Not `Send`: a guard must drop on the thread that
+/// opened it.
 #[must_use = "dropping a span guard immediately records a zero-length span"]
 pub struct SpanGuard {
     start: Option<Instant>,
+    name: &'static str,
+    bucket: Bucket,
+    framed: bool,
+    traced: bool,
     _not_send: PhantomData<*const ()>,
 }
 
 impl SpanGuard {
     /// Open a span. Prefer the [`span!`] macro.
     pub fn open(name: &'static str, bucket: Option<Bucket>) -> SpanGuard {
-        let armed = COLLECTOR.with(|c| {
+        let framed_bucket = COLLECTOR.with(|c| {
             let mut slot = c.borrow_mut();
-            let Some(collector) = slot.as_mut() else {
-                return false;
-            };
+            let collector = slot.as_mut()?;
             let parent = collector.stack.last().expect("root frame always present");
             let (bucket, explicit) = match bucket {
                 Some(b) => (b, true),
@@ -321,10 +327,18 @@ impl SpanGuard {
                 explicit_bucket: explicit,
                 children: Vec::new(),
             });
-            true
+            Some(bucket)
         });
+        let framed = framed_bucket.is_some();
+        let traced = crate::trace::is_active();
         SpanGuard {
-            start: armed.then(Instant::now),
+            start: (framed || traced).then(Instant::now),
+            name,
+            // Without a collector there is no parent to inherit from; the
+            // trace event falls back to the explicit bucket or Other.
+            bucket: framed_bucket.unwrap_or_else(|| bucket.unwrap_or(Bucket::Other)),
+            framed,
+            traced,
             _not_send: PhantomData,
         }
     }
@@ -334,6 +348,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed().as_secs_f64();
+        if self.traced {
+            crate::trace::note_span(self.name, self.bucket, elapsed);
+        }
+        if !self.framed {
+            return;
+        }
         COLLECTOR.with(|c| {
             let mut slot = c.borrow_mut();
             let Some(collector) = slot.as_mut() else {

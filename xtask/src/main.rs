@@ -46,18 +46,28 @@
 //!   footprints, SIMD equivalence, op counts) and fail on any violated
 //!   property. Prints the human report to stdout and, with
 //!   `--json <path>`, writes the machine-readable report there.
+//!
+//! * `perf-gate` — the trace-derived performance regression gate: runs the
+//!   2-rank overlapped smoke simulation with the flight recorder on and
+//!   off, extracts per-step critical paths, and compares the summary
+//!   (path coverage, exposed-comm share and its agreement with the span
+//!   tree, communication imbalance, tracing overhead) against the
+//!   checked-in `perf-baseline.json` bounds. See [`perf_gate`].
+
+mod perf_gate;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask <lint | verify-kernels [--json <path>]>";
+const USAGE: &str = "usage: cargo xtask <lint | verify-kernels [--json <path>] | perf-gate [--baseline <path>] [--write-baseline] [--trace-out <path>] [--summary-out <path>]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(Path::new(".")),
         Some("verify-kernels") => verify_kernels(&args[1..]),
+        Some("perf-gate") => perf_gate::perf_gate(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
