@@ -24,13 +24,56 @@ use rayon::prelude::*;
 /// touch an index set disjoint from all other tasks'.
 #[derive(Clone, Copy)]
 struct SendMutPtr(*mut Complex64);
-// SAFETY: the wrapper only moves the raw pointer across threads; every
-// dereference site upholds the contract above (disjoint index sets per
-// task), so no two threads ever alias the same element.
+// SAFETY: [racecheck: fft.c2c.axis0.columns, fft.r2c.axis0.columns] — the
+// wrapper only moves the raw pointer across pool workers; every dereference
+// site upholds the contract above (disjoint index sets per task, proved by
+// racecheck for the registered column regions).
 unsafe impl Send for SendMutPtr {}
-// SAFETY: `&SendMutPtr` exposes only a `Copy` of the pointer; aliasing
-// discipline is enforced at the dereference sites, as for `Send`.
+// SAFETY: [racecheck: fft.c2c.axis0.columns] — `&SendMutPtr` exposes only a
+// `Copy` of the pointer; aliasing discipline is enforced at the dereference
+// sites, as for `Send`.
 unsafe impl Sync for SendMutPtr {}
+
+/// One task of the axis-0 column regions (`fft.{c2c,r2c}.axis0.columns`):
+/// transform every axis-0 column at fixed `i1` of an `[n0][n1][n2]` grid.
+/// Tasks for different `i1` touch indices `(i0·n1 + i1)·n2 + i2`, which
+/// carry `i1` — pairwise disjoint index sets (verified by racecheck).
+fn axis0_column_task(
+    base: SendMutPtr,
+    plan: &FftPlan,
+    inverse: bool,
+    n0: usize,
+    n1: usize,
+    n2: usize,
+    i1: usize,
+) {
+    let mut buf = vec![Complex64::ZERO; n0];
+    for i2 in 0..n2 {
+        for (i0, b) in buf.iter_mut().enumerate() {
+            // SAFETY: disjointness by i1 as argued above; indices in bounds
+            // because i0 < n0, i1 < n1, i2 < n2.
+            *b = unsafe { *base.0.add((i0 * n1 + i1) * n2 + i2) };
+        }
+        if inverse {
+            // Unscaled inverse: conj → forward → conj (scaling applied once
+            // at the end by the caller).
+            for z in buf.iter_mut() {
+                *z = z.conj();
+            }
+            plan.forward(&mut buf);
+            for z in buf.iter_mut() {
+                *z = z.conj();
+            }
+        } else {
+            plan.forward(&mut buf);
+        }
+        for (i0, b) in buf.iter().enumerate() {
+            // SAFETY: same disjoint-by-i1 index set and bounds as the
+            // gather above; no other task writes these elements.
+            unsafe { *base.0.add((i0 * n1 + i1) * n2 + i2) = *b };
+        }
+    }
+}
 
 /// Complex 3-D FFT plan for fixed dimensions.
 #[derive(Debug, Clone)]
@@ -119,24 +162,9 @@ impl Fft3 {
         // (i0·n1 + i1)·n2 + i2 which differ in the `i1·n2` component — the
         // index sets are disjoint, satisfying SendMutPtr's contract.
         let base = SendMutPtr(data.as_mut_ptr());
-        (0..n1).into_par_iter().for_each(|i1| {
-            #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
-            let base = base;
-            let mut buf = vec![Complex64::ZERO; n0];
-            for i2 in 0..n2 {
-                for (i0, b) in buf.iter_mut().enumerate() {
-                    // SAFETY: disjointness by i1 as argued above; indices in bounds
-                    // because i0 < n0, i1 < n1, i2 < n2.
-                    *b = unsafe { *base.0.add((i0 * n1 + i1) * n2 + i2) };
-                }
-                run(&self.plans[0], &mut buf);
-                for (i0, b) in buf.iter().enumerate() {
-                    // SAFETY: same disjoint-by-i1 index set and bounds as the
-                    // gather above; no other task writes these elements.
-                    unsafe { *base.0.add((i0 * n1 + i1) * n2 + i2) = *b };
-                }
-            }
-        });
+        (0..n1)
+            .into_par_iter()
+            .for_each(|i1| axis0_column_task(base, &self.plans[0], inverse, n0, n1, n2, i1));
     }
 }
 
@@ -250,23 +278,9 @@ impl RealFft3 {
 
         // Axis 0 — same disjoint-by-i1 argument as in `Fft3::transform`.
         let base = SendMutPtr(data.as_mut_ptr());
-        (0..n1).into_par_iter().for_each(|i1| {
-            #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
-            let base = base;
-            let mut buf = vec![Complex64::ZERO; n0];
-            for i2 in 0..nzh {
-                for (i0, b) in buf.iter_mut().enumerate() {
-                    // SAFETY: tasks are disjoint in i1; indices in bounds.
-                    *b = unsafe { *base.0.add((i0 * n1 + i1) * nzh + i2) };
-                }
-                run(&self.plans01[0], &mut buf);
-                for (i0, b) in buf.iter().enumerate() {
-                    // SAFETY: same disjoint-by-i1 index set and bounds as the
-                    // gather above; no other task writes these elements.
-                    unsafe { *base.0.add((i0 * n1 + i1) * nzh + i2) = *b };
-                }
-            }
-        });
+        (0..n1)
+            .into_par_iter()
+            .for_each(|i1| axis0_column_task(base, &self.plans01[0], inverse, n0, n1, nzh, i1));
     }
 }
 

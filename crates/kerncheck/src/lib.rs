@@ -38,6 +38,7 @@
 //!
 //! [`CommPlan`]: vlasov6d_mpisim::CommPlan
 
+pub mod claims;
 pub mod equiv;
 pub mod footprint;
 pub mod interval;

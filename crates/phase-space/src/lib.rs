@@ -11,6 +11,9 @@
 //! * [`moments`] — density / momentum / velocity-dispersion reductions.
 //! * [`sweep`] — the directional-splitting line sweeps in the paper's three
 //!   execution variants (scalar, SIMD lanes, SIMD + LAT transpose).
+//! * [`plan`] — the task→footprint index plans of every parallel sweep
+//!   region (single source of truth, re-checked by `crates/racecheck`).
+//! * [`probe`] — single-task replay entry points for racecheck's taint probe.
 //! * [`exchange`] — spatial ghost-plane exchange and distributed sweeps over
 //!   `vlasov6d-mpisim`.
 
@@ -18,6 +21,8 @@ pub mod dist_fn;
 pub mod exchange;
 pub mod grid;
 pub mod moments;
+pub mod plan;
+pub mod probe;
 pub mod sweep;
 
 pub use dist_fn::PhaseSpace;

@@ -21,8 +21,16 @@
 //! lane bundle by construction: spatial sweeps depend only on the conjugate
 //! velocity index, velocity sweeps only on the spatial cell — and the lane
 //! axis is never either of those.
+//!
+//! Every parallel region here runs on the real thread pool behind
+//! `rayon::par_iter`. The per-task index sets are the plans of
+//! [`crate::plan`]; `crates/racecheck` proves them pairwise write-disjoint
+//! for all grid shapes (so the sweeps are bitwise deterministic at any
+//! worker count) and replays single tasks via [`crate::probe`] to pin the
+//! proof to this code.
 
 use crate::dist_fn::PhaseSpace;
+use crate::plan;
 use rayon::prelude::*;
 use vlasov6d_advection::lanes::{advect_lanes, LanesWork};
 use vlasov6d_advection::line::{advect_line, LineWork, Scheme};
@@ -71,14 +79,22 @@ pub fn partition_axis(n: usize, ghost: usize) -> AxisPartition {
         high: hi_start..n,
     }
 }
+
+/// Base pointer of the flat `f` array, passed by value into sweep tasks.
 #[derive(Clone, Copy)]
-struct SendMutPtr(*mut f32);
-// SAFETY: the wrapper only moves the raw pointer across rayon tasks; every
-// dereference site partitions the flat index space so no two tasks alias
-// the same element (see the SAFETY comments at the unsafe blocks below).
+pub(crate) struct SendMutPtr(pub(crate) *mut f32);
+// The wrapper only moves the raw pointer across pool workers; every
+// dereference follows the task's `plan` index set, and racecheck proves the
+// plans of distinct tasks pairwise disjoint for all grid shapes (symbolic
+// digit proof + taint-probe replay).
+// SAFETY: [racecheck: sweep.spatial.x.scalar, sweep.spatial.y.scalar,
+// sweep.spatial.z.scalar, sweep.spatial.x.simd, sweep.spatial.y.simd,
+// sweep.spatial.z.simd, sweep.spatial.x.lat, sweep.spatial.y.lat,
+// sweep.spatial.z.lat]
 unsafe impl Send for SendMutPtr {}
-// SAFETY: `&SendMutPtr` exposes only a `Copy` of the pointer; aliasing
-// discipline is enforced at the dereference sites, as for `Send`.
+// SAFETY: [racecheck: sweep.spatial.x.scalar] — `&SendMutPtr` exposes only
+// a `Copy` of the pointer; aliasing discipline is enforced at the
+// dereference sites by the same per-task plans as for `Send`.
 unsafe impl Sync for SendMutPtr {}
 
 /// Sweep along spatial axis `d` (0 = x, 1 = y, 2 = z) with periodic bounds.
@@ -93,66 +109,33 @@ pub fn sweep_spatial(ps: &mut PhaseSpace, d: usize, cfl_per_u: &[f64], scheme: S
     assert_eq!(cfl_per_u.len(), ps.vgrid.n[d]);
     let dims = ps.dims6();
     let n_line = dims[d];
-    // Stride between consecutive cells along axis d.
-    let stride: usize = dims[d + 1..].iter().product();
     let nuz = dims[5];
     let base = SendMutPtr(ps.as_mut_slice().as_mut_ptr());
+    let n_tasks = plan::spatial_task_count(&dims, d, exec);
 
-    // Enumerate lines by (outer, inner) where flat = (outer·n_line + i)·stride + inner.
-    let n_outer: usize = dims[..d].iter().product();
     match exec {
         Exec::Scalar => {
-            // Parallel over (outer, inner-group) pairs; tasks touch disjoint
-            // inner indices → disjoint flat indices.
-            (0..n_outer * stride).into_par_iter().for_each_init(
+            // Parallel over line pencils; racecheck region
+            // `sweep.spatial.{x,y,z}.scalar`.
+            (0..n_tasks).into_par_iter().for_each_init(
                 || (vec![0.0f32; n_line], LineWork::new()),
-                |(buf, work), task| {
-                    #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
-                    let base = base;
-                    let outer = task / stride;
-                    let inner = task % stride;
-                    let iu_d = velocity_index_of_inner(d, inner, &dims);
-                    let cfl = cfl_per_u[iu_d];
-                    // SAFETY: each task owns the line (outer, inner); indices
-                    // (outer·n+i)·stride + inner are distinct across tasks.
-                    unsafe {
-                        gather_line(base, outer, inner, n_line, stride, buf);
-                        advect_line(scheme, buf, cfl, Boundary::Periodic, work);
-                        scatter_line(base, outer, inner, n_line, stride, buf);
-                    }
+                |scratch, task| {
+                    spatial_scalar_task(base, &dims, d, cfl_per_u, scheme, scratch, task)
                 },
             );
         }
         Exec::Simd | Exec::Lat if d < 2 => {
             // x/y sweeps: lanes over iuz are contiguous packed loads and the
             // conjugate velocity (iux/iuy) is constant across them (Fig. 1).
+            // Racecheck region `sweep.spatial.{x,y}.{simd,lat}`.
             assert!(
                 nuz % LANES == 0,
                 "Simd sweeps need nuz divisible by {LANES}"
             );
-            let groups = stride / LANES; // inner runs over iuz fastest; group 8 iuz.
-            (0..n_outer * groups).into_par_iter().for_each_init(
+            (0..n_tasks).into_par_iter().for_each_init(
                 || (vec![f32x8::ZERO; n_line], LanesWork::new()),
-                |(bundle, work), task| {
-                    #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
-                    let base = base;
-                    let outer = task / groups;
-                    let group = task % groups;
-                    let inner = group * LANES;
-                    let iu_d = velocity_index_of_inner(d, inner, &dims);
-                    let cfl = cfl_per_u[iu_d];
-                    // SAFETY: tasks own disjoint (outer, 8-lane inner group)s.
-                    unsafe {
-                        for (i, b) in bundle.iter_mut().enumerate() {
-                            let p = base.0.add((outer * n_line + i) * stride + inner);
-                            *b = f32x8::load(std::slice::from_raw_parts(p, LANES));
-                        }
-                        advect_lanes(scheme.max_simd(), bundle, cfl, Boundary::Periodic, work);
-                        for (i, b) in bundle.iter().enumerate() {
-                            let p = base.0.add((outer * n_line + i) * stride + inner);
-                            b.store(std::slice::from_raw_parts_mut(p, LANES));
-                        }
-                    }
+                |scratch, task| {
+                    spatial_bundle_task(base, &dims, d, cfl_per_u, scheme, scratch, task)
                 },
             );
         }
@@ -161,67 +144,123 @@ pub fn sweep_spatial(ps: &mut PhaseSpace, d: usize, cfl_per_u: &[f64], scheme: S
             // mix shifts. Stage 8×8 (iuy, iuz) tiles through the in-register
             // transpose so lanes run over iuy at fixed iuz — constant shift
             // per bundle, packed loads throughout (the LAT trick applied to
-            // the spatial z axis).
-            let (nux, nuy) = (dims[3], dims[4]);
+            // the spatial z axis). Racecheck region `sweep.spatial.z.{simd,lat}`.
+            let nuy = dims[4];
             assert!(
                 nuy % LANES == 0 && nuz % LANES == 0,
                 "z-sweep SIMD needs nuy and nuz divisible by {LANES}"
             );
-            let tiles = nux * (nuy / LANES) * (nuz / LANES);
-            (0..n_outer * tiles).into_par_iter().for_each_init(
+            (0..n_tasks).into_par_iter().for_each_init(
                 || (vec![f32x8::ZERO; n_line * LANES], LanesWork::new()),
-                |(bundles, work), task| {
-                    #[allow(clippy::redundant_locals)] // forces capture of the Send wrapper
-                    let base = base;
-                    let outer = task / tiles;
-                    let tile = task % tiles;
-                    let zg = tile % (nuz / LANES);
-                    let yg = (tile / (nuz / LANES)) % (nuy / LANES);
-                    let iux = tile / ((nuz / LANES) * (nuy / LANES));
-                    let (y0, z0) = (yg * LANES, zg * LANES);
-                    // SAFETY: tasks own disjoint (outer, iux, y-tile, z-tile)s;
-                    // every touched flat index carries that 4-tuple.
-                    unsafe {
-                        for i in 0..n_line {
-                            let line_base =
-                                (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
-                            let mut rows: [f32x8; LANES] = core::array::from_fn(|l| {
-                                f32x8::load(std::slice::from_raw_parts(
-                                    base.0.add(line_base + l * nuz),
-                                    LANES,
-                                ))
-                            });
-                            transpose8x8(&mut rows);
-                            for (r, row) in rows.iter().enumerate() {
-                                bundles[r * n_line + i] = *row;
-                            }
-                        }
-                        for r in 0..LANES {
-                            let cfl = cfl_per_u[z0 + r];
-                            advect_lanes(
-                                scheme.max_simd(),
-                                &mut bundles[r * n_line..(r + 1) * n_line],
-                                cfl,
-                                Boundary::Periodic,
-                                work,
-                            );
-                        }
-                        for i in 0..n_line {
-                            let line_base =
-                                (outer * n_line + i) * stride + (iux * nuy + y0) * nuz + z0;
-                            let mut rows: [f32x8; LANES] =
-                                core::array::from_fn(|r| bundles[r * n_line + i]);
-                            transpose8x8(&mut rows);
-                            for (l, row) in rows.iter().enumerate() {
-                                row.store(std::slice::from_raw_parts_mut(
-                                    base.0.add(line_base + l * nuz),
-                                    LANES,
-                                ));
-                            }
-                        }
-                    }
-                },
+                |scratch, task| spatial_tile_task(base, &dims, cfl_per_u, scheme, scratch, task),
             );
+        }
+    }
+}
+
+/// One scalar spatial-sweep task: gather the planned pencil, advect, scatter.
+pub(crate) fn spatial_scalar_task(
+    base: SendMutPtr,
+    dims: &[usize; 6],
+    d: usize,
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+    scratch: &mut (Vec<f32>, LineWork),
+    task: usize,
+) {
+    let line = plan::spatial_line(dims, d, task);
+    let cfl = cfl_per_u[plan::spatial_conjugate_u(dims, d, Exec::Scalar, task)];
+    let (buf, work) = scratch;
+    // SAFETY: `line` is this task's plan; racecheck proves plans of distinct
+    // tasks pairwise disjoint and in bounds, so the strided accesses below
+    // touch memory no other task can reach.
+    unsafe {
+        gather_line(base, &line, buf);
+        advect_line(scheme, buf, cfl, Boundary::Periodic, work);
+        scatter_line(base, &line, buf);
+    }
+}
+
+/// One SIMD x/y spatial-sweep task: packed-load the planned bundle pencil,
+/// advect in lanes, store back.
+pub(crate) fn spatial_bundle_task(
+    base: SendMutPtr,
+    dims: &[usize; 6],
+    d: usize,
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+    scratch: &mut (Vec<f32x8>, LanesWork),
+    task: usize,
+) {
+    let b = plan::spatial_bundle(dims, d, task);
+    let cfl = cfl_per_u[plan::spatial_conjugate_u(dims, d, Exec::Simd, task)];
+    let (bundle, work) = scratch;
+    // SAFETY: `b` is this task's plan (disjoint across tasks, in bounds —
+    // proved by racecheck); each element is one `lanes`-wide packed access.
+    unsafe {
+        for (i, v) in bundle.iter_mut().enumerate() {
+            let p = base.0.add(b.base + i * b.stride);
+            *v = f32x8::load(std::slice::from_raw_parts(p, LANES));
+        }
+        advect_lanes(scheme.max_simd(), bundle, cfl, Boundary::Periodic, work);
+        for (i, v) in bundle.iter().enumerate() {
+            let p = base.0.add(b.base + i * b.stride);
+            v.store(std::slice::from_raw_parts_mut(p, LANES));
+        }
+    }
+}
+
+/// One z-axis tile task: stage the planned 8×8 tile pencil through the
+/// in-register transpose, advect each row with its own conjugate shift,
+/// transpose back and store.
+pub(crate) fn spatial_tile_task(
+    base: SendMutPtr,
+    dims: &[usize; 6],
+    cfl_per_u: &[f64],
+    scheme: Scheme,
+    scratch: &mut (Vec<f32x8>, LanesWork),
+    task: usize,
+) {
+    let t = plan::spatial_tile(dims, task);
+    let z0 = plan::spatial_conjugate_u(dims, 2, Exec::Lat, task);
+    let n_line = t.len;
+    let (bundles, work) = scratch;
+    // SAFETY: `t` is this task's plan (disjoint across tasks, in bounds —
+    // proved by racecheck); every access below is a packed row of the tile.
+    unsafe {
+        for i in 0..n_line {
+            let line_base = t.base + i * t.stride;
+            let mut rows: [f32x8; LANES] = core::array::from_fn(|l| {
+                f32x8::load(std::slice::from_raw_parts(
+                    base.0.add(line_base + l * t.row_stride),
+                    LANES,
+                ))
+            });
+            transpose8x8(&mut rows);
+            for (r, row) in rows.iter().enumerate() {
+                bundles[r * n_line + i] = *row;
+            }
+        }
+        for r in 0..LANES {
+            let cfl = cfl_per_u[z0 + r];
+            advect_lanes(
+                scheme.max_simd(),
+                &mut bundles[r * n_line..(r + 1) * n_line],
+                cfl,
+                Boundary::Periodic,
+                work,
+            );
+        }
+        for i in 0..n_line {
+            let line_base = t.base + i * t.stride;
+            let mut rows: [f32x8; LANES] = core::array::from_fn(|r| bundles[r * n_line + i]);
+            transpose8x8(&mut rows);
+            for (l, row) in rows.iter().enumerate() {
+                row.store(std::slice::from_raw_parts_mut(
+                    base.0.add(line_base + l * t.row_stride),
+                    LANES,
+                ));
+            }
         }
     }
 }
@@ -245,31 +284,43 @@ pub fn sweep_velocity(
     let _obs = vlasov6d_obs::span!(SPAN[d], vlasov6d_obs::Bucket::Vlasov);
     assert_eq!(cfl_per_cell.dims(), ps.sdims);
     let dims = ps.dims6();
-    let (nux, nuy, nuz) = (dims[3], dims[4], dims[5]);
-    let vlen = nux * nuy * nuz;
+    let vlen = dims[3] * dims[4] * dims[5];
     let cfls = cfl_per_cell.as_slice();
     let data = ps.as_mut_slice();
 
     // Velocity blocks of different spatial cells are disjoint contiguous
-    // chunks — safe rayon parallelism without raw pointers.
-    data.par_chunks_mut(vlen).enumerate().for_each_init(
-        VelocityWork::new,
-        |work, (cell, block)| {
-            let cfl = cfls[cell];
-            if cfl == 0.0 {
-                return;
-            }
-            match d {
-                0 => sweep_block_ux(block, nux, nuy, nuz, cfl, scheme, exec, work),
-                1 => sweep_block_uy(block, nux, nuy, nuz, cfl, scheme, exec, work),
-                _ => sweep_block_uz(block, nux, nuy, nuz, cfl, scheme, exec, work),
-            }
-        },
-    );
+    // chunks — safe rayon parallelism without raw pointers. Racecheck
+    // region `sweep.velocity.blocks`.
+    data.par_chunks_mut(vlen)
+        .enumerate()
+        .for_each_init(VelocityWork::new, |work, (cell, block)| {
+            velocity_cell_task(&dims, d, cfls[cell], scheme, exec, work, block)
+        });
+}
+
+/// One velocity-sweep task: advect one spatial cell's velocity block.
+pub(crate) fn velocity_cell_task(
+    dims: &[usize; 6],
+    d: usize,
+    cfl: f64,
+    scheme: Scheme,
+    exec: Exec,
+    work: &mut VelocityWork,
+    block: &mut [f32],
+) {
+    if cfl == 0.0 {
+        return;
+    }
+    let (nux, nuy, nuz) = (dims[3], dims[4], dims[5]);
+    match d {
+        0 => sweep_block_ux(block, nux, nuy, nuz, cfl, scheme, exec, work),
+        1 => sweep_block_uy(block, nux, nuy, nuz, cfl, scheme, exec, work),
+        _ => sweep_block_uz(block, nux, nuy, nuz, cfl, scheme, exec, work),
+    }
 }
 
 /// Per-thread scratch for velocity-block sweeps.
-struct VelocityWork {
+pub(crate) struct VelocityWork {
     line: Vec<f32>,
     bundle: Vec<f32x8>,
     line_work: LineWork,
@@ -277,7 +328,7 @@ struct VelocityWork {
 }
 
 impl VelocityWork {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             line: Vec::new(),
             bundle: Vec::new(),
@@ -312,13 +363,13 @@ fn sweep_block_ux(
     exec: Exec,
     work: &mut VelocityWork,
 ) {
-    let stride = nuy * nuz;
     match exec {
         Exec::Scalar => {
             work.line.resize(nux, 0.0);
-            for inner in 0..stride {
-                for i in 0..nux {
-                    work.line[i] = block[i * stride + inner];
+            for unit in 0..plan::block_unit_count(nux, nuy, nuz, 0, Exec::Scalar) {
+                let l = plan::block_ux_line(nuy, nuz, nux, unit);
+                for i in 0..l.len {
+                    work.line[i] = block[l.base + i * l.stride];
                 }
                 advect_line(
                     scheme,
@@ -327,18 +378,18 @@ fn sweep_block_ux(
                     Boundary::Zero,
                     &mut work.line_work,
                 );
-                for i in 0..nux {
-                    block[i * stride + inner] = work.line[i];
+                for i in 0..l.len {
+                    block[l.base + i * l.stride] = work.line[i];
                 }
             }
         }
         Exec::Simd | Exec::Lat => {
             assert!(nuz % LANES == 0);
             work.bundle.resize(nux, f32x8::ZERO);
-            for group in 0..stride / LANES {
-                let inner = group * LANES;
+            for unit in 0..plan::block_unit_count(nux, nuy, nuz, 0, Exec::Simd) {
+                let p = plan::block_ux_bundle(nuy, nuz, nux, unit);
                 for (i, b) in work.bundle.iter_mut().enumerate() {
-                    *b = f32x8::load(&block[i * stride + inner..]);
+                    *b = f32x8::load(&block[p.base + i * p.stride..]);
                 }
                 advect_lanes(
                     scheme.max_simd(),
@@ -348,7 +399,7 @@ fn sweep_block_ux(
                     &mut work.lanes_work,
                 );
                 for (i, b) in work.bundle.iter().enumerate() {
-                    b.store(&mut block[i * stride + inner..]);
+                    b.store(&mut block[p.base + i * p.stride..]);
                 }
             }
         }
@@ -365,49 +416,43 @@ fn sweep_block_uy(
     exec: Exec,
     work: &mut VelocityWork,
 ) {
-    let stride = nuz;
     match exec {
         Exec::Scalar => {
             work.line.resize(nuy, 0.0);
-            for iux in 0..nux {
-                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
-                for iuz in 0..nuz {
-                    for i in 0..nuy {
-                        work.line[i] = plane[i * stride + iuz];
-                    }
-                    advect_line(
-                        scheme,
-                        &mut work.line,
-                        cfl,
-                        Boundary::Zero,
-                        &mut work.line_work,
-                    );
-                    for i in 0..nuy {
-                        plane[i * stride + iuz] = work.line[i];
-                    }
+            for unit in 0..plan::block_unit_count(nux, nuy, nuz, 1, Exec::Scalar) {
+                let l = plan::block_uy_line(nuy, nuz, unit);
+                for i in 0..l.len {
+                    work.line[i] = block[l.base + i * l.stride];
+                }
+                advect_line(
+                    scheme,
+                    &mut work.line,
+                    cfl,
+                    Boundary::Zero,
+                    &mut work.line_work,
+                );
+                for i in 0..l.len {
+                    block[l.base + i * l.stride] = work.line[i];
                 }
             }
         }
         Exec::Simd | Exec::Lat => {
             assert!(nuz % LANES == 0);
             work.bundle.resize(nuy, f32x8::ZERO);
-            for iux in 0..nux {
-                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
-                for group in 0..nuz / LANES {
-                    let inner = group * LANES;
-                    for (i, b) in work.bundle.iter_mut().enumerate() {
-                        *b = f32x8::load(&plane[i * stride + inner..]);
-                    }
-                    advect_lanes(
-                        scheme.max_simd(),
-                        &mut work.bundle,
-                        cfl,
-                        Boundary::Zero,
-                        &mut work.lanes_work,
-                    );
-                    for (i, b) in work.bundle.iter().enumerate() {
-                        b.store(&mut plane[i * stride + inner..]);
-                    }
+            for unit in 0..plan::block_unit_count(nux, nuy, nuz, 1, Exec::Simd) {
+                let p = plan::block_uy_bundle(nuy, nuz, unit);
+                for (i, b) in work.bundle.iter_mut().enumerate() {
+                    *b = f32x8::load(&block[p.base + i * p.stride..]);
+                }
+                advect_lanes(
+                    scheme.max_simd(),
+                    &mut work.bundle,
+                    cfl,
+                    Boundary::Zero,
+                    &mut work.lanes_work,
+                );
+                for (i, b) in work.bundle.iter().enumerate() {
+                    b.store(&mut block[p.base + i * p.stride..]);
                 }
             }
         }
@@ -427,8 +472,9 @@ fn sweep_block_uz(
     match exec {
         Exec::Scalar => {
             // Lines are contiguous — the scalar path needs no gather at all.
-            for line_idx in 0..nux * nuy {
-                let line = &mut block[line_idx * nuz..(line_idx + 1) * nuz];
+            for unit in 0..plan::block_unit_count(nux, nuy, nuz, 2, Exec::Scalar) {
+                let l = plan::block_uz_line(nuz, unit);
+                let line = &mut block[l.base..l.base + l.len];
                 advect_line(scheme, line, cfl, Boundary::Zero, &mut work.line_work);
             }
         }
@@ -440,28 +486,25 @@ fn sweep_block_uz(
                 "Fig.2 variant needs nuy divisible by {LANES}"
             );
             work.bundle.resize(nuz, f32x8::ZERO);
-            for iux in 0..nux {
-                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
-                for ygroup in 0..nuy / LANES {
-                    let y0 = ygroup * LANES;
-                    for (i, b) in work.bundle.iter_mut().enumerate() {
-                        let mut lanes = [0.0f32; LANES];
-                        for (l, lane) in lanes.iter_mut().enumerate() {
-                            *lane = plane[(y0 + l) * nuz + i];
-                        }
-                        *b = f32x8(lanes);
+            for unit in 0..plan::block_unit_count(nux, nuy, nuz, 2, Exec::Simd) {
+                let rows = plan::block_uz_rows(nuy, nuz, unit);
+                for (i, b) in work.bundle.iter_mut().enumerate() {
+                    let mut lanes = [0.0f32; LANES];
+                    for (l, lane) in lanes.iter_mut().enumerate() {
+                        *lane = block[rows.base + l * rows.stride + i];
                     }
-                    advect_lanes(
-                        scheme.max_simd(),
-                        &mut work.bundle,
-                        cfl,
-                        Boundary::Zero,
-                        &mut work.lanes_work,
-                    );
-                    for (i, b) in work.bundle.iter().enumerate() {
-                        for l in 0..LANES {
-                            plane[(y0 + l) * nuz + i] = b.0[l];
-                        }
+                    *b = f32x8(lanes);
+                }
+                advect_lanes(
+                    scheme.max_simd(),
+                    &mut work.bundle,
+                    cfl,
+                    Boundary::Zero,
+                    &mut work.lanes_work,
+                );
+                for (i, b) in work.bundle.iter().enumerate() {
+                    for l in 0..LANES {
+                        block[rows.base + l * rows.stride + i] = b.0[l];
                     }
                 }
             }
@@ -471,34 +514,31 @@ fn sweep_block_uz(
             // lane form, transpose back on the way out.
             assert!(nuy % LANES == 0 && nuz % LANES == 0);
             work.bundle.resize(nuz, f32x8::ZERO);
-            for iux in 0..nux {
-                let plane = &mut block[iux * nuy * nuz..(iux + 1) * nuy * nuz];
-                for ygroup in 0..nuy / LANES {
-                    let y0 = ygroup * LANES;
-                    // Load & transpose into lane-major bundle.
-                    for zblock in 0..nuz / LANES {
-                        let z0 = zblock * LANES;
-                        let mut rows: [f32x8; LANES] =
-                            core::array::from_fn(|l| f32x8::load(&plane[(y0 + l) * nuz + z0..]));
-                        transpose8x8(&mut rows);
-                        work.bundle[z0..z0 + LANES].copy_from_slice(&rows);
-                    }
-                    advect_lanes(
-                        scheme.max_simd(),
-                        &mut work.bundle,
-                        cfl,
-                        Boundary::Zero,
-                        &mut work.lanes_work,
-                    );
-                    // Transpose back & store packed.
-                    for zblock in 0..nuz / LANES {
-                        let z0 = zblock * LANES;
-                        let mut rows: [f32x8; LANES] =
-                            core::array::from_fn(|r| work.bundle[z0 + r]);
-                        transpose8x8(&mut rows);
-                        for (l, row) in rows.iter().enumerate() {
-                            row.store(&mut plane[(y0 + l) * nuz + z0..]);
-                        }
+            for unit in 0..plan::block_unit_count(nux, nuy, nuz, 2, Exec::Lat) {
+                let rows = plan::block_uz_rows(nuy, nuz, unit);
+                // Load & transpose into lane-major bundle.
+                for zblock in 0..nuz / LANES {
+                    let z0 = zblock * LANES;
+                    let mut packed: [f32x8; LANES] = core::array::from_fn(|l| {
+                        f32x8::load(&block[rows.base + l * rows.stride + z0..])
+                    });
+                    transpose8x8(&mut packed);
+                    work.bundle[z0..z0 + LANES].copy_from_slice(&packed);
+                }
+                advect_lanes(
+                    scheme.max_simd(),
+                    &mut work.bundle,
+                    cfl,
+                    Boundary::Zero,
+                    &mut work.lanes_work,
+                );
+                // Transpose back & store packed.
+                for zblock in 0..nuz / LANES {
+                    let z0 = zblock * LANES;
+                    let mut packed: [f32x8; LANES] = core::array::from_fn(|r| work.bundle[z0 + r]);
+                    transpose8x8(&mut packed);
+                    for (l, row) in packed.iter().enumerate() {
+                        row.store(&mut block[rows.base + l * rows.stride + z0..]);
                     }
                 }
             }
@@ -506,40 +546,17 @@ fn sweep_block_uz(
     }
 }
 
-/// Extract the velocity index conjugate to spatial axis `d` from an "inner"
-/// flat index (the part of the flat index after axis `d`).
-#[inline]
-fn velocity_index_of_inner(d: usize, inner: usize, dims: &[usize; 6]) -> usize {
-    // inner spans dims[d+1..6]; velocity axis 3+d has stride prod(dims[3+d+1..]).
-    let stride_ud: usize = dims[3 + d + 1..].iter().product();
-    (inner / stride_ud) % dims[3 + d]
-}
-
-/// SAFETY: caller guarantees disjoint (outer, inner) line ownership.
-unsafe fn gather_line(
-    base: SendMutPtr,
-    outer: usize,
-    inner: usize,
-    n: usize,
-    stride: usize,
-    buf: &mut [f32],
-) {
-    for (i, b) in buf.iter_mut().enumerate().take(n) {
-        *b = *base.0.add((outer * n + i) * stride + inner);
+/// SAFETY: caller guarantees exclusive ownership of the planned pencil.
+unsafe fn gather_line(base: SendMutPtr, line: &plan::Line, buf: &mut [f32]) {
+    for (i, b) in buf.iter_mut().enumerate().take(line.len) {
+        *b = *base.0.add(line.base + i * line.stride);
     }
 }
 
 /// SAFETY: as [`gather_line`].
-unsafe fn scatter_line(
-    base: SendMutPtr,
-    outer: usize,
-    inner: usize,
-    n: usize,
-    stride: usize,
-    buf: &[f32],
-) {
-    for (i, b) in buf.iter().enumerate().take(n) {
-        *base.0.add((outer * n + i) * stride + inner) = *b;
+unsafe fn scatter_line(base: SendMutPtr, line: &plan::Line, buf: &[f32]) {
+    for (i, b) in buf.iter().enumerate().take(line.len) {
+        *base.0.add(line.base + i * line.stride) = *b;
     }
 }
 
@@ -668,6 +685,33 @@ mod tests {
         }
         sweep_velocity(&mut ps, 0, &accel, Scheme::SlMpp5, Exec::Scalar);
         assert!(ps.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    /// Same shape as [`miri_smoke_scalar_sweeps`] but driven through real
+    /// pool workers — the CI Miri data-race step. Two threads are enough
+    /// for Miri to explore cross-thread interleavings of the raw-pointer
+    /// writes; the sweep must also stay bitwise equal to the 1-thread run.
+    #[test]
+    fn miri_smoke_threaded_sweep() {
+        let build = || {
+            let vg = VelocityGrid::cubic(6, 1.0);
+            let mut ps = PhaseSpace::zeros([8, 2, 2], vg);
+            ps.fill_with(|s, u| {
+                let g = (-(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]) / 0.3).exp();
+                (1.0 + 0.2 * (s[0] as f64 * 0.8).sin()) * g + 0.01
+            });
+            ps
+        };
+        let cfl: Vec<f64> = (0..6).map(|k| 0.25 * (k as f64 - 2.5)).collect();
+        let mut oracle = build();
+        rayon::with_num_threads(1, || {
+            sweep_spatial(&mut oracle, 0, &cfl, Scheme::SlMpp5, Exec::Scalar);
+        });
+        let mut threaded = build();
+        rayon::with_num_threads(2, || {
+            sweep_spatial(&mut threaded, 0, &cfl, Scheme::SlMpp5, Exec::Scalar);
+        });
+        assert_eq!(oracle.as_slice(), threaded.as_slice());
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Concrete cross-validation: instantiate every symbolic model at sample
+//! grid shapes and check it against (a) the plans the kernels actually
+//! execute ([`vlasov6d_phase_space::plan`], `pool::chunk_ranges`, the FFT
+//! column loop) and (b) a [`ClaimMap`] proving element-level disjointness
+//! and exact cover.
+//!
+//! The symbolic pass proves the *models* race-free for all `n`; this pass
+//! proves the models *are the code's plans* at enough shapes — including
+//! thin axes and ragged chunk tails — that drift between model and kernel
+//! cannot hide.
+
+use kerncheck::claims::ClaimMap;
+use kerncheck::report::Report;
+use vlasov6d_kerncheck as kerncheck;
+use vlasov6d_phase_space::plan;
+use vlasov6d_phase_space::Exec;
+
+use crate::registry;
+use crate::symbolic::RegionModel;
+
+const PASS: &str = "concrete";
+
+/// The plan-declared flat write set of one spatial-sweep task, exactly as
+/// `sweep_spatial` dispatches it.
+pub(crate) fn declared_spatial_indices(
+    dims: &[usize; 6],
+    d: usize,
+    exec: Exec,
+    task: usize,
+) -> Vec<usize> {
+    match exec {
+        Exec::Scalar => plan::spatial_line(dims, d, task).indices().collect(),
+        Exec::Simd | Exec::Lat if d < 2 => plan::spatial_bundle(dims, d, task).indices().collect(),
+        Exec::Simd | Exec::Lat => plan::spatial_tile(dims, task).indices().collect(),
+    }
+}
+
+/// The plan-declared write set of one intra-block pencil unit, exactly as
+/// `sweep_block_u{x,y,z}` iterates it.
+fn declared_block_indices(
+    nux: usize,
+    nuy: usize,
+    nuz: usize,
+    d: usize,
+    exec: Exec,
+    unit: usize,
+) -> Vec<usize> {
+    match (d, exec) {
+        (0, Exec::Scalar) => plan::block_ux_line(nuy, nuz, nux, unit).indices().collect(),
+        (0, _) => plan::block_ux_bundle(nuy, nuz, nux, unit)
+            .indices()
+            .collect(),
+        (1, Exec::Scalar) => plan::block_uy_line(nuy, nuz, unit).indices().collect(),
+        (1, _) => plan::block_uy_bundle(nuy, nuz, unit).indices().collect(),
+        (2, Exec::Scalar) => plan::block_uz_line(nuz, unit).indices().collect(),
+        (2, _) => plan::block_uz_rows(nuy, nuz, unit).indices().collect(),
+        _ => unreachable!("velocity axis {d} out of range"),
+    }
+}
+
+/// Check that `model` instantiated at `dims` matches `declared(task)` for
+/// every task, and that the declared sets partition `0..total` exactly.
+fn check_region_at(
+    report: &mut Report,
+    name: &str,
+    model: &RegionModel,
+    dims: &[usize],
+    n_tasks: usize,
+    total: usize,
+    mut declared: impl FnMut(usize) -> Vec<usize>,
+) {
+    let prop = format!("{name}.dims{dims:?}");
+    if model.task_count(dims) != n_tasks {
+        report.violated(
+            PASS,
+            prop,
+            "symbolic task count differs from the kernel's",
+            Some(format!(
+                "model: {}, kernel: {n_tasks}",
+                model.task_count(dims)
+            )),
+        );
+        return;
+    }
+    let mut claims = ClaimMap::new(total);
+    for task in 0..n_tasks {
+        let mut planned = declared(task);
+        planned.sort_unstable();
+        let symbolic = model.indices(dims, task);
+        if planned != symbolic {
+            report.violated(
+                PASS,
+                prop,
+                "symbolic write set differs from the kernel's plan",
+                Some(format!("task {task}")),
+            );
+            return;
+        }
+        if let Err(conflict) = claims.claim_all(task, planned) {
+            report.violated(
+                PASS,
+                prop,
+                "declared plans overlap",
+                Some(conflict.to_string()),
+            );
+            return;
+        }
+    }
+    if let Err(idx) = claims.exact_cover() {
+        report.violated(
+            PASS,
+            prop,
+            "declared plans do not cover the array",
+            Some(format!("index {idx} unclaimed")),
+        );
+        return;
+    }
+    report.verified(
+        PASS,
+        prop,
+        format!("{n_tasks} task plans == symbolic sets; exact cover of {total} elements"),
+    );
+}
+
+/// Sample shapes per execution variant, including thin axes.
+fn spatial_shapes(exec: Exec) -> Vec<[usize; 6]> {
+    match exec {
+        Exec::Scalar => vec![[3, 2, 2, 2, 3, 2], [1, 4, 1, 3, 1, 2], [2, 1, 3, 1, 2, 1]],
+        Exec::Simd | Exec::Lat => {
+            vec![[2, 3, 2, 2, 8, 8], [3, 1, 2, 1, 8, 16], [1, 2, 1, 2, 16, 8]]
+        }
+    }
+}
+
+pub fn run(report: &mut Report) {
+    let regions = registry::regions();
+    let find = |name: &str| {
+        regions
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("region {name} not registered"))
+    };
+
+    // Spatial sweeps: 3 axes × 3 execution variants.
+    let execs = [
+        (Exec::Scalar, "scalar"),
+        (Exec::Simd, "simd"),
+        (Exec::Lat, "lat"),
+    ];
+    for (d, axis) in ["x", "y", "z"].iter().enumerate() {
+        for (exec, tag) in execs {
+            let region = find(&format!("sweep.spatial.{axis}.{tag}"));
+            for dims in spatial_shapes(exec) {
+                let n_tasks = plan::spatial_task_count(&dims, d, exec);
+                let total: usize = dims.iter().product();
+                check_region_at(
+                    report,
+                    region.name,
+                    &region.model,
+                    &dims,
+                    n_tasks,
+                    total,
+                    |t| declared_spatial_indices(&dims, d, exec, t),
+                );
+            }
+        }
+    }
+
+    // Velocity sweep: one contiguous block per spatial cell.
+    {
+        let region = find("sweep.velocity.blocks");
+        for dims in [[3, 2, 2, 2, 3, 2], [1, 1, 4, 2, 8, 8]] {
+            let n_tasks = plan::velocity_task_count(&dims);
+            let total: usize = dims.iter().product();
+            check_region_at(
+                report,
+                region.name,
+                &region.model,
+                &dims,
+                n_tasks,
+                total,
+                |cell| plan::velocity_block(&dims, cell).collect(),
+            );
+        }
+    }
+
+    // Intra-block pencil partitions (Fig. 1-3 index arithmetic).
+    let blocks: [(&str, usize, Exec); 7] = [
+        ("sweep.block.ux.scalar", 0, Exec::Scalar),
+        ("sweep.block.ux.simd", 0, Exec::Simd),
+        ("sweep.block.uy.scalar", 1, Exec::Scalar),
+        ("sweep.block.uy.simd", 1, Exec::Simd),
+        ("sweep.block.uz.scalar", 2, Exec::Scalar),
+        ("sweep.block.uz.simd", 2, Exec::Simd),
+        ("sweep.block.uz.lat", 2, Exec::Lat),
+    ];
+    for (name, d, exec) in blocks {
+        let region = find(name);
+        let shapes: &[[usize; 3]] = match exec {
+            Exec::Scalar => &[[2, 3, 2], [1, 1, 4], [3, 2, 1]],
+            _ => &[[2, 8, 8], [1, 8, 16], [3, 16, 8]],
+        };
+        for &[nux, nuy, nuz] in shapes {
+            let n_units = plan::block_unit_count(nux, nuy, nuz, d, exec);
+            check_region_at(
+                report,
+                region.name,
+                &region.model,
+                &[nux, nuy, nuz],
+                n_units,
+                nux * nuy * nuz,
+                |u| declared_block_indices(nux, nuy, nuz, d, exec, u),
+            );
+        }
+    }
+
+    // Moments: one output element per task (SliceMutSrc hands out indices).
+    for name in [
+        "moments.density",
+        "moments.momentum",
+        "moments.bulk_velocity",
+        "moments.dispersion",
+    ] {
+        let region = find(name);
+        for cells in [1usize, 12, 30] {
+            check_region_at(
+                report,
+                region.name,
+                &region.model,
+                &[cells],
+                cells,
+                cells,
+                |t| vec![t],
+            );
+        }
+    }
+
+    // FFT axis-0 columns: mirror of `axis0_column_task`'s index loop,
+    // `(i0 * n1 + i1) * n2 + i2` over all `(i0, i2)` for the task's `i1`.
+    for name in ["fft.c2c.axis0.columns", "fft.r2c.axis0.columns"] {
+        let region = find(name);
+        for [n0, n1, n2] in [[4usize, 3, 2], [2, 5, 3], [1, 2, 4]] {
+            check_region_at(
+                report,
+                region.name,
+                &region.model,
+                &[n0, n1, n2],
+                n1,
+                n0 * n1 * n2,
+                |i1| {
+                    (0..n0)
+                        .flat_map(|i0| (0..n2).map(move |i2| (i0 * n1 + i1) * n2 + i2))
+                        .collect()
+                },
+            );
+        }
+    }
+
+    // Pool sources: per-element hand-out and aligned chunks.
+    for name in ["pool.slice_mut", "pool.vec_into"] {
+        let region = find(name);
+        for len in [1usize, 7, 64] {
+            check_region_at(report, region.name, &region.model, &[len], len, len, |t| {
+                vec![t]
+            });
+        }
+    }
+    for name in ["pool.chunks_mut", "pool.chunk_claims"] {
+        let region = find(name);
+        // Divisible lengths: symbolic model and chunk plan must agree.
+        for len in [8usize, 32, 64] {
+            let n_chunks = len / 8;
+            check_region_at(
+                report,
+                region.name,
+                &region.model,
+                &[len],
+                n_chunks,
+                len,
+                |c| (c * 8..(c + 1) * 8).collect(),
+            );
+        }
+    }
+    // Ragged tails are outside the aligned symbolic family; prove them
+    // directly from the pool's own chunk enumeration.
+    for (len, grain) in [(10usize, 4usize), (7, 8), (1, 4), (13, 5), (4096, 1000)] {
+        let chunks: Vec<_> = rayon::pool::chunk_ranges(len, grain).collect();
+        let mut claims = ClaimMap::new(len);
+        let mut conflict = None;
+        for (task, r) in chunks.iter().enumerate() {
+            if let Err(c) = claims.claim_all(task, r.clone()) {
+                conflict = Some(c);
+                break;
+            }
+        }
+        let prop = format!("pool.chunk_claims.ragged.len{len}.grain{grain}");
+        match (conflict, claims.exact_cover()) {
+            (None, Ok(())) => report.verified(
+                PASS,
+                prop,
+                format!("{} ragged chunks partition 0..{len} exactly", chunks.len()),
+            ),
+            (Some(c), _) => {
+                report.violated(PASS, prop, "chunk ranges overlap", Some(c.to_string()))
+            }
+            (None, Err(idx)) => report.violated(
+                PASS,
+                prop,
+                "chunk ranges leave a gap",
+                Some(format!("index {idx} unclaimed")),
+            ),
+        }
+    }
+
+    // Negative controls: the claim machinery must reject a deliberately
+    // overlapping partition and a partition with a hole.
+    {
+        let mut claims = ClaimMap::new(16);
+        let mut rejected = None;
+        for task in 0..4 {
+            // Stride-1 runs of length 5 every 4 elements: adjacent tasks
+            // share their boundary element.
+            if let Err(c) = claims.claim_all(task, task * 4..task * 4 + 5) {
+                rejected = Some(c);
+                break;
+            }
+        }
+        report.control(
+            PASS,
+            "control.overlapping.partition",
+            "length-5 runs on stride 4 must be caught as a double claim",
+            rejected.is_some(),
+            rejected.map(|c| c.to_string()),
+        );
+    }
+    {
+        let mut claims = ClaimMap::new(12);
+        for task in 0..3 {
+            // Claim only 3 of each task's 4 elements: cover must fail.
+            claims.claim_all(task, task * 4..task * 4 + 3).unwrap();
+        }
+        let gap = claims.exact_cover().err();
+        report.control(
+            PASS,
+            "control.gapped.partition",
+            "a partition with holes must fail exact cover",
+            gap.is_some(),
+            gap.map(|i| format!("index {i} unclaimed")),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_pass_is_clean() {
+        let mut report = Report::new();
+        run(&mut report);
+        assert!(report.ok(), "{}", report.render_text());
+        assert!(report.properties.len() > 60);
+    }
+}

@@ -1,0 +1,519 @@
+//! Taint-probe execution: pin the symbolic proofs to the real kernels.
+//!
+//! For every sweep region the probe replays each task *alone* on a fresh
+//! copy of the initial state (via [`vlasov6d_phase_space::probe`], which
+//! dispatches the very task bodies the parallel regions run) and checks:
+//!
+//! 1. **Containment** — every element a task changed lies inside its
+//!    declared plan (a kernel writing outside its plan is the race the
+//!    symbolic proof cannot see);
+//! 2. **Observed disjointness** — no element is changed by two tasks,
+//!    recorded in a [`ClaimMap`];
+//! 3. **Composition** — splicing the per-task results over the declared
+//!    partition reproduces the full parallel sweep *bitwise*, at 1, 2 and 4
+//!    workers and under a permuted schedule. This also refutes read-side
+//!    interference: if a task read another task's output, its isolated
+//!    replay would differ from the parallel run.
+//!
+//! Regions whose tasks are pure per-element maps (moments, pool sources)
+//! and the FFT columns are checked by thread-count/schedule invariance plus
+//! an each-index-exactly-once counter on the live pool.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use kerncheck::claims::ClaimMap;
+use kerncheck::report::Report;
+use vlasov6d_advection::line::Scheme;
+use vlasov6d_fft::{Complex64, Fft3, RealFft3};
+use vlasov6d_kerncheck as kerncheck;
+use vlasov6d_mesh::Field3;
+use vlasov6d_phase_space::plan;
+use vlasov6d_phase_space::probe as ps_probe;
+use vlasov6d_phase_space::sweep::{sweep_spatial, sweep_velocity};
+use vlasov6d_phase_space::{Exec, PhaseSpace, VelocityGrid};
+
+use crate::concrete::declared_spatial_indices;
+
+const PASS: &str = "probe";
+
+/// Deterministic splitmix64-derived f32 in (0, 1], distinct per index.
+fn noise(i: usize, salt: u64) -> f32 {
+    let mut z = (i as u64)
+        .wrapping_add(salt)
+        .wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32 + 1e-3
+}
+
+fn filled_ps(sdims: [usize; 3], nv: usize, salt: u64) -> PhaseSpace {
+    let mut ps = PhaseSpace::zeros(sdims, VelocityGrid::cubic(nv, 3.0));
+    for (i, v) in ps.as_mut_slice().iter_mut().enumerate() {
+        *v = noise(i, salt);
+    }
+    ps
+}
+
+/// Splice per-task replays over the declared partition and compare against
+/// full parallel runs. `run_task(initial_copy, task)` replays one task;
+/// `run_full(state)` runs the whole region on the live pool.
+#[allow(clippy::too_many_arguments)]
+fn probe_region(
+    report: &mut Report,
+    name: &str,
+    initial: &[f32],
+    n_tasks: usize,
+    declared: impl Fn(usize) -> Vec<usize>,
+    run_task: impl Fn(&mut [f32], usize),
+    run_full: impl Fn(&mut [f32]),
+) {
+    let mut claims = ClaimMap::new(initial.len());
+    let mut merged = initial.to_vec();
+    for task in 0..n_tasks {
+        let mut copy = initial.to_vec();
+        run_task(&mut copy, task);
+        let declared_set = declared(task);
+        // Containment: observed ⊆ declared.
+        let mut in_plan = vec![false; initial.len()];
+        for &i in &declared_set {
+            in_plan[i] = true;
+        }
+        for i in 0..initial.len() {
+            if copy[i].to_bits() != initial[i].to_bits() && !in_plan[i] {
+                report.violated(
+                    PASS,
+                    name.to_string(),
+                    "task wrote outside its declared plan",
+                    Some(format!("task {task} changed index {i}")),
+                );
+                return;
+            }
+        }
+        // Observed disjointness over the declared partition.
+        if let Err(c) = claims.claim_all(task, declared_set.iter().copied()) {
+            report.violated(
+                PASS,
+                name.to_string(),
+                "declared plans overlap",
+                Some(c.to_string()),
+            );
+            return;
+        }
+        for &i in &declared_set {
+            merged[i] = copy[i];
+        }
+    }
+    if let Err(idx) = claims.exact_cover() {
+        report.violated(
+            PASS,
+            name.to_string(),
+            "declared plans do not cover the array",
+            Some(format!("index {idx} unclaimed")),
+        );
+        return;
+    }
+    // Composition: isolated replays spliced together == the parallel run,
+    // at several worker counts and under a permuted schedule.
+    for threads in [1usize, 2, 4] {
+        let mut full = initial.to_vec();
+        rayon::with_num_threads(threads, || run_full(&mut full));
+        if full
+            .iter()
+            .zip(&merged)
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            report.violated(
+                PASS,
+                name.to_string(),
+                "parallel run differs bitwise from spliced single-task replays",
+                Some(format!("{threads} threads")),
+            );
+            return;
+        }
+    }
+    let mut full = initial.to_vec();
+    rayon::with_config(Some(4), Some(0x5eed), || run_full(&mut full));
+    if full
+        .iter()
+        .zip(&merged)
+        .any(|(a, b)| a.to_bits() != b.to_bits())
+    {
+        report.violated(
+            PASS,
+            name.to_string(),
+            "permuted-schedule run differs bitwise from spliced replays",
+            Some("4 threads, seed 0x5eed".into()),
+        );
+        return;
+    }
+    report.verified(
+        PASS,
+        name.to_string(),
+        format!(
+            "{n_tasks} isolated task replays contained in plan, disjoint, and splice to the \
+             parallel result bitwise (1/2/4 threads + permuted schedule)"
+        ),
+    );
+}
+
+fn spatial_probes(report: &mut Report) {
+    let schemes = [Scheme::Upwind1, Scheme::Sl3, Scheme::Sl5, Scheme::SlMpp5];
+    let execs = [
+        (Exec::Scalar, "scalar"),
+        (Exec::Simd, "simd"),
+        (Exec::Lat, "lat"),
+    ];
+    for (d, axis) in ["x", "y", "z"].iter().enumerate() {
+        for (e, (exec, tag)) in execs.iter().enumerate() {
+            let nv = match exec {
+                Exec::Scalar => 3,
+                _ => 8,
+            };
+            // The swept spatial axis must fit the ±GHOST stencil (≥ 6 cells).
+            let mut sdims = [2usize, 2, 2];
+            sdims[d] = 6;
+            let ps0 = filled_ps(sdims, nv, 0xA11CE + d as u64);
+            let scheme = schemes[(d + e) % schemes.len()];
+            let cfl: Vec<f64> = (0..nv)
+                .map(|k| 0.45 * (k as f64 + 1.0) / nv as f64)
+                .collect();
+            let dims = ps0.dims6();
+            let n_tasks = ps_probe::spatial_task_count(&ps0, d, *exec);
+            let initial = ps0.as_slice().to_vec();
+            probe_region(
+                report,
+                &format!("sweep.spatial.{axis}.{tag}"),
+                &initial,
+                n_tasks,
+                |t| declared_spatial_indices(&dims, d, *exec, t),
+                |state, task| {
+                    let mut ps = ps0.clone();
+                    ps.as_mut_slice().copy_from_slice(state);
+                    ps_probe::run_spatial_task(&mut ps, d, &cfl, scheme, *exec, task);
+                    state.copy_from_slice(ps.as_slice());
+                },
+                |state| {
+                    let mut ps = ps0.clone();
+                    ps.as_mut_slice().copy_from_slice(state);
+                    sweep_spatial(&mut ps, d, &cfl, scheme, *exec);
+                    state.copy_from_slice(ps.as_slice());
+                },
+            );
+        }
+    }
+}
+
+fn velocity_probes(report: &mut Report) {
+    let cases: [(usize, Exec, &str); 7] = [
+        (0, Exec::Scalar, "ux.scalar"),
+        (0, Exec::Simd, "ux.simd"),
+        (1, Exec::Scalar, "uy.scalar"),
+        (1, Exec::Simd, "uy.simd"),
+        (2, Exec::Scalar, "uz.scalar"),
+        (2, Exec::Simd, "uz.simd"),
+        (2, Exec::Lat, "uz.lat"),
+    ];
+    for (d, exec, tag) in cases {
+        // All three velocity axes are advected lines: nv ≥ 6 for the stencil,
+        // and divisible by 8 for the SIMD/LAT lane shapes.
+        let nv = match exec {
+            Exec::Scalar => 6,
+            _ => 8,
+        };
+        let sdims = [2, 2, 3];
+        let ps0 = filled_ps(sdims, nv, 0xB10C + d as u64);
+        let dims = ps0.dims6();
+        let mut cfl = Field3::zeros(sdims);
+        for (cell, c) in cfl.as_mut_slice().iter_mut().enumerate() {
+            *c = 0.08 * (cell as f64 + 1.0) / sdims.iter().product::<usize>() as f64 + 0.1;
+        }
+        let scheme = Scheme::SlMpp5;
+        let n_tasks = ps_probe::velocity_task_count(&ps0);
+        let initial = ps0.as_slice().to_vec();
+        probe_region(
+            report,
+            &format!("sweep.velocity.blocks.{tag}"),
+            &initial,
+            n_tasks,
+            |cell| plan::velocity_block(&dims, cell).collect(),
+            |state, cell| {
+                let mut ps = ps0.clone();
+                ps.as_mut_slice().copy_from_slice(state);
+                ps_probe::run_velocity_task(&mut ps, d, &cfl, scheme, exec, cell);
+                state.copy_from_slice(ps.as_slice());
+            },
+            |state| {
+                let mut ps = ps0.clone();
+                ps.as_mut_slice().copy_from_slice(state);
+                sweep_velocity(&mut ps, d, &cfl, scheme, exec);
+                state.copy_from_slice(ps.as_slice());
+            },
+        );
+    }
+}
+
+/// Bitwise equality of f64 fields.
+fn fields_equal(a: &Field3, b: &Field3) -> bool {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+type MomentEval<'a> = Box<dyn Fn() -> Field3 + 'a>;
+
+fn moments_invariance(report: &mut Report) {
+    use vlasov6d_phase_space::moments;
+    let ps = filled_ps([2, 3, 2], 6, 0x707);
+    let cases: [(&str, MomentEval); 4] = [
+        ("moments.density", Box::new(|| moments::density(&ps))),
+        ("moments.momentum", Box::new(|| moments::momentum(&ps, 1))),
+        (
+            "moments.bulk_velocity",
+            Box::new(|| moments::bulk_velocity(&ps, 0, 1e-12)),
+        ),
+        (
+            "moments.dispersion",
+            Box::new(|| moments::velocity_dispersion(&ps, 1e-12)),
+        ),
+    ];
+    for (name, eval) in &cases {
+        let reference = rayon::with_num_threads(1, eval);
+        let mut ok = true;
+        for threads in [2usize, 4] {
+            let out = rayon::with_num_threads(threads, eval);
+            if !fields_equal(&reference, &out) {
+                report.violated(
+                    PASS,
+                    name.to_string(),
+                    "moment reduction is not thread-count invariant",
+                    Some(format!("{threads} threads")),
+                );
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let out = rayon::with_config(Some(4), Some(0xD1CE), eval);
+            if !fields_equal(&reference, &out) {
+                report.violated(
+                    PASS,
+                    name.to_string(),
+                    "moment reduction depends on the chunk schedule",
+                    Some("4 threads, seed 0xD1CE".into()),
+                );
+                ok = false;
+            }
+        }
+        if ok {
+            report.verified(
+                PASS,
+                name.to_string(),
+                "bitwise identical at 1/2/4 threads and under a permuted schedule \
+                 (reductions bridge to sequential order)",
+            );
+        }
+    }
+}
+
+fn fft_invariance(report: &mut Report) {
+    let dims = [4usize, 6, 4];
+    let n = dims.iter().product::<usize>();
+    let initial: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new(noise(i, 0xFF7) as f64, noise(i, 0x7FF) as f64))
+        .collect();
+    let fft = Fft3::new(dims);
+    let roundtrip = |threads: usize| {
+        let mut data = initial.clone();
+        rayon::with_num_threads(threads, || {
+            fft.forward(&mut data);
+            fft.inverse(&mut data);
+        });
+        data
+    };
+    let reference = roundtrip(1);
+    let c2c_ok = [2usize, 4].iter().all(|&t| {
+        roundtrip(t)
+            .iter()
+            .zip(&reference)
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits())
+    });
+    if c2c_ok {
+        report.verified(
+            PASS,
+            "fft.c2c.axis0.columns",
+            "forward+inverse roundtrip bitwise identical at 1/2/4 threads",
+        );
+    } else {
+        report.violated(
+            PASS,
+            "fft.c2c.axis0.columns",
+            "c2c transform is not thread-count invariant",
+            None,
+        );
+    }
+
+    let rfft = RealFft3::new(dims);
+    let real_in: Vec<f64> = (0..n).map(|i| noise(i, 0xEA1) as f64).collect();
+    let real_roundtrip = |threads: usize| {
+        let mut spectrum = vec![Complex64::new(0.0, 0.0); rfft.spectrum_len()];
+        let mut out = vec![0.0f64; n];
+        rayon::with_num_threads(threads, || {
+            rfft.forward(&real_in, &mut spectrum);
+            rfft.inverse(&spectrum, &mut out);
+        });
+        (spectrum, out)
+    };
+    let (sref, oref) = real_roundtrip(1);
+    let r2c_ok = [2usize, 4].iter().all(|&t| {
+        let (s, o) = real_roundtrip(t);
+        s.iter()
+            .zip(&sref)
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits())
+            && o.iter().zip(&oref).all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    if r2c_ok {
+        report.verified(
+            PASS,
+            "fft.r2c.axis0.columns",
+            "real forward+inverse roundtrip bitwise identical at 1/2/4 threads",
+        );
+    } else {
+        report.violated(
+            PASS,
+            "fft.r2c.axis0.columns",
+            "r2c transform is not thread-count invariant",
+            None,
+        );
+    }
+}
+
+fn pool_each_once(report: &mut Report) {
+    use rayon::prelude::*;
+    // par_iter_mut: every element handed out exactly once on the live pool.
+    let mut data = vec![0u32; 4099];
+    rayon::with_num_threads(4, || {
+        data.par_iter_mut().for_each(|v| *v += 1);
+    });
+    let slice_ok = data.iter().all(|&v| v == 1);
+    report_once(report, "pool.slice_mut", slice_ok, "par_iter_mut");
+
+    // par_chunks_mut with a ragged tail: every element exactly once, tail
+    // chunk the right length.
+    let mut data = vec![0u32; 1003];
+    rayon::with_num_threads(4, || {
+        data.par_chunks_mut(64).for_each(|chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+    });
+    let chunks_ok = data.iter().all(|&v| v == 1);
+    report_once(
+        report,
+        "pool.chunks_mut",
+        chunks_ok,
+        "par_chunks_mut (ragged)",
+    );
+
+    // Vec::into_par_iter: every element moved out exactly once.
+    let counts: Vec<AtomicU32> = (0..2048).map(|_| AtomicU32::new(0)).collect();
+    rayon::with_num_threads(4, || {
+        (0..counts.len())
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+    });
+    let vec_ok = counts.iter().all(|c| c.load(Ordering::Relaxed) == 1);
+    report_once(report, "pool.vec_into", vec_ok, "Vec into_par_iter");
+
+    // The pool's own chunk claiming, exercised under a permuted schedule.
+    let counts: Vec<AtomicU32> = (0..3000).map(|_| AtomicU32::new(0)).collect();
+    rayon::with_config(Some(4), Some(0xC1A1), || {
+        (0..counts.len()).into_par_iter().for_each(|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    let claims_ok = counts.iter().all(|c| c.load(Ordering::Relaxed) == 1);
+    report_once(
+        report,
+        "pool.chunk_claims",
+        claims_ok,
+        "permuted-schedule range",
+    );
+}
+
+fn report_once(report: &mut Report, name: &str, ok: bool, what: &str) {
+    if ok {
+        report.verified(
+            PASS,
+            name.to_string(),
+            format!("{what}: every index visited exactly once on the live 4-worker pool"),
+        );
+    } else {
+        report.violated(
+            PASS,
+            name.to_string(),
+            format!("{what}: an index was visited zero or multiple times"),
+            None,
+        );
+    }
+}
+
+/// Negative control: a task body that deliberately writes one element past
+/// its declared per-element plan. The containment check must catch it.
+fn control_probe_escape(report: &mut Report) {
+    let initial = vec![0.0f32; 16];
+    let mut sub = Report::new();
+    probe_region(
+        &mut sub,
+        "control.probe.escape",
+        &initial,
+        initial.len(),
+        |t| vec![t],
+        |state, t| {
+            state[t] = 1.0;
+            state[(t + 1) % state.len()] += 0.5; // the escape
+        },
+        |state| {
+            for v in state.iter_mut() {
+                *v = 1.5;
+            }
+        },
+    );
+    let caught = sub
+        .properties
+        .iter()
+        .any(|p| !p.ok() && p.detail.contains("outside its declared plan"));
+    report.control(
+        PASS,
+        "control.probe.escape",
+        "a task writing one index past its plan must fail containment",
+        caught,
+        Some("task writes (t+1) mod n".into()),
+    );
+}
+
+pub fn run(report: &mut Report) {
+    spatial_probes(report);
+    velocity_probes(report);
+    moments_invariance(report);
+    fft_invariance(report);
+    pool_each_once(report);
+    control_probe_escape(report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_pass_is_clean() {
+        let mut report = Report::new();
+        run(&mut report);
+        assert!(report.ok(), "{}", report.render_text());
+    }
+}

@@ -1,7 +1,7 @@
 //! Workspace automation tasks (`cargo xtask <command>`).
 //!
 //! * `lint` — a custom static-analysis pass over the workspace sources
-//!   enforcing invariants rustc and clippy do not know about. Six lints,
+//!   enforcing invariants rustc and clippy do not know about. Seven lints,
 //!   all text-based (zero dependencies, fast enough for every CI run):
 //!
 //!   * **safety-comments** — every `unsafe` keyword (impl, fn, block) must
@@ -35,6 +35,14 @@
 //!     `wait` API is allowed; the synchronous oracle path
 //!     (`sweep_spatial_distributed` / `exchange_ghosts`) is allowlisted by
 //!     construction because only the overlapped function's body is scanned.
+//!   * **unsafe-send-registry** — every `unsafe impl Send`/`Sync` in the
+//!     workspace must justify itself against the race verifier: its SAFETY
+//!     comment must carry a `[racecheck: region, …]` tag naming at least one
+//!     region registered in `vlasov6d-racecheck`, every cited name must
+//!     exist in the registry (stale tags fail), and — the reverse
+//!     direction — every registry region flagged as backing an unsafe impl
+//!     must actually be cited by some SAFETY comment, so the registry
+//!     cannot rot either.
 //!
 //!   `#[cfg(test)]` modules are exempt from `hot-path-panics`,
 //!   `span-names`, `stencil-literals` and `raw-fs-writes` (tests panic on
@@ -46,6 +54,12 @@
 //!   footprints, SIMD equivalence, op counts) and fail on any violated
 //!   property. Prints the human report to stdout and, with
 //!   `--json <path>`, writes the machine-readable report there.
+//!
+//! * `verify-races` — run every `vlasov6d-racecheck` pass (symbolic
+//!   write-disjointness proofs for all registered parallel regions,
+//!   concrete plan/claim-map cross-checks, single-task taint probes against
+//!   the real kernels) and fail on any violated property. Same `--json`
+//!   convention as `verify-kernels`.
 //!
 //! * `perf-gate` — the trace-derived performance regression gate: runs the
 //!   2-rank overlapped smoke simulation with the flight recorder on and
@@ -60,13 +74,14 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask <lint | verify-kernels [--json <path>] | perf-gate [--baseline <path>] [--write-baseline] [--trace-out <path>] [--summary-out <path>]>";
+const USAGE: &str = "usage: cargo xtask <lint | verify-kernels [--json <path>] | verify-races [--json <path>] | perf-gate [--baseline <path>] [--write-baseline] [--trace-out <path>] [--summary-out <path>]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(Path::new(".")),
         Some("verify-kernels") => verify_kernels(&args[1..]),
+        Some("verify-races") => verify_races(&args[1..]),
         Some("perf-gate") => perf_gate::perf_gate(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
@@ -113,6 +128,43 @@ fn verify_kernels(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("verify-kernels: {} violation(s)", report.violations());
+        ExitCode::FAILURE
+    }
+}
+
+fn verify_races(args: &[String]) -> ExitCode {
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown verify-races flag `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = vlasov6d_racecheck::run_all();
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        let json = report.to_json().to_string_compact();
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", path.display());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify-races: {} violation(s)", report.violations());
         ExitCode::FAILURE
     }
 }
@@ -165,6 +217,7 @@ fn lint(root: &Path) -> ExitCode {
 
     let mut violations = Vec::new();
     let mut spans = SpanRegistry::default();
+    let mut sends = SendRegistry::new();
     for file in &files {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -186,13 +239,19 @@ fn lint(root: &Path) -> ExitCode {
         }
         violations.extend(check_overlap_blocking_calls(rel, &source));
         spans.scan(rel, &source);
+        sends.scan(rel, &source);
     }
     violations.extend(spans.check());
+    violations.extend(sends.check());
 
     if violations.is_empty() {
+        // Two literals (not one wrapped with `\`) so the keyword scanner,
+        // which strips strings line-by-line, never sees this text as code.
         println!(
-            "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names, \
-             stencil-literals, raw-fs-writes, overlap-blocking-calls)",
+            concat!(
+                "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names, ",
+                "stencil-literals, raw-fs-writes, overlap-blocking-calls, unsafe-send-registry)"
+            ),
             files.len()
         );
         ExitCode::SUCCESS
@@ -301,7 +360,10 @@ fn is_ident_char(b: u8) -> bool {
 }
 
 /// Lint 1: every `unsafe` keyword carries a `SAFETY:` comment on the same
-/// line or within [`SAFETY_WINDOW`] lines above it.
+/// line or within [`SAFETY_WINDOW`] lines above it. A rustdoc `# Safety`
+/// section heading counts too — that is the idiomatic form on `unsafe`
+/// trait and method *declarations*, where the comment states a contract
+/// for callers rather than a discharge of one.
 fn check_safety_comments(rel: &Path, source: &str) -> Vec<Violation> {
     let lines: Vec<&str> = source.lines().collect();
     let mut violations = Vec::new();
@@ -310,7 +372,9 @@ fn check_safety_comments(rel: &Path, source: &str) -> Vec<Violation> {
             continue;
         }
         let lo = idx.saturating_sub(SAFETY_WINDOW);
-        let documented = lines[lo..=idx].iter().any(|l| l.contains("SAFETY:"));
+        let documented = lines[lo..=idx]
+            .iter()
+            .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
         if !documented {
             violations.push(Violation {
                 file: rel.to_path_buf(),
@@ -752,6 +816,156 @@ impl SpanRegistry {
     }
 }
 
+/// Is this line an `unsafe impl` *of* `Send` or `Sync` (not an unsafe impl
+/// of some other trait that merely has `Send`/`Sync` bounds in its generics)?
+/// Returns the implemented trait name.
+fn unsafe_send_sync_impl(code: &str) -> Option<&'static str> {
+    let rest = code.trim_start().strip_prefix("unsafe impl")?;
+    let mut rest = rest.trim_start();
+    if rest.starts_with('<') {
+        // Skip the balanced generics list so bounds like `T: Send` inside
+        // it cannot masquerade as the implemented trait.
+        let mut depth = 0i64;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = rest[end?..].trim_start();
+    }
+    for t in ["Send", "Sync"] {
+        if let Some(after) = rest.strip_prefix(t) {
+            if after.trim_start().starts_with("for ") {
+                return Some(if t == "Send" { "Send" } else { "Sync" });
+            }
+        }
+    }
+    None
+}
+
+/// Lint 7: `unsafe impl Send`/`Sync` ↔ racecheck-registry cross-reference.
+///
+/// Direction 1 (per impl): the SAFETY comment block directly above the impl
+/// must contain a `[racecheck: name, …]` tag (the tag may span several `//`
+/// lines) citing only registered region names. Direction 2 (per registry):
+/// every region flagged `backs_unsafe_impl` in
+/// `vlasov6d_racecheck::registry` must be cited by at least one tag.
+struct SendRegistry {
+    registered: std::collections::BTreeSet<&'static str>,
+    backing: Vec<&'static str>,
+    cited: std::collections::BTreeSet<String>,
+    violations: Vec<Violation>,
+}
+
+impl SendRegistry {
+    fn new() -> Self {
+        Self {
+            registered: vlasov6d_racecheck::registry::region_names()
+                .into_iter()
+                .collect(),
+            backing: vlasov6d_racecheck::registry::backing_region_names(),
+            cited: Default::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn scan(&mut self, rel: &Path, source: &str) {
+        let lines: Vec<&str> = source.lines().collect();
+        for (idx, raw) in lines.iter().enumerate() {
+            let Some(trait_name) = unsafe_send_sync_impl(&code_only(raw)) else {
+                continue;
+            };
+            // Gather the contiguous `//` comment block directly above.
+            let mut lo = idx;
+            while lo > 0 && lines[lo - 1].trim_start().starts_with("//") {
+                lo -= 1;
+            }
+            let block: String = lines[lo..idx]
+                .iter()
+                .map(|l| l.trim_start().trim_start_matches("//").trim())
+                .collect::<Vec<_>>()
+                .join(" ");
+            match racecheck_tag_names(&block) {
+                None => self.violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    lint: "unsafe-send-registry",
+                    message: format!(
+                        "`unsafe impl {trait_name}` without a `[racecheck: region, …]` tag \
+                         in its SAFETY comment; name the verified parallel region(s) this \
+                         impl enables"
+                    ),
+                }),
+                Some(names) if names.is_empty() => self.violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    lint: "unsafe-send-registry",
+                    message: "empty `[racecheck:]` tag; cite at least one registered region"
+                        .to_string(),
+                }),
+                Some(names) => {
+                    for name in names {
+                        if self.registered.contains(name.as_str()) {
+                            self.cited.insert(name);
+                        } else {
+                            self.violations.push(Violation {
+                                file: rel.to_path_buf(),
+                                line: idx + 1,
+                                lint: "unsafe-send-registry",
+                                message: format!(
+                                    "SAFETY tag cites `{name}`, which is not in the racecheck \
+                                     registry — stale tag or missing registry entry"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check(mut self) -> Vec<Violation> {
+        for name in &self.backing {
+            if !self.cited.contains(*name) {
+                self.violations.push(Violation {
+                    file: PathBuf::from("crates/racecheck/src/registry.rs"),
+                    line: 1,
+                    lint: "unsafe-send-registry",
+                    message: format!(
+                        "registry region `{name}` is flagged `backs_unsafe_impl` but no \
+                         SAFETY comment cites it — stale registry entry or missing tag"
+                    ),
+                });
+            }
+        }
+        self.violations
+    }
+}
+
+/// The names inside the first `[racecheck: …]` tag of a flattened comment
+/// block, or `None` if there is no tag.
+fn racecheck_tag_names(block: &str) -> Option<Vec<String>> {
+    let start = block.find("[racecheck:")?;
+    let body = &block[start + "[racecheck:".len()..];
+    let end = body.find(']')?;
+    Some(
+        body[..end]
+            .split(',')
+            .map(|n| n.trim().to_string())
+            .filter(|n| !n.is_empty())
+            .collect(),
+    )
+}
+
 /// `"name"` at the start of `rest` (ignoring leading whitespace).
 fn leading_str_literal(rest: &str) -> Option<String> {
     let t = rest.trim_start();
@@ -813,6 +1027,8 @@ mod tests {
         assert!(check_safety_comments(Path::new("a.rs"), ok).is_empty());
         let doc_comment = "/// SAFETY: caller upholds X.\nunsafe fn f() {}\n";
         assert!(check_safety_comments(Path::new("a.rs"), doc_comment).is_empty());
+        let safety_section = "/// # Safety\n/// `i` must be in bounds.\nunsafe fn g(i: usize);\n";
+        assert!(check_safety_comments(Path::new("a.rs"), safety_section).is_empty());
         let missing = "fn f() {\n    unsafe { x() }\n}\n";
         let v = check_safety_comments(Path::new("a.rs"), missing);
         assert_eq!(v.len(), 1);
@@ -881,6 +1097,97 @@ mod tests {
         // cfg(test) code is exempt.
         let test_code = "#[cfg(test)]\nmod tests {\n  let w = 0.8333333;\n}\n";
         assert!(check_stencil_literals(Path::new("a.rs"), test_code).is_empty());
+    }
+
+    #[test]
+    fn unsafe_send_sync_impl_detection() {
+        assert_eq!(
+            unsafe_send_sync_impl("unsafe impl Send for X {}"),
+            Some("Send")
+        );
+        assert_eq!(
+            unsafe_send_sync_impl("unsafe impl<'a, T: Send> Sync for Y<'a, T> {}"),
+            Some("Sync")
+        );
+        // `Send`/`Sync` as *bounds* of some other unsafe trait must not match.
+        assert_eq!(
+            unsafe_send_sync_impl("unsafe impl<'a, T: Sync> Source for SliceSrc<'a, T> {"),
+            None
+        );
+        assert_eq!(unsafe_send_sync_impl("impl Send for X {}"), None);
+        assert_eq!(unsafe_send_sync_impl("unsafe impl Sender for X {}"), None);
+    }
+
+    #[test]
+    fn racecheck_tag_parsing_spans_lines() {
+        let block = "SAFETY: [racecheck: sweep.spatial.x.scalar, sweep.spatial.y.scalar] — ok";
+        assert_eq!(
+            racecheck_tag_names(block),
+            Some(vec![
+                "sweep.spatial.x.scalar".to_string(),
+                "sweep.spatial.y.scalar".to_string()
+            ])
+        );
+        assert_eq!(racecheck_tag_names("SAFETY: pointer is fine"), None);
+        assert_eq!(racecheck_tag_names("[racecheck:]"), Some(vec![]));
+    }
+
+    #[test]
+    fn send_registry_lint_directions() {
+        // A valid citation is accepted and recorded.
+        let good = [
+            "// SAFETY: [racecheck: pool.slice_mut] — disjoint indices",
+            "unsafe impl<'a, T: Send> Sync for S<'a, T> {}",
+        ]
+        .join("\n");
+        let mut reg = SendRegistry::new();
+        reg.scan(Path::new("a.rs"), &good);
+        assert!(reg.violations.is_empty());
+        assert!(reg.cited.contains("pool.slice_mut"));
+
+        // A tag spanning two comment lines still parses.
+        let wrapped = [
+            "// SAFETY: [racecheck: pool.slice_mut,",
+            "// pool.chunks_mut] — both regions verified",
+            "unsafe impl Send for P {}",
+        ]
+        .join("\n");
+        let mut reg = SendRegistry::new();
+        reg.scan(Path::new("a.rs"), &wrapped);
+        assert!(reg.violations.is_empty());
+        assert!(reg.cited.contains("pool.chunks_mut"));
+
+        // Missing tag → violation.
+        let untagged = ["// SAFETY: trust me", "unsafe impl Send for Q {}"].join("\n");
+        let mut reg = SendRegistry::new();
+        reg.scan(Path::new("a.rs"), &untagged);
+        assert_eq!(reg.violations.len(), 1);
+        assert!(reg.violations[0].message.contains("without a"));
+
+        // Stale name → violation.
+        let stale = [
+            "// SAFETY: [racecheck: sweep.spatial.w.scalar]",
+            "unsafe impl Send for R {}",
+        ]
+        .join("\n");
+        let mut reg = SendRegistry::new();
+        reg.scan(Path::new("a.rs"), &stale);
+        assert_eq!(reg.violations.len(), 1);
+        assert!(reg.violations[0]
+            .message
+            .contains("not in the racecheck registry"));
+
+        // Reverse direction: a backing region nobody cites → violation.
+        let reg = SendRegistry::new();
+        let v = reg.check();
+        assert!(
+            v.iter().all(|x| x.message.contains("backs_unsafe_impl")),
+            "only reverse-direction findings expected"
+        );
+        assert_eq!(
+            v.len(),
+            vlasov6d_racecheck::registry::backing_region_names().len()
+        );
     }
 
     #[test]

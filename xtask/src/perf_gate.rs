@@ -300,22 +300,31 @@ pub fn perf_gate(args: &[String]) -> ExitCode {
     }
 
     if write_baseline {
-        let doc = Json::Obj(
-            metrics
-                .iter()
-                .map(|m| {
-                    let (lo, hi) = m.default_bounds.unwrap_or_else(|| {
-                        // Absolute metric: generous machine-speed headroom in
-                        // both directions around the measured value.
-                        (0.0, (m.value * 25.0).max(50.0))
-                    });
-                    (
-                        m.name.to_string(),
-                        Json::obj([("min", Json::num(lo)), ("max", Json::num(hi))]),
-                    )
-                })
-                .collect(),
-        );
+        let mut entries: std::collections::BTreeMap<String, Json> = metrics
+            .iter()
+            .map(|m| {
+                let (lo, hi) = m.default_bounds.unwrap_or_else(|| {
+                    // Absolute metric: generous machine-speed headroom in
+                    // both directions around the measured value.
+                    (0.0, (m.value * 25.0).max(50.0))
+                });
+                (
+                    m.name.to_string(),
+                    Json::obj([("min", Json::num(lo)), ("max", Json::num(hi))]),
+                )
+            })
+            .collect();
+        // Other gates (e.g. the parallel_sweep speedup bar) keep their
+        // bounds in the same file; regenerating ours must not drop theirs.
+        if let Ok(Json::Obj(old)) = std::fs::read_to_string(&baseline_path)
+            .map_err(|_| ())
+            .and_then(|t| Json::parse(&t).map_err(|_| ()))
+        {
+            for (key, value) in old {
+                entries.entry(key).or_insert(value);
+            }
+        }
+        let doc = Json::Obj(entries);
         if let Err(e) = std::fs::write(&baseline_path, doc.to_string_compact() + "\n") {
             eprintln!("cannot write {}: {e}", baseline_path.display());
             return ExitCode::FAILURE;
