@@ -14,9 +14,17 @@
 //!   `i1 ∈ [r·n1/P, (r+1)·n1/P)`.
 //!
 //! Requires `n0 % P == 0` and `n1 % P == 0` (all production grids are
-//! powers of two).
+//! powers of two). Rank counts beyond `min(n0, n1)` need the 2-D pencil
+//! decomposition in [`crate::pencil`].
+//!
+//! Both layouts and the transpose between them are registered declaratively
+//! in [`crate::layout`] (`layout.slab`, `layout.rows`, `fft.slab.to_rows`,
+//! `fft.rows.to_slab`); byte accounting in [`DistFft3::add_transpose`] is
+//! derived from that model, and `vlasov6d-layoutcheck` proves the maps
+//! bijective and diffs them against the pack/unpack loops below.
 
 use crate::complex::Complex64;
+use crate::layout::{self, RankGrid};
 use crate::plan::FftPlan;
 use vlasov6d_mpisim::{Comm, CommPlan};
 
@@ -183,6 +191,8 @@ impl DistFft3 {
     /// perform once. Every ordered rank pair carries the same packet
     /// (`slab_planes · transposed_rows · n2` complex values as `f64` pairs);
     /// the self-packet is short-circuited by the runtime and has no edge.
+    ///
+    /// [layoutcheck: fft.slab.to_rows, fft.rows.to_slab]
     pub fn transpose_plan(&self, tag: u64) -> CommPlan {
         let mut plan = CommPlan::new("fft.transpose", self.n_ranks);
         self.add_transpose(&mut plan, tag);
@@ -192,22 +202,31 @@ impl DistFft3 {
     /// Append the transpose exchange under `tag` to an existing plan —
     /// for callers composing several transposes (e.g. a Poisson solve's
     /// forward + inverse pair) into one verified plan.
+    ///
+    /// [layoutcheck: fft.slab.to_rows]
     pub fn add_transpose(&self, plan: &mut CommPlan, tag: u64) {
         assert_eq!(plan.n_ranks(), self.n_ranks);
-        let [_, _, n2] = self.dims;
-        let bytes =
-            (self.slab_planes() * self.transposed_rows() * n2 * 2 * std::mem::size_of::<f64>())
-                as u64;
+        // Byte counts are derived from the registered layout model — the
+        // per-pair intersection of slab and row ownership — not a hand-written
+        // product, so plan and packing cannot drift apart independently.
+        let rep = layout::slab_to_rows();
+        let grid = RankGrid::slab(self.n_ranks);
         for r in 0..self.n_ranks {
             // Mirrors `exchange`: all sends first, then receives in source
             // order, skipping self.
             for dst in 0..self.n_ranks {
                 if dst != r {
+                    let bytes = (rep.pair_elems(self.dims, grid, r, dst)
+                        * 2
+                        * std::mem::size_of::<f64>()) as u64;
                     plan.send(r, dst, tag, bytes);
                 }
             }
             for src in 0..self.n_ranks {
                 if src != r {
+                    let bytes = (rep.pair_elems(self.dims, grid, src, r)
+                        * 2
+                        * std::mem::size_of::<f64>()) as u64;
                     plan.recv(r, src, tag, bytes);
                 }
             }
@@ -224,8 +243,27 @@ impl DistFft3 {
         [rank * self.transposed_rows() + i1_loc, i0, i2]
     }
 
-    /// Slab → transposed repartition.
-    fn transpose_slab_to_rows(&self, comm: &Comm, work: &[Complex64], tag: u64) -> Vec<Complex64> {
+    /// Inverse of [`Self::transposed_coords`]: the `(rank, flat)` pair that
+    /// owns global `[i1, i0, i2]` in the transposed layout.
+    pub fn transposed_owner(&self, coords: [usize; 3]) -> (usize, usize) {
+        let [i1, i0, i2] = coords;
+        let [n0, _, n2] = self.dims;
+        let rows = self.transposed_rows();
+        let rank = i1 / rows;
+        let i1_loc = i1 % rows;
+        (rank, (i1_loc * n0 + i0) * n2 + i2)
+    }
+
+    /// Slab → transposed repartition (no FFTs) — public so layoutcheck can
+    /// drive sentinel probes through the live exchange.
+    ///
+    /// [layoutcheck: fft.slab.to_rows]
+    pub fn transpose_slab_to_rows(
+        &self,
+        comm: &Comm,
+        work: &[Complex64],
+        tag: u64,
+    ) -> Vec<Complex64> {
         let [n0, n1, n2] = self.dims;
         let p0 = self.slab_planes();
         let rows = self.transposed_rows();
@@ -267,8 +305,16 @@ impl DistFft3 {
         out
     }
 
-    /// Transposed → slab repartition (exact reverse of the above).
-    fn transpose_rows_to_slab(&self, comm: &Comm, work: &[Complex64], tag: u64) -> Vec<Complex64> {
+    /// Transposed → slab repartition (exact reverse of the above) — public
+    /// for layoutcheck's sentinel probes.
+    ///
+    /// [layoutcheck: fft.rows.to_slab]
+    pub fn transpose_rows_to_slab(
+        &self,
+        comm: &Comm,
+        work: &[Complex64],
+        tag: u64,
+    ) -> Vec<Complex64> {
         let [n0, n1, n2] = self.dims;
         let p0 = self.slab_planes();
         let rows = self.transposed_rows();
@@ -408,6 +454,42 @@ mod tests {
     #[should_panic(expected = "divisible")]
     fn indivisible_dims_rejected() {
         let _ = DistFft3::new([6, 6, 6], 4);
+    }
+
+    #[test]
+    fn model_derived_bytes_match_legacy_product_on_ragged_shapes() {
+        // Regression: `add_transpose` now derives bytes from the layout
+        // model's per-pair intersection. For the slab transpose the traffic
+        // is uniform, so the model must reproduce the historical product
+        // `slab_planes · transposed_rows · n2 · 16` on every edge — pinned
+        // across ragged (non-square, non-power-of-two) shapes.
+        for (dims, p) in [
+            ([8usize, 8, 8], 4usize),
+            ([4, 12, 6], 2),
+            ([12, 4, 10], 4),
+            ([6, 6, 2], 3),
+            ([10, 30, 7], 5),
+        ] {
+            let fft = DistFft3::new(dims, p);
+            let legacy = (fft.slab_planes() * fft.transposed_rows() * dims[2] * 16) as u64;
+            let plan = fft.transpose_plan(5);
+            let edges = plan.send_edges();
+            assert_eq!(edges.len(), p * (p - 1), "dims {dims:?} × {p}");
+            for (src, dst, _, bytes) in edges {
+                assert_eq!(bytes, legacy, "edge {src}->{dst}, dims {dims:?} × {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_owner_round_trips() {
+        let fft = DistFft3::new([4, 12, 6], 4);
+        for rank in 0..4 {
+            for flat in 0..fft.transposed_len() {
+                let coords = fft.transposed_coords(rank, flat);
+                assert_eq!(fft.transposed_owner(coords), (rank, flat));
+            }
+        }
     }
 
     #[test]

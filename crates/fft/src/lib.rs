@@ -13,6 +13,12 @@
 //!   real fields, the entry point used by the Poisson solver.
 //! * [`dist`] — slab-decomposed distributed 3-D FFT over `vlasov6d-mpisim`
 //!   (local FFTs + all-to-all transpose), the parallel-transform substrate.
+//! * [`pencil`] — the true 2-D pencil-decomposed distributed FFT (`Pr × Pc`
+//!   rank grid, two overlapped split-phase transpose stages), lifting the
+//!   slab path's rank-count cap.
+//! * [`layout`] — declarative descriptors of every distributed layout and
+//!   repartition; byte accounting is derived from them and the
+//!   `vlasov6d-layoutcheck` crate proves them bijective.
 //!
 //! Normalisation convention: `forward` computes `X_k = Σ_j x_j e^{-2πi jk/n}`
 //! (unscaled), `inverse` computes `x_j = (1/n) Σ_k X_k e^{+2πi jk/n}`, so
@@ -21,10 +27,13 @@
 pub mod complex;
 pub mod dist;
 pub mod fft3d;
+pub mod layout;
+pub mod pencil;
 pub mod plan;
 pub mod real;
 
 pub use complex::Complex64;
 pub use dist::DistFft3;
 pub use fft3d::{Fft3, RealFft3};
+pub use pencil::{Pencil2D, PencilTimings, StageTimings};
 pub use plan::FftPlan;

@@ -1,0 +1,216 @@
+//! Layer 2b: sentinel-value probes through the **live** mpisim exchange.
+//!
+//! The concrete layer checks the models against the plans; this layer checks
+//! the actual pack/unpack loops. Every element is loaded with a sentinel
+//! encoding its *global* flat index exactly in f64 (the grids here are far
+//! below 2⁵³, so routing is lossless and bit-exact); the repartition then runs
+//! through `Universe::run` on real threads, and every destination slot must
+//! hold precisely the sentinel its registered layout map predicts. A single
+//! mis-stride, swapped loop or off-by-one anywhere in pack, send, recv or
+//! unpack moves at least one sentinel to the wrong slot.
+//!
+//! Also probed: forward∘inverse round-trips (slab and the full four-stage
+//! pencil chain) must reproduce the input bitwise, and a plan assembled with
+//! a stage-2 tag window colliding into stage 1 must be rejected by
+//! `CommPlan::verify` — the live negative control for tag discipline.
+
+use crate::registry::{self, GridKind};
+use vlasov6d_fft::layout::{self, LayoutMap, RankGrid};
+use vlasov6d_fft::{Complex64, DistFft3, Pencil2D};
+use vlasov6d_kerncheck::report::Report;
+use vlasov6d_mpisim::{CommPlan, PlanError, Universe};
+
+const PASS: &str = "probe";
+
+/// Sentinel for global coordinate `g`: the global flat index in the real
+/// part, its negation minus one in the imaginary part (asymmetric, so
+/// re/im swaps are caught too).
+fn sentinel(dims: [usize; 3], g: [usize; 3]) -> Complex64 {
+    let flat = ((g[0] * dims[1] + g[1]) * dims[2] + g[2]) as f64;
+    Complex64::new(flat, -flat - 1.0)
+}
+
+/// Fill rank `rank`'s local block of `src` with sentinels.
+fn fill(src: &LayoutMap, dims: [usize; 3], grid: RankGrid, rank: usize) -> Vec<Complex64> {
+    (0..src.local_len(dims, grid))
+        .map(|flat| sentinel(dims, src.coords(dims, grid, rank, flat)))
+        .collect()
+}
+
+/// Count destination slots whose sentinel disagrees with `dst`'s prediction.
+fn mismatches(
+    dst: &LayoutMap,
+    dims: [usize; 3],
+    grid: RankGrid,
+    rank: usize,
+    out: &[Complex64],
+) -> usize {
+    (0..out.len())
+        .filter(|&flat| {
+            let want = sentinel(dims, dst.coords(dims, grid, rank, flat));
+            out[flat].re != want.re || out[flat].im != want.im
+        })
+        .count()
+}
+
+fn report_probe(report: &mut Report, name: String, total_mismatches: usize, elems: usize) {
+    if total_mismatches == 0 {
+        report.verified(
+            PASS,
+            name,
+            format!("all {elems} sentinels arrived in the slot the layout map predicts"),
+        );
+    } else {
+        report.violated(
+            PASS,
+            name,
+            "sentinel probe found misrouted elements in the live exchange",
+            Some(format!("{total_mismatches} of {elems} slots wrong")),
+        );
+    }
+}
+
+pub fn run(report: &mut Report) {
+    slab_probes(report);
+    pencil_probes(report);
+    tag_collision_control(report);
+    misroute_control(report);
+}
+
+fn slab_probes(report: &mut Report) {
+    for (dims, grid) in registry::sample_shapes(GridKind::Slab) {
+        let p = grid.n_ranks();
+        let fft = DistFft3::new(dims, p);
+        let fwd = layout::slab_to_rows();
+        let results = Universe::run(p, |comm| {
+            let me = comm.rank();
+            let input = fill(&fwd.src, dims, grid, me);
+            let rows = fft.transpose_slab_to_rows(comm, &input, 11);
+            let bad_fwd = mismatches(&fwd.dst, dims, grid, me, &rows);
+            let back = fft.transpose_rows_to_slab(comm, &rows, 13);
+            let roundtrip_ok = back == input;
+            (bad_fwd, roundtrip_ok)
+        });
+        let bad: usize = results.iter().map(|r| r.0).sum();
+        let tag = format!("{}x{}x{}.p{}", dims[0], dims[1], dims[2], p);
+        report_probe(
+            report,
+            format!("fft.slab.to_rows.probe.{tag}"),
+            bad,
+            dims.iter().product(),
+        );
+        let rt = results.iter().all(|r| r.1);
+        report_roundtrip(report, format!("fft.slab.roundtrip.{tag}"), rt, "2");
+    }
+}
+
+fn pencil_probes(report: &mut Report) {
+    for (dims, grid) in registry::sample_shapes(GridKind::Pencil) {
+        let p = grid.n_ranks();
+        let fft = Pencil2D::new(dims, grid.rows, grid.cols).with_batches(2);
+        let span = fft.tag_span();
+        let (s1, s2, s2i, s1i) = (
+            layout::pencil_stage1(),
+            layout::pencil_stage2(),
+            layout::pencil_stage2_inv(),
+            layout::pencil_stage1_inv(),
+        );
+        let results = Universe::run(p, |comm| {
+            let me = comm.rank();
+            let z = fill(&s1.src, dims, grid, me);
+            let y = fft.repartition_stage1(comm, &z, 0);
+            let b1 = mismatches(&s1.dst, dims, grid, me, &y);
+            let x = fft.repartition_stage2(comm, &y, span);
+            let b2 = mismatches(&s2.dst, dims, grid, me, &x);
+            let y2 = fft.repartition_stage2_inv(comm, &x, 2 * span);
+            let b3 = mismatches(&s2i.dst, dims, grid, me, &y2);
+            let z2 = fft.repartition_stage1_inv(comm, &y2, 3 * span);
+            let b4 = mismatches(&s1i.dst, dims, grid, me, &z2);
+            ([b1, b2, b3, b4], z2 == z)
+        });
+        let tag = format!(
+            "{}x{}x{}.g{}x{}",
+            dims[0], dims[1], dims[2], grid.rows, grid.cols
+        );
+        let elems: usize = dims.iter().product();
+        for (i, rep) in [&s1, &s2, &s2i, &s1i].into_iter().enumerate() {
+            let bad: usize = results.iter().map(|r| r.0[i]).sum();
+            report_probe(report, format!("{}.probe.{tag}", rep.name), bad, elems);
+        }
+        let rt = results.iter().all(|r| r.1);
+        report_roundtrip(report, format!("fft.pencil.roundtrip.{tag}"), rt, "4");
+    }
+}
+
+fn report_roundtrip(report: &mut Report, name: String, ok: bool, stages: &str) {
+    if ok {
+        report.verified(
+            PASS,
+            name,
+            format!(
+                "forward∘inverse over {stages} live repartition stages is the identity, bitwise"
+            ),
+        );
+    } else {
+        report.violated(
+            PASS,
+            name,
+            "live repartition round-trip failed to reproduce the input bitwise",
+            None,
+        );
+    }
+}
+
+/// Live control: assemble a pencil plan whose second transform starts one
+/// batch short of a full `tag_span()`, so its stage-1 window collides with
+/// the first transform's stage-2 window on the row-group peers they share.
+/// `CommPlan::verify` must report `TagCollision`.
+fn tag_collision_control(report: &mut Report) {
+    let fft = Pencil2D::new([4, 4, 4], 2, 2).with_batches(2);
+    let span = fft.tag_span();
+    let mut plan = CommPlan::new("fft.pencil.tag-collision-control", 4);
+    fft.add_forward(&mut plan, 0);
+    // A correct caller advances by tag_span(); advancing one tag short makes
+    // the second stage 1 (tags [span−1, span−1+batches)) overlap the first
+    // stage 2 (tags [span/2, span)) on identical row-group (src, dst) pairs.
+    fft.add_inverse(&mut plan, span - 1);
+    let caught = match plan.verify() {
+        Ok(_) => false,
+        Err(errs) => errs
+            .iter()
+            .any(|e| matches!(e, PlanError::TagCollision { .. })),
+    };
+    report.control(
+        PASS,
+        "control.stage2.tag-collision",
+        "a second transform planned one tag short of a full window must be rejected as a TagCollision",
+        caught,
+        Some(format!("second transform planned at tag {}", span - 1)),
+    );
+}
+
+/// Live control: checking a stage-1 output against the *wrong* layout map
+/// (the z-pencil it came from rather than the y-pencil it became) must
+/// produce sentinel mismatches — proving the probe can detect misrouting.
+fn misroute_control(report: &mut Report) {
+    let dims = [4usize, 4, 4];
+    let grid = RankGrid::new(2, 2);
+    let fft = Pencil2D::new(dims, 2, 2);
+    let s1 = layout::pencil_stage1();
+    let results = Universe::run(4, |comm| {
+        let me = comm.rank();
+        let z = fill(&s1.src, dims, grid, me);
+        let y = fft.repartition_stage1(comm, &z, 0);
+        mismatches(&s1.src, dims, grid, me, &y) // wrong map on purpose
+    });
+    let bad: usize = results.iter().sum();
+    report.control(
+        PASS,
+        "control.probe.wrong-map",
+        "checking stage-1 output against its input layout must surface mismatches",
+        bad > 0,
+        Some(format!(
+            "{bad} slots flagged under the deliberately wrong map"
+        )),
+    );
+}

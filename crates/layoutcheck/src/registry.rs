@@ -1,0 +1,104 @@
+//! The registry of distributed repartitions under verification.
+//!
+//! Every all-to-all transpose the runtime performs must appear here; the
+//! `layout-index-arith` lint in `cargo xtask lint` cross-checks in both
+//! directions (each pack/unpack loop cites a registered name, each
+//! registered name backing a pack loop is cited somewhere).
+
+use vlasov6d_fft::layout::{self, RankGrid, Repartition};
+
+/// Which rank-grid family a repartition runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridKind {
+    /// Degenerate `P × 1` grids (the slab decomposition).
+    Slab,
+    /// General `Pr × Pc` grids (the 2-D pencil decomposition).
+    Pencil,
+}
+
+/// One registered repartition.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rep: Repartition,
+    pub kind: GridKind,
+    /// Does a runtime pack/unpack loop implement this map? (All current
+    /// entries — the lint's reverse direction relies on this flag.)
+    pub backs_pack_loop: bool,
+}
+
+/// Every repartition the distributed FFTs perform, in pipeline order.
+pub fn entries() -> Vec<Entry> {
+    [
+        (layout::slab_to_rows(), GridKind::Slab),
+        (layout::rows_to_slab(), GridKind::Slab),
+        (layout::pencil_stage1(), GridKind::Pencil),
+        (layout::pencil_stage2(), GridKind::Pencil),
+        (layout::pencil_stage2_inv(), GridKind::Pencil),
+        (layout::pencil_stage1_inv(), GridKind::Pencil),
+    ]
+    .into_iter()
+    .map(|(rep, kind)| Entry {
+        rep,
+        kind,
+        backs_pack_loop: true,
+    })
+    .collect()
+}
+
+/// Registered repartition names (the identifiers `[layoutcheck: ...]` tags
+/// must cite).
+pub fn repartition_names() -> Vec<&'static str> {
+    entries().iter().map(|e| e.rep.name).collect()
+}
+
+/// Concrete (dims, rank-grid) samples a repartition of `kind` is enumerated
+/// at: thin axes, ragged (non-square) boxes, prime factors, and a
+/// rank-count-exceeds-`n0` pencil case the slab path cannot run.
+pub fn sample_shapes(kind: GridKind) -> Vec<([usize; 3], RankGrid)> {
+    match kind {
+        GridKind::Slab => vec![
+            ([8, 8, 8], RankGrid::slab(4)),
+            ([4, 12, 6], RankGrid::slab(2)),
+            ([2, 2, 5], RankGrid::slab(2)),
+            ([3, 9, 7], RankGrid::slab(3)),
+            ([10, 5, 3], RankGrid::slab(5)),
+        ],
+        GridKind::Pencil => vec![
+            ([4, 4, 4], RankGrid::new(2, 2)),
+            ([2, 6, 8], RankGrid::new(2, 2)),
+            ([4, 12, 6], RankGrid::new(2, 3)),
+            ([3, 15, 5], RankGrid::new(3, 5)),
+            ([4, 8, 4], RankGrid::new(4, 2)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sample_shape_conforms() {
+        for e in entries() {
+            for (dims, grid) in sample_shapes(e.kind) {
+                assert!(
+                    e.rep.src.conforms(dims, grid) && e.rep.dst.conforms(dims, grid),
+                    "{}: {:?} on {}x{} does not conform",
+                    e.rep.name,
+                    dims,
+                    grid.rows,
+                    grid.cols
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = repartition_names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

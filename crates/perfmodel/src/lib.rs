@@ -26,5 +26,5 @@ pub mod model;
 pub mod runs;
 
 pub use machine::MachineModel;
-pub use model::{PartTimes, ScalingReport};
+pub use model::{overlap_eff_from_split, step_time_calibrated, PartTimes, ScalingReport};
 pub use runs::{paper_runs, RunConfig};

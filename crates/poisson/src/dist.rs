@@ -1,26 +1,51 @@
-//! Distributed Poisson solve on slab-decomposed density fields.
+//! Distributed Poisson solve on slab- or pencil-decomposed density fields.
 //!
 //! Mirrors [`crate::solver::PoissonSolver`] (spectral Green's function, zero
 //! DC mode, optional long-range taper) but runs over `vlasov6d-mpisim` with
-//! the distributed FFT — the structure of the paper's parallel PM part:
-//! local transforms, all-to-all transposes, k-space multiply, inverse.
+//! a distributed FFT — the structure of the paper's parallel PM part: local
+//! transforms, all-to-all transposes, k-space multiply, inverse. Two
+//! backends share the k-space logic:
+//!
+//! * **slab** ([`DistPoisson::new`]) — the original 1-D decomposition,
+//!   capped at `min(n0, n1)` ranks;
+//! * **pencil** ([`DistPoisson::new_pencil`]) — the 2-D `Pr × Pc`
+//!   decomposition over [`vlasov6d_fft::Pencil2D`], whose overlapped
+//!   transpose stages let the PM grid spread over rank counts the slab path
+//!   cannot reach.
 
-use vlasov6d_fft::{Complex64, DistFft3};
+use vlasov6d_fft::{Complex64, DistFft3, Pencil2D};
 use vlasov6d_mpisim::{Comm, CommPlan};
 
-/// Distributed spectral Poisson plan (slab layout, see `vlasov6d-fft::dist`).
+#[derive(Debug, Clone)]
+enum Backend {
+    Slab(DistFft3),
+    Pencil(Pencil2D),
+}
+
+/// Distributed spectral Poisson plan (see `vlasov6d-fft::dist` /
+/// `vlasov6d-fft::pencil` for the layouts).
 #[derive(Debug, Clone)]
 pub struct DistPoisson {
     dims: [usize; 3],
-    fft: DistFft3,
+    backend: Backend,
     split_rs: Option<f64>,
 }
 
 impl DistPoisson {
+    /// Slab decomposition over `n_ranks` ranks.
     pub fn new(dims: [usize; 3], n_ranks: usize) -> Self {
         Self {
             dims,
-            fft: DistFft3::new(dims, n_ranks),
+            backend: Backend::Slab(DistFft3::new(dims, n_ranks)),
+            split_rs: None,
+        }
+    }
+
+    /// 2-D pencil decomposition over a `rows × cols` rank grid.
+    pub fn new_pencil(dims: [usize; 3], rows: usize, cols: usize) -> Self {
+        Self {
+            dims,
+            backend: Backend::Pencil(Pencil2D::new(dims, rows, cols)),
             split_rs: None,
         }
     }
@@ -32,51 +57,112 @@ impl DistPoisson {
         self
     }
 
+    fn n_ranks(&self) -> usize {
+        match &self.backend {
+            Backend::Slab(fft) => fft.n_ranks(),
+            Backend::Pencil(fft) => fft.n_ranks(),
+        }
+    }
+
+    /// Local input length in real values (slab or z-pencil block).
+    pub fn local_len(&self) -> usize {
+        match &self.backend {
+            Backend::Slab(fft) => fft.slab_len(),
+            Backend::Pencil(fft) => fft.zpencil_len(),
+        }
+    }
+
     /// Local slab length in real values.
+    ///
+    /// Kept for slab-era callers; equals [`Self::local_len`].
     pub fn slab_len(&self) -> usize {
-        self.fft.slab_len()
+        self.local_len()
+    }
+
+    /// Global `[i0, i1, i2]` coordinate of a flat index in this rank's local
+    /// input block.
+    pub fn local_coords(&self, rank: usize, flat: usize) -> [usize; 3] {
+        match &self.backend {
+            Backend::Slab(fft) => {
+                let [_, n1, n2] = self.dims;
+                let i2 = flat % n2;
+                let i1 = (flat / n2) % n1;
+                let i0 = rank * fft.slab_planes() + flat / (n1 * n2);
+                [i0, i1, i2]
+            }
+            Backend::Pencil(fft) => fft.zpencil_coords(rank, flat),
+        }
+    }
+
+    /// Tags consumed by one [`Self::solve`] call starting at `tag`.
+    pub fn tag_span(&self) -> u64 {
+        match &self.backend {
+            Backend::Slab(_) => 2,
+            Backend::Pencil(fft) => 2 * fft.tag_span(),
+        }
     }
 
     /// Declarative communication plan of one [`Self::solve`] call at `tag`:
-    /// the forward transpose at `tag` and the inverse transpose at
-    /// `tag + 1`. Verify with volume symmetry (the transposes are all-to-all,
-    /// so no Cartesian topology applies).
+    /// the forward transpose(s) starting at `tag`, the inverse transpose(s)
+    /// in the following tag window. Verify with volume symmetry (the
+    /// transposes are all-to-all, so no Cartesian topology applies).
     pub fn solve_plan(&self, tag: u64) -> CommPlan {
-        let mut plan = CommPlan::new("poisson.dist_solve", self.fft.n_ranks());
-        self.fft.add_transpose(&mut plan, tag);
-        self.fft.add_transpose(&mut plan, tag + 1);
+        let mut plan = CommPlan::new("poisson.dist_solve", self.n_ranks());
+        match &self.backend {
+            Backend::Slab(fft) => {
+                fft.add_transpose(&mut plan, tag);
+                fft.add_transpose(&mut plan, tag + 1);
+            }
+            Backend::Pencil(fft) => {
+                fft.add_forward(&mut plan, tag);
+                fft.add_inverse(&mut plan, tag + fft.tag_span());
+            }
+        }
         plan
     }
 
-    /// Solve `∇²φ = prefactor · source` for this rank's slab of the source
+    /// Solve `∇²φ = prefactor · source` for this rank's block of the source
     /// (which must have zero global mean up to the dropped DC mode).
     pub fn solve(&self, comm: &Comm, local_source: &[f64], prefactor: f64, tag: u64) -> Vec<f64> {
-        assert_eq!(local_source.len(), self.fft.slab_len());
+        assert_eq!(local_source.len(), self.local_len());
         let _obs = vlasov6d_obs::span!("poisson.dist_solve", vlasov6d_obs::Bucket::Pm);
         let complex: Vec<Complex64> = local_source.iter().map(|&v| Complex64::real(v)).collect();
-        let mut spec = self.fft.forward(comm, &complex, tag);
-
-        let two_pi = 2.0 * std::f64::consts::PI;
         let me = comm.rank();
-        for (flat, z) in spec.iter_mut().enumerate() {
-            let [i1, i0, i2] = self.fft.transposed_coords(me, flat);
-            let m0 = freq(i0, self.dims[0]);
-            let m1 = freq(i1, self.dims[1]);
-            let m2 = freq(i2, self.dims[2]);
-            if m0 == 0.0 && m1 == 0.0 && m2 == 0.0 {
-                *z = Complex64::ZERO;
-                continue;
-            }
-            let k2 = (two_pi * m0).powi(2) + (two_pi * m1).powi(2) + (two_pi * m2).powi(2);
-            let mut g = -prefactor / k2;
-            if let Some(rs) = self.split_rs {
-                g *= (-k2 * rs * rs).exp();
-            }
-            *z = z.scale(g);
-        }
 
-        let back = self.fft.inverse(comm, &spec, tag + 1);
+        let mut spec = match &self.backend {
+            Backend::Slab(fft) => fft.forward(comm, &complex, tag),
+            Backend::Pencil(fft) => fft.forward(comm, &complex, tag),
+        };
+        for (flat, z) in spec.iter_mut().enumerate() {
+            let [i1, i0, i2] = match &self.backend {
+                Backend::Slab(fft) => fft.transposed_coords(me, flat),
+                Backend::Pencil(fft) => fft.spectral_coords(me, flat),
+            };
+            *z = self.apply_green(*z, [i0, i1, i2], prefactor);
+        }
+        let back = match &self.backend {
+            Backend::Slab(fft) => fft.inverse(comm, &spec, tag + 1),
+            Backend::Pencil(fft) => fft.inverse(comm, &spec, tag + fft.tag_span()),
+        };
         back.into_iter().map(|z| z.re).collect()
+    }
+
+    /// The spectral Green's-function multiplier at global mode
+    /// `[i0, i1, i2]`.
+    fn apply_green(&self, z: Complex64, modes: [usize; 3], prefactor: f64) -> Complex64 {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let m0 = freq(modes[0], self.dims[0]);
+        let m1 = freq(modes[1], self.dims[1]);
+        let m2 = freq(modes[2], self.dims[2]);
+        if m0 == 0.0 && m1 == 0.0 && m2 == 0.0 {
+            return Complex64::ZERO;
+        }
+        let k2 = (two_pi * m0).powi(2) + (two_pi * m1).powi(2) + (two_pi * m2).powi(2);
+        let mut g = -prefactor / k2;
+        if let Some(rs) = self.split_rs {
+            g *= (-k2 * rs * rs).exp();
+        }
+        z.scale(g)
     }
 }
 
@@ -139,6 +225,37 @@ mod tests {
     }
 
     #[test]
+    fn pencil_solve_matches_serial() {
+        let dims = [8usize, 8, 8];
+        let source = random_zero_mean(512, 5);
+        let serial = PoissonSolver::new(dims).solve(&Field3::from_vec(dims, source.clone()), 1.5);
+
+        for (rows, cols) in [(2usize, 2usize), (4, 2), (2, 4)] {
+            let source = source.clone();
+            let serial = serial.clone();
+            Universe::run(rows * cols, move |comm| {
+                let solver = DistPoisson::new_pencil(dims, rows, cols);
+                let me = comm.rank();
+                let local: Vec<f64> = (0..solver.local_len())
+                    .map(|flat| {
+                        let [i0, i1, i2] = solver.local_coords(me, flat);
+                        source[(i0 * 8 + i1) * 8 + i2]
+                    })
+                    .collect();
+                let phi = solver.solve(comm, &local, 1.5, 100);
+                for (flat, v) in phi.iter().enumerate() {
+                    let [i0, i1, i2] = solver.local_coords(me, flat);
+                    let want = serial.as_slice()[(i0 * 8 + i1) * 8 + i2];
+                    assert!(
+                        (v - want).abs() < 1e-10,
+                        "grid {rows}x{cols}, ({i0},{i1},{i2}): {v} vs {want}"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
     fn solve_plan_verifies() {
         use vlasov6d_mpisim::PlanChecks;
         let solver = DistPoisson::new([8, 8, 8], 4);
@@ -149,6 +266,12 @@ mod tests {
         // Two all-to-all transposes over 4 ranks: 2 · 12 directed edges.
         assert_eq!(stats.sends, 24);
         assert_eq!(stats.recvs, 24);
+
+        let pencil = DistPoisson::new_pencil([8, 8, 8], 2, 2);
+        pencil.solve_plan(100).assert_valid(&PlanChecks {
+            topology: None,
+            volume_symmetry: true,
+        });
     }
 
     #[test]

@@ -43,6 +43,14 @@
 //!     direction — every registry region flagged as backing an unsafe impl
 //!     must actually be cited by some SAFETY comment, so the registry
 //!     cannot rot either.
+//!   * **layout-index-arith** — the distributed-FFT transpose sources
+//!     (`crates/fft/src/dist.rs`, `crates/fft/src/pencil.rs`) are pure
+//!     flat-index arithmetic; every pack/unpack/repartition/plan-building
+//!     function there must cite the registered layout map it implements via
+//!     a `[layoutcheck: name, …]` tag in its doc comment, every cited name
+//!     must exist in the `vlasov6d-layoutcheck` registry, and — the reverse
+//!     direction — every registered repartition backing a pack loop must be
+//!     cited by some tag, mirroring `unsafe-send-registry`.
 //!
 //!   `#[cfg(test)]` modules are exempt from `hot-path-panics`,
 //!   `span-names`, `stencil-literals` and `raw-fs-writes` (tests panic on
@@ -61,6 +69,12 @@
 //!   the real kernels) and fail on any violated property. Same `--json`
 //!   convention as `verify-kernels`.
 //!
+//! * `verify-layouts` — run every `vlasov6d-layoutcheck` pass (symbolic
+//!   layout-bijectivity and conservation proofs for all registered
+//!   repartitions, concrete enumeration/plan diffs, sentinel probes through
+//!   the live exchange, exact cyclotomic transform identities) and fail on
+//!   any violated property. Same `--json` convention as `verify-kernels`.
+//!
 //! * `perf-gate` — the trace-derived performance regression gate: runs the
 //!   2-rank overlapped smoke simulation with the flight recorder on and
 //!   off, extracts per-step critical paths, and compares the summary
@@ -74,7 +88,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask <lint | verify-kernels [--json <path>] | verify-races [--json <path>] | perf-gate [--baseline <path>] [--write-baseline] [--trace-out <path>] [--summary-out <path>]>";
+const USAGE: &str = "usage: cargo xtask <lint | verify-kernels [--json <path>] | verify-races [--json <path>] | verify-layouts [--json <path>] | perf-gate [--baseline <path>] [--write-baseline] [--trace-out <path>] [--summary-out <path>]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,6 +96,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(Path::new(".")),
         Some("verify-kernels") => verify_kernels(&args[1..]),
         Some("verify-races") => verify_races(&args[1..]),
+        Some("verify-layouts") => verify_layouts(&args[1..]),
         Some("perf-gate") => perf_gate::perf_gate(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
@@ -169,6 +184,43 @@ fn verify_races(args: &[String]) -> ExitCode {
     }
 }
 
+fn verify_layouts(args: &[String]) -> ExitCode {
+    let mut json_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown verify-layouts flag `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = vlasov6d_layoutcheck::run_all();
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        let json = report.to_json().to_string_compact();
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", path.display());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify-layouts: {} violation(s)", report.violations());
+        ExitCode::FAILURE
+    }
+}
+
 /// Hot-path modules: compute kernels where a panic aborts a rayon task on
 /// every simulation step. Orchestration layers (e.g. `fft/src/dist.rs`)
 /// are excluded on purpose — their failure paths carry rank/tag context
@@ -218,6 +270,7 @@ fn lint(root: &Path) -> ExitCode {
     let mut violations = Vec::new();
     let mut spans = SpanRegistry::default();
     let mut sends = SendRegistry::new();
+    let mut layouts = LayoutRegistry::new();
     for file in &files {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -240,9 +293,11 @@ fn lint(root: &Path) -> ExitCode {
         violations.extend(check_overlap_blocking_calls(rel, &source));
         spans.scan(rel, &source);
         sends.scan(rel, &source);
+        layouts.scan(rel, &source);
     }
     violations.extend(spans.check());
     violations.extend(sends.check());
+    violations.extend(layouts.check());
 
     if violations.is_empty() {
         // Two literals (not one wrapped with `\`) so the keyword scanner,
@@ -250,7 +305,8 @@ fn lint(root: &Path) -> ExitCode {
         println!(
             concat!(
                 "xtask lint: {} files clean (safety-comments, hot-path-panics, span-names, ",
-                "stencil-literals, raw-fs-writes, overlap-blocking-calls, unsafe-send-registry)"
+                "stencil-literals, raw-fs-writes, overlap-blocking-calls, unsafe-send-registry, ",
+                "layout-index-arith)"
             ),
             files.len()
         );
@@ -951,6 +1007,176 @@ impl SendRegistry {
     }
 }
 
+/// Lint 8: `[layoutcheck:]` ↔ layout-registry cross-reference over the
+/// distributed-FFT transpose sources.
+///
+/// Direction 1 (per function): every non-test fn in [`LAYOUT_INDEX_FILES`]
+/// whose name marks it as transpose index arithmetic (see
+/// [`layout_index_fn`]) must carry a `[layoutcheck: name, …]` tag in the
+/// comment block directly above its signature, citing only repartitions
+/// registered in `vlasov6d_layoutcheck::registry`. Direction 2 (per
+/// registry): every registered repartition flagged `backs_pack_loop` must
+/// be cited by at least one tag, so the registry cannot rot.
+struct LayoutRegistry {
+    registered: std::collections::BTreeSet<&'static str>,
+    backing: Vec<&'static str>,
+    cited: std::collections::BTreeSet<String>,
+    violations: Vec<Violation>,
+}
+
+/// The files whose flat-index transpose arithmetic the lint polices.
+const LAYOUT_INDEX_FILES: &[&str] = &["crates/fft/src/dist.rs", "crates/fft/src/pencil.rs"];
+
+/// Is `name` a function implementing (or planning) a registered repartition's
+/// index arithmetic? Pack/unpack loops, transpose/repartition entry points,
+/// and the plan builders whose byte accounting must match them.
+fn layout_index_fn(name: &str) -> bool {
+    name.starts_with("transpose_")
+        || name.starts_with("repartition_")
+        || name.starts_with("pack_")
+        || name.starts_with("unpack_")
+        || matches!(
+            name,
+            "add_transpose" | "add_stage" | "add_forward" | "add_inverse"
+        )
+}
+
+/// `fn <name>` on a (comment-stripped) line, if it declares a function.
+fn declared_fn_name(code: &str) -> Option<&str> {
+    let pos = code.find("fn ")?;
+    // Require a word boundary before `fn` so e.g. `btn ` cannot match.
+    if pos > 0 && is_ident_char(code.as_bytes()[pos - 1]) {
+        return None;
+    }
+    let rest = &code[pos + 3..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+impl LayoutRegistry {
+    fn new() -> Self {
+        Self {
+            registered: vlasov6d_layoutcheck::registry::repartition_names()
+                .into_iter()
+                .collect(),
+            backing: vlasov6d_layoutcheck::registry::entries()
+                .iter()
+                .filter(|e| e.backs_pack_loop)
+                .map(|e| e.rep.name)
+                .collect(),
+            cited: Default::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn scan(&mut self, rel: &Path, source: &str) {
+        let p = rel.to_string_lossy().replace('\\', "/");
+        if !LAYOUT_INDEX_FILES.contains(&p.as_str()) {
+            return;
+        }
+        let masked = test_code_lines(source);
+        let lines: Vec<&str> = source.lines().collect();
+        for (idx, raw) in lines.iter().enumerate() {
+            if masked.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let code = code_only(raw);
+            let Some(name) = declared_fn_name(&code) else {
+                continue;
+            };
+            if !layout_index_fn(name) {
+                continue;
+            }
+            let name = name.to_string();
+            // Gather the contiguous comment/attribute block directly above.
+            let mut lo = idx;
+            while lo > 0 {
+                let t = lines[lo - 1].trim_start();
+                if t.starts_with("//") || t.starts_with("#[") {
+                    lo -= 1;
+                } else {
+                    break;
+                }
+            }
+            let block: String = lines[lo..idx]
+                .iter()
+                .map(|l| l.trim_start().trim_start_matches("//").trim())
+                .collect::<Vec<_>>()
+                .join(" ");
+            match layoutcheck_tag_names(&block) {
+                None => self.violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    lint: "layout-index-arith",
+                    message: format!(
+                        "fn `{name}` does transpose index arithmetic but carries no \
+                         `[layoutcheck: map, …]` tag; cite the registered repartition(s) \
+                         its flat-index math implements"
+                    ),
+                }),
+                Some(names) if names.is_empty() => self.violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: idx + 1,
+                    lint: "layout-index-arith",
+                    message: "empty `[layoutcheck:]` tag; cite at least one registered repartition"
+                        .to_string(),
+                }),
+                Some(names) => {
+                    for cited in names {
+                        if self.registered.contains(cited.as_str()) {
+                            self.cited.insert(cited);
+                        } else {
+                            self.violations.push(Violation {
+                                file: rel.to_path_buf(),
+                                line: idx + 1,
+                                lint: "layout-index-arith",
+                                message: format!(
+                                    "tag on fn `{name}` cites `{cited}`, which is not in the \
+                                     layoutcheck registry — stale tag or missing registry entry"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check(mut self) -> Vec<Violation> {
+        for name in &self.backing {
+            if !self.cited.contains(*name) {
+                self.violations.push(Violation {
+                    file: PathBuf::from("crates/layoutcheck/src/registry.rs"),
+                    line: 1,
+                    lint: "layout-index-arith",
+                    message: format!(
+                        "registered repartition `{name}` is flagged `backs_pack_loop` but no \
+                         pack/unpack loop cites it — stale registry entry or missing tag"
+                    ),
+                });
+            }
+        }
+        self.violations
+    }
+}
+
+/// The names inside the first `[layoutcheck: …]` tag of a flattened comment
+/// block, or `None` if there is no tag.
+fn layoutcheck_tag_names(block: &str) -> Option<Vec<String>> {
+    let start = block.find("[layoutcheck:")?;
+    let body = &block[start + "[layoutcheck:".len()..];
+    let end = body.find(']')?;
+    Some(
+        body[..end]
+            .split(',')
+            .map(|n| n.trim().to_string())
+            .filter(|n| !n.is_empty())
+            .collect(),
+    )
+}
+
 /// The names inside the first `[racecheck: …]` tag of a flattened comment
 /// block, or `None` if there is no tag.
 fn racecheck_tag_names(block: &str) -> Option<Vec<String>> {
@@ -1188,6 +1414,103 @@ mod tests {
             v.len(),
             vlasov6d_racecheck::registry::backing_region_names().len()
         );
+    }
+
+    #[test]
+    fn layout_index_fn_selection() {
+        assert!(layout_index_fn("transpose_slab_to_rows"));
+        assert!(layout_index_fn("repartition_stage2_inv"));
+        assert!(layout_index_fn("pack_stage1"));
+        assert!(layout_index_fn("unpack_stage2"));
+        assert!(layout_index_fn("add_transpose"));
+        assert!(layout_index_fn("add_stage"));
+        // Accessors and unrelated helpers are not index-arithmetic loops.
+        assert!(!layout_index_fn("transposed_coords"));
+        assert!(!layout_index_fn("forward"));
+        assert!(!layout_index_fn("run_stage"));
+    }
+
+    #[test]
+    fn declared_fn_name_parsing() {
+        assert_eq!(
+            declared_fn_name("    pub fn pack_stage1(&self) {"),
+            Some("pack_stage1")
+        );
+        assert_eq!(declared_fn_name("fn add_stage("), Some("add_stage"));
+        assert_eq!(declared_fn_name("let f = btn_fn;"), None);
+        assert_eq!(declared_fn_name("x + y"), None);
+    }
+
+    #[test]
+    fn layout_registry_lint_directions() {
+        let dist = Path::new("crates/fft/src/dist.rs");
+        // A valid citation is accepted and recorded.
+        let good = [
+            "    /// Pack loop for the forward transpose.",
+            "    ///",
+            "    /// [layoutcheck: fft.slab.to_rows]",
+            "    pub fn transpose_slab_to_rows(&self) {}",
+        ]
+        .join("\n");
+        let mut reg = LayoutRegistry::new();
+        reg.scan(dist, &good);
+        assert!(reg.violations.is_empty(), "{:?}", reg.violations);
+        assert!(reg.cited.contains("fft.slab.to_rows"));
+
+        // Missing tag → violation.
+        let untagged = ["    /// Undocumented.", "    fn pack_stage1(&self) {}"].join("\n");
+        let mut reg = LayoutRegistry::new();
+        reg.scan(dist, &untagged);
+        assert_eq!(reg.violations.len(), 1);
+        assert!(reg.violations[0].message.contains("no `[layoutcheck:"));
+
+        // Stale name → violation.
+        let stale = [
+            "    /// [layoutcheck: fft.slab.to_columns]",
+            "    fn unpack_stage2(&self) {}",
+        ]
+        .join("\n");
+        let mut reg = LayoutRegistry::new();
+        reg.scan(dist, &stale);
+        assert_eq!(reg.violations.len(), 1);
+        assert!(reg.violations[0]
+            .message
+            .contains("not in the layoutcheck registry"));
+
+        // Files outside LAYOUT_INDEX_FILES and cfg(test) code are exempt.
+        let mut reg = LayoutRegistry::new();
+        reg.scan(Path::new("crates/poisson/src/dist.rs"), &untagged);
+        assert!(reg.violations.is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n    fn pack_stage1() {}\n}\n";
+        let mut reg = LayoutRegistry::new();
+        reg.scan(dist, test_code);
+        assert!(reg.violations.is_empty());
+
+        // Reverse direction: every backs_pack_loop repartition nobody cites
+        // is a violation.
+        let reg = LayoutRegistry::new();
+        let v = reg.check();
+        assert_eq!(
+            v.len(),
+            vlasov6d_layoutcheck::registry::entries()
+                .iter()
+                .filter(|e| e.backs_pack_loop)
+                .count()
+        );
+        assert!(v.iter().all(|x| x.message.contains("backs_pack_loop")));
+    }
+
+    #[test]
+    fn layoutcheck_tag_parsing() {
+        assert_eq!(
+            layoutcheck_tag_names("[layoutcheck: fft.pencil.stage1, fft.pencil.stage2]"),
+            Some(vec![
+                "fft.pencil.stage1".to_string(),
+                "fft.pencil.stage2".to_string()
+            ])
+        );
+        assert_eq!(layoutcheck_tag_names("no tag here"), None);
+        assert_eq!(layoutcheck_tag_names("[layoutcheck:]"), Some(vec![]));
     }
 
     #[test]
