@@ -1,0 +1,378 @@
+//! Closed-loop load test of the snapshot query service.
+//!
+//! A 2-rank simulation writes one checkpoint generation; the service then
+//! serves it three ways, each timed and written to `query_load.jsonl`:
+//!
+//! * **cold vs warm** — the same region query against a freshly cleared
+//!   decode cache (pays the chunk decode) and against a warm one (pays
+//!   only the moment pass); the ratio is the LRU's whole reason to exist,
+//!   and it is gated against the `query_warm_speedup` bar,
+//! * **batch-size sweep** — ≥ 1000 seeded requests (region / sky-map /
+//!   backtrack mix) pushed through the async front by closed-loop clients
+//!   at `batch_max` ∈ {1, 4, 16}, throughput per configuration,
+//! * **2-rank fan-out** — the same load against the distributed backend
+//!   (rank 0 drives, rank 1 serves its shard over the comm).
+//!
+//! Every request must succeed: the failure count is gated at zero via
+//! `query_load_failures`, and the distributed throughput against
+//! `query_load_throughput_rps`. Bars live in `perf-baseline.json`
+//! alongside the other self-gated benches.
+//!
+//! ```text
+//! cargo run --release -p vlasov6d-bench --bin query_load
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use vlasov6d_ckpt::{CheckpointStore, Encoding, Record};
+use vlasov6d_mpisim::Universe;
+use vlasov6d_obs::{Json, JsonlSink};
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+use vlasov6d_query::engine::BacktrackParams;
+use vlasov6d_query::{
+    serve_peer, DistBackend, LocalBackend, QueryBackend, QueryConfig, Request, ScopedQueryService,
+};
+use vlasov6d_suite::{table_header, table_row};
+
+const SGLOBAL: [usize; 3] = [16, 16, 16];
+const CACHE: usize = 256 << 20;
+const GENERATION: u64 = 1;
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 275; // 4 × 275 = 1100 ≥ 1000
+const BATCH_SIZES: [usize; 3] = [1, 4, 16];
+const COLD_WARM_REPS: usize = 7;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vq-load-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Deterministic uniform in [0, 1) from (seed, i) — splitmix-style, so the
+/// request stream is identical on every run and every machine.
+fn unit(seed: u64, i: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as f64 / u64::MAX as f64
+}
+
+/// Rank `rank`'s half of the snapshot: an x-slab with smooth structure.
+fn rank_block(rank: usize) -> PhaseSpace {
+    let mut ps = PhaseSpace::zeros_block(
+        [SGLOBAL[0] / 2, SGLOBAL[1], SGLOBAL[2]],
+        [SGLOBAL[0] / 2 * rank, 0, 0],
+        SGLOBAL,
+        VelocityGrid::cubic(8, 2.0),
+    );
+    ps.fill_with(|g, u| {
+        let x = g[0] as f64 / SGLOBAL[0] as f64;
+        let y = g[1] as f64 / SGLOBAL[1] as f64;
+        let env = 1.0 + 0.4 * (2.0 * std::f64::consts::PI * x).sin() + 0.2 * y;
+        let r2 = (u[0] - 0.2 * x).powi(2) + u[1] * u[1] + u[2] * u[2];
+        env * (-r2).exp()
+    });
+    ps
+}
+
+fn write_generation(root: &PathBuf) -> CheckpointStore {
+    let store = CheckpointStore::new(root).with_chunk_len(1 << 16);
+    let s2 = store.clone();
+    Universe::run(2, move |c| {
+        s2.write_collective(
+            c,
+            1,
+            0.1,
+            &[Record::PhaseSpace(rank_block(c.rank()))],
+            Encoding::ShuffleRle,
+            2,
+        )
+        .expect("write generation");
+    });
+    store
+}
+
+/// The seeded request mix: mostly small region moments, some sky maps, a
+/// few backtrack bundles (the engine builds once and is reused).
+fn synth_request(seed: u64, i: u64) -> Request {
+    let kind = unit(seed, 3 * i);
+    if kind < 0.80 {
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for (axis, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            let start = (unit(seed, 7 * i + axis as u64) * (SGLOBAL[axis] - 4) as f64) as usize;
+            let len = 2 + (unit(seed, 11 * i + axis as u64) * 4.0) as usize;
+            *l = start;
+            *h = (start + len).min(SGLOBAL[axis]);
+        }
+        Request::RegionMoments { lo, hi }
+    } else if kind < 0.95 {
+        Request::SkyMap {
+            nside: 1 + (unit(seed, 5 * i) * 2.0) as usize,
+            observer: [
+                unit(seed, 13 * i),
+                unit(seed, 13 * i + 1),
+                unit(seed, 13 * i + 2),
+            ],
+        }
+    } else {
+        Request::Backtrack {
+            theta: unit(seed, 17 * i) * std::f64::consts::PI,
+            phi: unit(seed, 17 * i + 1) * 2.0 * std::f64::consts::PI,
+            observer: [0.5; 3],
+            n_traj: 6,
+            steps: 8,
+        }
+    }
+}
+
+/// Drive `CLIENTS` closed-loop clients through the service and return
+/// `(failures, elapsed_secs)`. Closed loop: each client waits for its
+/// ticket before submitting the next request, so offered load tracks
+/// service capacity instead of flooding the queue.
+fn run_clients(service: &ScopedQueryService<'_>, seed: u64) -> (u64, f64) {
+    let started = Instant::now();
+    let failures: u64 = std::thread::scope(|clients| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                clients.spawn(move || {
+                    let mut failed = 0u64;
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let req =
+                            synth_request(seed + client as u64, (client * 100_000 + i) as u64);
+                        if service.submit(req).wait().is_err() {
+                            failed += 1;
+                        }
+                    }
+                    failed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    (failures, started.elapsed().as_secs_f64())
+}
+
+fn main() -> ExitCode {
+    let root = scratch("store");
+    let store = write_generation(&root);
+    let out_dir = scratch("out");
+    let mut sink = JsonlSink::create(out_dir.join("query_load.jsonl")).expect("jsonl sink");
+    let total_requests = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    println!(
+        "query_load: {}\u{b3} grid \u{d7} 8\u{b3} velocity, 2-rank shards, {total_requests} requests/config\n",
+        SGLOBAL[0]
+    );
+
+    // ---- cold vs warm decode-cache latency (local backend) -------------
+    let mut backend = LocalBackend::open(&store, GENERATION, CACHE, BacktrackParams::default())
+        .expect("local backend");
+    let probe = Request::RegionMoments {
+        lo: [2, 2, 2],
+        hi: [6, 6, 6],
+    };
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for _ in 0..COLD_WARM_REPS {
+        backend.clear_caches();
+        let t0 = Instant::now();
+        backend.execute(std::slice::from_ref(&probe))[0]
+            .as_ref()
+            .expect("cold probe");
+        cold.push(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        backend.execute(std::slice::from_ref(&probe))[0]
+            .as_ref()
+            .expect("warm probe");
+        warm.push(t1.elapsed().as_secs_f64());
+    }
+    cold.sort_by(f64::total_cmp);
+    warm.sort_by(f64::total_cmp);
+    let (cold_med, warm_med) = (cold[COLD_WARM_REPS / 2], warm[COLD_WARM_REPS / 2]);
+    let warm_speedup = cold_med / warm_med;
+    let stats = backend.cache_stats();
+    println!(
+        "cold/warm probe: {:.3} ms cold, {:.3} ms warm \u{2192} {warm_speedup:.1}\u{d7} \
+         (cache: {} hits, {} misses)\n",
+        cold_med * 1e3,
+        warm_med * 1e3,
+        stats.hits,
+        stats.misses
+    );
+    sink.write_line(
+        &Json::obj([
+            ("bench", Json::str("query_load")),
+            ("phase", Json::str("cold_vs_warm")),
+            ("cold_ms", Json::num(cold_med * 1e3)),
+            ("warm_ms", Json::num(warm_med * 1e3)),
+            ("warm_speedup", Json::num(warm_speedup)),
+            ("cache_hits", Json::num_u64(stats.hits)),
+            ("cache_misses", Json::num_u64(stats.misses)),
+        ])
+        .to_string_compact(),
+    )
+    .expect("jsonl line");
+    drop(backend);
+
+    // ---- batch-size sweep + 2-rank fan-out (async front) ---------------
+    let widths = [10, 8, 10, 12, 10, 10];
+    println!(
+        "{}",
+        table_header(
+            &["backend", "batch", "requests", "time[s]", "req/s", "failures"],
+            &widths
+        )
+    );
+    let mut total_failures = 0u64;
+    let mut dist_throughput = f64::INFINITY;
+    for &batch_max in &BATCH_SIZES {
+        let config = QueryConfig {
+            batch_max,
+            cache_bytes: CACHE,
+        };
+        // Local backend: in-process shards, no comm.
+        let backend = LocalBackend::open(&store, GENERATION, CACHE, BacktrackParams::default())
+            .expect("local backend");
+        let (failures, secs) = std::thread::scope(|scope| {
+            let service = ScopedQueryService::start_scoped(scope, backend, config);
+            let out = run_clients(&service, 0xC0FFEE + batch_max as u64);
+            service.shutdown();
+            out
+        });
+        total_failures += failures;
+        let rps = total_requests as f64 / secs;
+        println!(
+            "{}",
+            table_row(
+                &[
+                    "local".into(),
+                    format!("{batch_max}"),
+                    format!("{total_requests}"),
+                    format!("{secs:.3}"),
+                    format!("{rps:.0}"),
+                    format!("{failures}"),
+                ],
+                &widths
+            )
+        );
+        sink.write_line(
+            &Json::obj([
+                ("bench", Json::str("query_load")),
+                ("phase", Json::str("batch_sweep")),
+                ("backend", Json::str("local")),
+                ("batch_max", Json::num_u64(batch_max as u64)),
+                ("requests", Json::num_u64(total_requests)),
+                ("time_s", Json::num(secs)),
+                ("throughput_rps", Json::num(rps)),
+                ("failures", Json::num_u64(failures)),
+            ])
+            .to_string_compact(),
+        )
+        .expect("jsonl line");
+
+        // Distributed backend: rank 0 drives the scoped service, rank 1
+        // serves its shard over the comm.
+        let s2 = store.clone();
+        let per_rank = Universe::run(2, move |c| {
+            if c.rank() == 0 {
+                let backend =
+                    DistBackend::new(c, &s2, GENERATION, CACHE, BacktrackParams::default())
+                        .expect("dist backend");
+                let out = std::thread::scope(|scope| {
+                    let service = ScopedQueryService::start_scoped(scope, backend, config);
+                    let out = run_clients(&service, 0xD157 + batch_max as u64);
+                    service.shutdown();
+                    out
+                });
+                Some(out)
+            } else {
+                serve_peer(c, &s2, GENERATION, CACHE).expect("peer");
+                None
+            }
+        });
+        let (failures, secs) = per_rank[0].expect("root result");
+        total_failures += failures;
+        let rps = total_requests as f64 / secs;
+        dist_throughput = dist_throughput.min(rps);
+        println!(
+            "{}",
+            table_row(
+                &[
+                    "dist".into(),
+                    format!("{batch_max}"),
+                    format!("{total_requests}"),
+                    format!("{secs:.3}"),
+                    format!("{rps:.0}"),
+                    format!("{failures}"),
+                ],
+                &widths
+            )
+        );
+        sink.write_line(
+            &Json::obj([
+                ("bench", Json::str("query_load")),
+                ("phase", Json::str("batch_sweep")),
+                ("backend", Json::str("dist")),
+                ("batch_max", Json::num_u64(batch_max as u64)),
+                ("requests", Json::num_u64(total_requests)),
+                ("time_s", Json::num(secs)),
+                ("throughput_rps", Json::num(rps)),
+                ("failures", Json::num_u64(failures)),
+            ])
+            .to_string_compact(),
+        )
+        .expect("jsonl line");
+    }
+    sink.flush().expect("jsonl flush");
+    println!(
+        "\nrows written to {}",
+        out_dir.join("query_load.jsonl").display()
+    );
+    let _ = std::fs::remove_dir_all(&root);
+
+    // ---- gates ---------------------------------------------------------
+    let baseline = std::fs::read_to_string("perf-baseline.json")
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    let Some(baseline) = baseline else {
+        println!("no perf-baseline.json; nothing to gate");
+        return ExitCode::SUCCESS;
+    };
+    let mut failed = false;
+    if let Some(bar) = baseline.get("query_load_failures").get("max").as_f64() {
+        println!("failures: {total_failures} (bar: \u{2264} {bar})");
+        if total_failures as f64 > bar {
+            eprintln!("FAIL: {total_failures} failed requests exceed the {bar} bar");
+            failed = true;
+        }
+    }
+    if let Some(bar) = baseline.get("query_warm_speedup").get("min").as_f64() {
+        println!("warm-cache speedup: {warm_speedup:.2}\u{d7} (bar: \u{2265} {bar}\u{d7})");
+        if warm_speedup < bar {
+            eprintln!("FAIL: warm-cache speedup {warm_speedup:.2} below the {bar} bar");
+            failed = true;
+        }
+    }
+    if let Some(bar) = baseline
+        .get("query_load_throughput_rps")
+        .get("min")
+        .as_f64()
+    {
+        println!("worst distributed throughput: {dist_throughput:.0} req/s (bar: \u{2265} {bar})");
+        if dist_throughput < bar {
+            eprintln!("FAIL: distributed throughput {dist_throughput:.0} below the {bar} bar");
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("gates passed");
+    ExitCode::SUCCESS
+}

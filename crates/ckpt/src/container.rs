@@ -41,7 +41,8 @@ pub const VERSION: u32 = 1;
 /// small enough to localise corruption reports.
 pub const DEFAULT_CHUNK_LEN: usize = 4 << 20;
 
-const HEADER_LEN: usize = 32;
+/// Fixed container header length in bytes.
+pub const HEADER_LEN: usize = 32;
 const RECORD_COUNT_OFFSET: usize = 20;
 
 /// Builds a container in memory, then commits it to disk atomically.

@@ -49,6 +49,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod codec;
 pub mod container;
 pub mod crc;
@@ -58,11 +59,12 @@ pub mod policy;
 pub mod record;
 pub mod store;
 
+pub use access::{ChunkEntry, RankFileReader, RecordEntry};
 pub use codec::Encoding;
 pub use container::{ContainerFile, ContainerWriter};
 pub use manifest::Manifest;
 pub use policy::CheckpointPolicy;
-pub use record::{Record, SimState};
+pub use record::{Record, RecordMeta, SimState};
 pub use store::{CheckpointStore, CkptStats, LoadedCheckpoint};
 
 use std::fmt;

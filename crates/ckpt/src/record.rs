@@ -101,7 +101,72 @@ pub struct EncodedRecord {
     pub enc_len: usize,
 }
 
+/// The shape information a record's wire header carries, parsed without
+/// decoding the payload. The query service uses this to learn each rank
+/// file's spatial extent from a few leading chunks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordMeta {
+    /// A phase-space block and its placement in the global grid.
+    PhaseSpace {
+        /// Local spatial dims.
+        sdims: [usize; 3],
+        /// Global offset of the block.
+        soffset: [usize; 3],
+        /// Global spatial dims.
+        sglobal: [usize; 3],
+        /// Velocity-grid cell counts.
+        vn: [usize; 3],
+        /// Velocity-grid half width.
+        vmax: f64,
+    },
+    /// Any other record kind, identified by its label.
+    Other {
+        /// [`Record::kind_name`] of the record.
+        kind: &'static str,
+    },
+}
+
 impl Record {
+    /// Upper bound on the wire-header length of any record kind: enough
+    /// leading bytes to make [`Record::peek_meta`] succeed. (Phase-space
+    /// meta is the largest fixed header at 2 + 13·8 bytes; field-mesh names
+    /// can stretch to [`MAX_NAME_LEN`], which dominates.)
+    pub const META_MAX_LEN: usize = 2 + 4 + MAX_NAME_LEN + 3 * 8 + 2 * 8;
+
+    /// Parse the kind and shape header from a record-frame *prefix*.
+    ///
+    /// `head` need only hold the first [`Record::META_MAX_LEN`] bytes of the
+    /// frame (fewer for fixed-header kinds); the payload is never touched.
+    pub fn peek_meta(head: &[u8]) -> Result<RecordMeta, CkptError> {
+        let mut cur = Cursor::new(head);
+        let kind = cur.u8("record kind")?;
+        let _enc = cur.u8("payload encoding")?;
+        match kind {
+            KIND_PHASE_SPACE => {
+                let sdims = cur.usize3("phase-space local dims")?;
+                let soffset = cur.usize3("phase-space offset")?;
+                let sglobal = cur.usize3("phase-space global dims")?;
+                let vn = cur.usize3("velocity grid dims")?;
+                let vmax = cur.f64_bits("velocity grid vmax")?;
+                Ok(RecordMeta::PhaseSpace {
+                    sdims,
+                    soffset,
+                    sglobal,
+                    vn,
+                    vmax,
+                })
+            }
+            KIND_PARTICLES => Ok(RecordMeta::Other { kind: "particles" }),
+            KIND_FIELD_MESH => Ok(RecordMeta::Other { kind: "field-mesh" }),
+            KIND_SIM_STATE => Ok(RecordMeta::Other { kind: "sim-state" }),
+            KIND_RUN_REPORT => Ok(RecordMeta::Other { kind: "run-report" }),
+            other => Err(CkptError::format(
+                0,
+                format!("unknown record kind byte {other}"),
+            )),
+        }
+    }
+
     /// Human-readable kind label for logs and error messages.
     pub fn kind_name(&self) -> &'static str {
         match self {

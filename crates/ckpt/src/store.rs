@@ -20,6 +20,7 @@
 //! [`CheckpointStore::load_serial`], which run the same protocol degenerated
 //! to one rank.
 
+use crate::access::RankFileReader;
 use crate::codec::Encoding;
 use crate::container::{ContainerFile, ContainerWriter};
 use crate::crc::crc32;
@@ -146,24 +147,91 @@ impl CheckpointStore {
         format!("rank-{rank:04}.vck")
     }
 
-    /// All generation numbers present on disk (any directory named
-    /// `gen-NNNNNN`, committed or not), ascending.
+    /// All generation numbers present on disk, **sorted ascending**.
+    ///
+    /// Only *directories* whose name round-trips through the store's own
+    /// `gen-NNNNNN` format count; stray files, oddly named directories
+    /// (`gen-abc`, `gen-+3`, `notes/`) and anything else sharing the root
+    /// are skipped. Both committed and uncommitted (manifest-less)
+    /// generations are listed — the write path needs uncommitted ones to
+    /// pick a fresh number; restart filters them out later. Use
+    /// [`CheckpointStore::list_committed_generations`] for the read side.
     pub fn list_generations(&self) -> Vec<u64> {
         let mut gens = Vec::new();
         if let Ok(entries) = fs::read_dir(&self.root) {
             for entry in entries.flatten() {
-                if let Some(g) = entry
-                    .file_name()
+                let is_dir = entry.file_type().map(|t| t.is_dir()).unwrap_or(false);
+                if !is_dir {
+                    continue;
+                }
+                let name = entry.file_name();
+                let Some(g) = name
                     .to_str()
                     .and_then(|n| n.strip_prefix("gen-"))
                     .and_then(|n| n.parse::<u64>().ok())
-                {
+                else {
+                    continue;
+                };
+                // Strict round-trip: rejects signs, hex, stray zeros beyond
+                // the fixed width — anything the store did not write itself.
+                if name.to_str() == Some(format!("gen-{g:06}").as_str()) {
                     gens.push(g);
                 }
             }
         }
         gens.sort_unstable();
         gens
+    }
+
+    /// Generation numbers that have a committed manifest, sorted ascending.
+    ///
+    /// This is the set a reader may serve from: a generation directory
+    /// without `MANIFEST.vckm` is an uncommitted (or torn) write and does
+    /// not exist as far as consumers are concerned.
+    pub fn list_committed_generations(&self) -> Vec<u64> {
+        self.list_generations()
+            .into_iter()
+            .filter(|&g| Manifest::load(&self.gen_dir(g)).is_ok())
+            .collect()
+    }
+
+    /// Open `rank`'s container of generation `g` for random-access record
+    /// reads (see [`crate::access::RankFileReader`]).
+    ///
+    /// Requires a committed manifest and checks the manifest's recorded file
+    /// size (a cheap truncation guard); does *not* run the whole-file CRC —
+    /// per-record chunk CRCs are verified lazily as records are read.
+    pub fn open_rank(&self, g: u64, rank: usize) -> Result<RankFileReader, CkptError> {
+        let gen_dir = self.gen_dir(g);
+        let manifest = Manifest::load(&gen_dir)?;
+        let entry = manifest
+            .files
+            .iter()
+            .find(|f| f.name == Self::rank_file_name(rank))
+            .ok_or_else(|| CkptError::Mismatch {
+                detail: format!("generation {g} manifest has no entry for rank {rank}"),
+            })?;
+        let path = gen_dir.join(&entry.name);
+        let on_disk = fs::metadata(&path)
+            .map_err(|e| CkptError::io(&path, &e))?
+            .len();
+        if on_disk != entry.bytes {
+            return Err(CkptError::Corrupt {
+                path: Some(path),
+                offset: on_disk.min(entry.bytes),
+                detail: format!("file is {on_disk} bytes, manifest recorded {}", entry.bytes),
+            });
+        }
+        let reader = RankFileReader::open(&path)?;
+        if reader.rank as usize != rank || reader.n_ranks as u64 != manifest.n_ranks {
+            return Err(CkptError::Mismatch {
+                detail: format!(
+                    "container header says rank {}/{}, manifest says {rank}/{}",
+                    reader.rank, reader.n_ranks, manifest.n_ranks
+                ),
+            });
+        }
+        Ok(reader)
     }
 
     /// Collective checkpoint write; every rank passes its local `records`.
@@ -539,6 +607,73 @@ mod tests {
         }
         let manifest = Manifest::load(&store.gen_dir(1)).expect("manifest");
         assert_eq!(manifest.files.len(), 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn list_generations_is_sorted_and_skips_junk_entries() {
+        let root = scratch("listgen");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        // Create real generations out of order.
+        for step in [30u64, 10, 20] {
+            store
+                .write_serial(step, 0.01, &rank_records(0), Encoding::Raw, 8)
+                .expect("write");
+        }
+        // Junk that must all be invisible: non-generation directories, a
+        // *file* named like a generation, malformed and non-canonical names.
+        fs::create_dir_all(root.join("notes")).unwrap();
+        fs::create_dir_all(root.join("gen-abc")).unwrap();
+        fs::create_dir_all(root.join("gen-12")).unwrap(); // not zero-padded
+        fs::create_dir_all(root.join("gen-+00007")).unwrap(); // parses, not canonical
+        fs::write(root.join("gen-000009"), b"a file, not a directory").unwrap();
+        fs::write(root.join("README"), b"scratch").unwrap();
+        assert_eq!(store.list_generations(), vec![1, 2, 3]);
+        assert_eq!(store.list_committed_generations(), vec![1, 2, 3]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn list_committed_generations_drops_uncommitted_ones() {
+        let root = scratch("listcommit");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        store
+            .write_serial(1, 0.01, &rank_records(0), Encoding::Raw, 2)
+            .expect("write");
+        store
+            .write_serial(2, 0.01, &rank_records(0), Encoding::Raw, 2)
+            .expect("write");
+        // Simulate a crash between data write and manifest commit.
+        fs::remove_file(store.gen_dir(2).join(crate::manifest::MANIFEST_NAME)).unwrap();
+        assert_eq!(store.list_generations(), vec![1, 2]);
+        assert_eq!(store.list_committed_generations(), vec![1]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_rank_reads_records_without_whole_file_decode() {
+        let root = scratch("openrank");
+        let store = CheckpointStore::new(&root).with_chunk_len(64);
+        let s2 = store.clone();
+        Universe::run(2, move |c| {
+            s2.write_collective(c, 5, 0.02, &rank_records(c.rank()), Encoding::ShuffleRle, 2)
+                .expect("write");
+        });
+        for rank in 0..2usize {
+            let mut rdr = store.open_rank(1, rank).expect("open");
+            assert_eq!(rdr.rank, rank as u32);
+            assert_eq!(rdr.n_ranks, 2);
+            assert_eq!(rdr.record_count(), 2);
+            match rdr.read_record(0).expect("read") {
+                Record::PhaseSpace(ps) => {
+                    assert_eq!(ps.soffset, [2 * rank, 0, 0]);
+                    assert_eq!(ps.as_slice()[0], (rank * 1000) as f32);
+                }
+                other => panic!("unexpected record {}", other.kind_name()),
+            }
+        }
+        // A rank outside the manifest is an error, not a panic.
+        assert!(store.open_rank(1, 7).is_err());
         fs::remove_dir_all(&root).unwrap();
     }
 

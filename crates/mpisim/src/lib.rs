@@ -61,7 +61,9 @@ pub use comm::{
     SendRequest, SimError, SimOptions, Universe,
 };
 pub use fault::KillSwitch;
-pub use plan::{cart_neighbor_edges, CommPlan, PlanChecks, PlanError, PlanStats, ANY_BYTES};
+pub use plan::{
+    cart_neighbor_edges, fanout_reduce_plan, CommPlan, PlanChecks, PlanError, PlanStats, ANY_BYTES,
+};
 pub use sched::{ExplorationReport, Explorer};
 pub use topology::TofuTorus;
 pub use traffic::Traffic;

@@ -659,6 +659,45 @@ pub fn cart_neighbor_edges(decomp: &Decomp3) -> HashSet<(usize, usize)> {
     edges
 }
 
+/// The query-service fan-out/reduce motif as a verified plan: `root` sends a
+/// `req_bytes` request to every other rank, then every rank (root included,
+/// as a self-edge) sends its `reply_bytes` partial back to `root`, which
+/// receives the partials **in ascending rank order**. That receive order is
+/// load-bearing — the reducer folds `f64` partials as they arrive, so the
+/// plan's order is exactly the bitwise-reproducibility contract of
+/// `RegionSums::combine`.
+///
+/// Tags: request to rank `r` uses `base_tag + 2 r`, reply from rank `r` uses
+/// `base_tag + 2 r + 1`, so concurrent batches can stack plans on disjoint
+/// `base_tag` windows of width `2 n_ranks`.
+pub fn fanout_reduce_plan(
+    name: impl Into<String>,
+    n_ranks: usize,
+    root: usize,
+    base_tag: u64,
+    req_bytes: u64,
+    reply_bytes: u64,
+) -> CommPlan {
+    assert!(root < n_ranks);
+    let mut plan = CommPlan::new(name, n_ranks);
+    for r in 0..n_ranks {
+        if r == root {
+            continue;
+        }
+        let tag = base_tag + 2 * r as u64;
+        plan.send(root, r, tag, req_bytes);
+        plan.recv(r, root, tag, req_bytes);
+    }
+    // Reduce phase: ascending rank order, self-edge included so the root's
+    // own partial passes through the same matching machinery.
+    for r in 0..n_ranks {
+        let tag = base_tag + 2 * r as u64 + 1;
+        plan.send(r, root, tag, reply_bytes);
+        plan.recv(root, r, tag, reply_bytes);
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -954,6 +993,30 @@ mod tests {
         let text = errs[0].to_string();
         assert!(text.contains("unwaited request"), "{text}");
         assert!(text.contains("isend"), "{text}");
+    }
+
+    #[test]
+    fn fanout_reduce_plan_verifies_and_orders_the_reduce() {
+        let plan = fanout_reduce_plan("query-fanout", 4, 0, 100, 96, 48);
+        let stats = plan.verify().expect("fan-out/reduce is clean");
+        // 3 requests out + 4 replies back (root self-edge included).
+        assert_eq!(stats.sends, 3 + 4);
+        assert_eq!(stats.bytes, 3 * 96 + 4 * 48);
+        // Root's receive program ends with the replies in ascending rank
+        // order — the order the reducer folds partials in.
+        let reply_recvs: Vec<usize> = plan
+            .program(0)
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Recv { from, tag, .. } if tag % 2 == 1 => Some(from),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reply_recvs, vec![0, 1, 2, 3]);
+        // A non-zero root also verifies.
+        fanout_reduce_plan("q2", 3, 2, 0, 8, 8)
+            .verify()
+            .expect("root 2 plan is clean");
     }
 
     #[test]

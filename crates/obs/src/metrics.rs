@@ -221,6 +221,36 @@ impl HistogramSnapshot {
         Histogram::bin_lower_edge(HISTOGRAM_BINS - 1)
     }
 
+    /// The `q`-quantile (0 ≤ q ≤ 1) under the **upper-bound convention**:
+    /// the *exclusive upper edge* `2^k` of the power-of-two bin containing
+    /// the `⌈q·count⌉`-th smallest sample — i.e. the smallest power of two
+    /// that is guaranteed to exceed at least a `q` fraction of the samples.
+    ///
+    /// This is the conservative reading for latencies: `quantile(0.99)`
+    /// never under-reports a p99, it over-reports by at most 2×. Bin 0
+    /// (exact zeros) reports 1; the top bin saturates at `u64::MAX`. An
+    /// empty histogram reports 0. Compare [`HistogramSnapshot::quantile_lower_edge`],
+    /// which is the matching underestimate.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper edge of bin i: bin 0 holds only zeros (edge 1);
+                // bin k ≥ 1 covers [2^(k-1), 2^k); bin 64 has no finite edge.
+                return match i {
+                    64.. => u64::MAX,
+                    _ => 1u64 << i,
+                };
+            }
+        }
+        u64::MAX
+    }
+
     /// Lower edge of the highest non-empty bin.
     pub fn max_lower_edge(&self) -> u64 {
         self.bins
@@ -419,6 +449,36 @@ mod tests {
         // Median sample is 800 → bin lower edge 512.
         assert_eq!(s.quantile_lower_edge(0.5), 512);
         assert_eq!(s.quantile_lower_edge(1.0), 1 << 20);
+    }
+
+    #[test]
+    fn quantile_upper_bound_convention() {
+        let h = Histogram::new();
+        // Empty histogram: 0 by convention.
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+        for v in [0u64, 1, 800, 800, 800, 1 << 20] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Median sample is 800 → bin [512, 1024) → upper edge 1024.
+        assert_eq!(s.quantile(0.5), 1024);
+        // The upper edge always brackets the matching lower edge.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let lo = s.quantile_lower_edge(q);
+            let hi = s.quantile(q);
+            assert!(hi > lo, "q={q}: upper {hi} must exceed lower {lo}");
+            assert!(hi <= lo.saturating_mul(2).max(1), "q={q}: {lo}..{hi}");
+        }
+        // p99 of six samples is the largest → bin [2^20, 2^21) → 2^21.
+        assert_eq!(s.quantile(0.99), 1 << 21);
+        // All-zero samples: bin 0's upper edge is 1.
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.snapshot().quantile(0.5), 1);
+        // Top bin saturates instead of overflowing the shift.
+        let top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.snapshot().quantile(0.5), u64::MAX);
     }
 
     #[test]

@@ -124,6 +124,137 @@ pub fn velocity_dispersion(ps: &PhaseSpace, density_floor: f64) -> Field3 {
     out
 }
 
+/// Deterministic partial sums of the moment hierarchy over a spatial region.
+///
+/// Everything a region-moment query needs, accumulated so that partials from
+/// different blocks (or ranks) reduce reproducibly: [`region_sums`] iterates
+/// cells in ascending global `(x, y, z)` order single-threaded, and
+/// [`RegionSums::combine`] is plain `f64` addition. Given the same partition
+/// of the region into blocks and the same combine order, the result is
+/// identical to the bit — whether the blocks live in memory or were decoded
+/// from checkpoint records. (Different partitions are different summation
+/// trees and agree only to rounding.)
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegionSums {
+    /// Spatial cells of the region covered by this partial.
+    pub cells: u64,
+    /// `Σ_cells n(x)` — number density summed over covered cells.
+    pub n_sum: f64,
+    /// `Σ_cells Σ_u f u_d Δu³` — momentum density summed over covered cells.
+    pub mom: [f64; 3],
+    /// `Σ_cells Σ_u f |u|² Δu³` — second velocity moment.
+    pub sq_sum: f64,
+}
+
+impl RegionSums {
+    /// Fold another partial into this one. Order matters for bitwise
+    /// reproducibility: callers must combine partials in a fixed order
+    /// (ascending rank, ascending block).
+    pub fn combine(&mut self, rhs: &RegionSums) {
+        self.cells += rhs.cells;
+        self.n_sum += rhs.n_sum;
+        for d in 0..3 {
+            self.mom[d] += rhs.mom[d];
+        }
+        self.sq_sum += rhs.sq_sum;
+    }
+
+    /// Mean number density over the covered cells (0 when empty).
+    pub fn mean_density(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.n_sum / self.cells as f64
+        }
+    }
+
+    /// Region-aggregate bulk velocity `Σmom / Σn`, guarded by a density floor.
+    pub fn bulk_velocity(&self, density_floor: f64) -> [f64; 3] {
+        if self.n_sum > density_floor {
+            [
+                self.mom[0] / self.n_sum,
+                self.mom[1] / self.n_sum,
+                self.mom[2] / self.n_sum,
+            ]
+        } else {
+            [0.0; 3]
+        }
+    }
+
+    /// Region-aggregate velocity dispersion
+    /// `σ² = Σ f|u|²Δu³ / Σn − |<u>|²` (3-D trace), floored at zero.
+    pub fn dispersion(&self, density_floor: f64) -> f64 {
+        if self.n_sum <= density_floor {
+            return 0.0;
+        }
+        let u = self.bulk_velocity(density_floor);
+        let s2 = self.sq_sum / self.n_sum - (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+        s2.max(0.0)
+    }
+}
+
+/// Moment partial sums over the intersection of `[lo, hi)` (global cell
+/// coordinates, `hi` exclusive) with this block.
+///
+/// Per covered cell, the velocity block is reduced in one pass in layout
+/// order; cells are visited in ascending global `(x, y, z)` order. Both
+/// orders are fixed and single-threaded so the result is bitwise
+/// deterministic — the property the query-service differential test pins.
+pub fn region_sums(ps: &PhaseSpace, lo: [usize; 3], hi: [usize; 3]) -> RegionSums {
+    let dv = ps.vgrid.cell_volume();
+    let [nux, nuy, nuz] = ps.vgrid.n;
+    let vgrid = ps.vgrid;
+    let mut out = RegionSums::default();
+    // Clip the region to this block, in local coordinates.
+    let mut clo = [0usize; 3];
+    let mut chi = [0usize; 3];
+    for d in 0..3 {
+        let blo = ps.soffset[d];
+        let bhi = ps.soffset[d] + ps.sdims[d];
+        let l = lo[d].max(blo);
+        let h = hi[d].min(bhi);
+        if l >= h {
+            return out;
+        }
+        clo[d] = l - blo;
+        chi[d] = h - blo;
+    }
+    for ix in clo[0]..chi[0] {
+        for iy in clo[1]..chi[1] {
+            for iz in clo[2]..chi[2] {
+                let block = ps.velocity_block([ix, iy, iz]);
+                let mut n = 0.0f64;
+                let mut mom = [0.0f64; 3];
+                let mut sq = 0.0f64;
+                let mut idx = 0;
+                for iux in 0..nux {
+                    let ux = vgrid.center(0, iux);
+                    for iuy in 0..nuy {
+                        let uy = vgrid.center(1, iuy);
+                        for iuz in 0..nuz {
+                            let uz = vgrid.center(2, iuz);
+                            let f = block[idx] as f64;
+                            n += f;
+                            mom[0] += f * ux;
+                            mom[1] += f * uy;
+                            mom[2] += f * uz;
+                            sq += f * (ux * ux + uy * uy + uz * uz);
+                            idx += 1;
+                        }
+                    }
+                }
+                out.cells += 1;
+                out.n_sum += n * dv;
+                for d in 0..3 {
+                    out.mom[d] += mom[d] * dv;
+                }
+                out.sq_sum += sq * dv;
+            }
+        }
+    }
+    out
+}
+
 /// 1-D speed distribution at one spatial cell: histogram of `f` over `|u|`
 /// shells — the paper's Fig. 5 observable. Returns `(bin_centers, f(|u|))`
 /// where `f(|u|)` is the shell-averaged distribution value.
@@ -215,6 +346,64 @@ mod tests {
         for &v in s2.as_slice() {
             assert!((v - 3.0 * sigma * sigma).abs() < 2e-2, "{v}");
         }
+    }
+
+    #[test]
+    fn region_sums_full_box_matches_per_cell_moments() {
+        let ps = gaussian_ps(0.4, [0.3, -0.2, 0.1]);
+        let sums = region_sums(&ps, [0, 0, 0], ps.sdims);
+        assert_eq!(sums.cells, 8);
+        let n = density(&ps);
+        let n_direct: f64 = n.as_slice().iter().sum();
+        assert!(
+            (sums.n_sum - n_direct).abs() < 1e-12 * n_direct.abs(),
+            "{} vs {n_direct}",
+            sums.n_sum
+        );
+        let u = sums.bulk_velocity(1e-12);
+        for (d, want) in [0.3, -0.2, 0.1].into_iter().enumerate() {
+            assert!((u[d] - want).abs() < 1e-3, "d = {d}: {} vs {want}", u[d]);
+        }
+        let s2 = sums.dispersion(1e-12);
+        assert!((s2 - 3.0 * 0.4 * 0.4).abs() < 2e-2, "{s2}");
+    }
+
+    #[test]
+    fn region_sums_same_partition_is_bitwise_reproducible() {
+        let ps = gaussian_ps(0.5, [0.1, 0.2, -0.3]);
+        // Same partition + same combine order ⇒ bitwise identical results.
+        let split = |ps: &PhaseSpace| {
+            let mut acc = region_sums(ps, [0, 0, 0], [1, 2, 2]);
+            acc.combine(&region_sums(ps, [1, 0, 0], [2, 2, 2]));
+            acc
+        };
+        assert_eq!(split(&ps), split(&ps));
+        // A different partition (one flat pass) is a different f64 summation
+        // tree: equal only to rounding, and that is the documented contract.
+        let whole = region_sums(&ps, [0, 0, 0], ps.sdims);
+        let merged = split(&ps);
+        assert!((merged.n_sum - whole.n_sum).abs() < 1e-12 * whole.n_sum.abs());
+        for d in 0..3 {
+            assert!((merged.mom[d] - whole.mom[d]).abs() < 1e-12 * whole.n_sum.abs());
+        }
+        assert!((merged.sq_sum - whole.sq_sum).abs() < 1e-12 * whole.sq_sum.abs());
+    }
+
+    #[test]
+    fn region_sums_clips_to_block_and_ignores_disjoint_regions() {
+        let vg = VelocityGrid::cubic(8, 2.0);
+        let mut ps = PhaseSpace::zeros_block([2, 2, 2], [2, 0, 0], [4, 2, 2], vg);
+        ps.fill_with(|_, _| 1.0);
+        // Region entirely left of the block.
+        let empty = region_sums(&ps, [0, 0, 0], [2, 2, 2]);
+        assert_eq!(empty.cells, 0);
+        assert_eq!(empty.mean_density(), 0.0);
+        // Region straddling the block boundary covers only the overlap.
+        let overlap = region_sums(&ps, [1, 0, 0], [3, 2, 2]);
+        assert_eq!(overlap.cells, 4);
+        // Uniform f = 1 ⇒ n = (2 vmax)³ per cell.
+        let n_cell = (2.0 * 2.0f64).powi(3);
+        assert!((overlap.mean_density() - n_cell).abs() < 1e-9 * n_cell);
     }
 
     #[test]

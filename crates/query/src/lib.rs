@@ -1,0 +1,45 @@
+//! Async all-sky snapshot query service over checkpoint generations.
+//!
+//! The simulation writes its state as chunked, CRC-protected checkpoint
+//! generations (`vlasov6d-ckpt`). This crate turns a committed generation
+//! into a queryable snapshot: an always-on service answering three request
+//! families without ever loading a whole snapshot into memory —
+//!
+//! * **Region moments** ([`Request::RegionMoments`]): number density, bulk
+//!   velocity and velocity dispersion aggregated over an axis-aligned
+//!   spatial region, via the `vlasov6d-phase-space` moment kernels.
+//! * **All-sky η maps** ([`Request::SkyMap`]): the paper's headline
+//!   deliverable — the relic-neutrino density contrast `η = n/n̄` binned
+//!   onto a self-contained equal-area sky pixelization ([`pixel`]).
+//! * **Backtrack bundles** ([`Request::Backtrack`]): bundles of test
+//!   trajectories launched from a sky direction at the observer and
+//!   integrated backwards through the snapshot's PM potential
+//!   (`vlasov6d-poisson` + `vlasov6d-nbody`), Fermi–Dirac weighted into a
+//!   per-direction number density.
+//!
+//! Architecture: snapshot ownership is sharded exactly like the checkpoint
+//! itself — each `mpisim` rank serves its own `rank-NNNN.vck` through a
+//! random-access reader ([`vlasov6d_ckpt::RankFileReader`]) fronted by a
+//! byte-budgeted LRU of decoded blocks ([`cache`]). A poll-based future API
+//! ([`service`], no external runtime) accepts requests, batches them per
+//! shard, and executes batches on a worker thread; cross-rank requests fan
+//! out over the `mpisim` comm and reduce in ascending rank order so every
+//! `f64` reduction is bitwise reproducible ([`dist`]).
+
+pub mod cache;
+pub mod dist;
+pub mod engine;
+pub mod pixel;
+pub mod request;
+pub mod service;
+pub mod shard;
+
+pub use cache::{CacheStats, DecodedCache};
+pub use dist::{serve_peer, DistBackend, LocalBackend, QueryBackend};
+pub use engine::{finalize_region, finalize_sky, BacktrackEngine, SkyPartial};
+pub use pixel::EqualAreaPixels;
+pub use request::{BacktrackReply, QueryError, RegionMomentsReply, Request, Response, SkyMapReply};
+pub use service::{
+    block_on, JoinWorker, QueryConfig, QueryService, QueryServiceCore, ScopedQueryService, Ticket,
+};
+pub use shard::{BlockInfo, SnapshotShard};

@@ -1,0 +1,306 @@
+//! Request/response types and their wire codec.
+//!
+//! The service API and the cross-rank fan-out share one vocabulary: a
+//! [`Request`] names what to compute, a [`Response`] carries the finished
+//! answer. For the distributed path the root broadcasts a whole batch of
+//! requests as one byte buffer, so requests have a compact little-endian
+//! wire form ([`encode_batch`]/[`decode_batch`]) — hand-rolled because the
+//! workspace is offline and carries no serde.
+
+use std::fmt;
+
+/// One snapshot query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Moments aggregated over the global-cell region `[lo, hi)`
+    /// (`hi` exclusive).
+    RegionMoments { lo: [usize; 3], hi: [usize; 3] },
+    /// All-sky `η = n/n̄` map at resolution `nside`, as seen from
+    /// `observer` (box units `[0, 1)³`).
+    SkyMap { nside: usize, observer: [f64; 3] },
+    /// Bundle of `n_traj` test trajectories from direction `(theta, phi)`
+    /// at `observer`, integrated `steps` KDK steps backwards through the
+    /// snapshot potential.
+    Backtrack {
+        theta: f64,
+        phi: f64,
+        observer: [f64; 3],
+        n_traj: usize,
+        steps: usize,
+    },
+}
+
+impl Request {
+    /// Short family label, used as metric suffix (`query/latency_us/<fam>`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Request::RegionMoments { .. } => "region",
+            Request::SkyMap { .. } => "skymap",
+            Request::Backtrack { .. } => "backtrack",
+        }
+    }
+}
+
+/// Aggregated moments over a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionMomentsReply {
+    /// Spatial cells covered (the region clipped to the global grid).
+    pub cells: u64,
+    /// Mean number density over covered cells.
+    pub mean_density: f64,
+    /// Density-weighted bulk velocity.
+    pub bulk_velocity: [f64; 3],
+    /// Velocity dispersion `σ²` (3-D trace).
+    pub dispersion: f64,
+}
+
+/// All-sky density-contrast map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkyMapReply {
+    /// Resolution parameter; `eta.len() == 12·nside²`.
+    pub nside: usize,
+    /// Per-pixel `η = n_pix / n̄`; `0` for pixels no cell mapped to.
+    pub eta: Vec<f64>,
+    /// Number of pixels at least one cell mapped to.
+    pub covered: usize,
+    /// Global mean density `n̄` the map is normalized by.
+    pub mean_density: f64,
+}
+
+/// Backtracked trajectory bundle, reduced to per-direction statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacktrackReply {
+    /// Trajectories in the bundle.
+    pub n_traj: usize,
+    /// Fermi–Dirac-weighted number density from this direction
+    /// (`Σ u² w(u_final) Δu`, code units).
+    pub number_density: f64,
+    /// Ratio to the unclustered (potential-free) value — the per-direction
+    /// analogue of `η`.
+    pub clustering_ratio: f64,
+    /// Final speed of each trajectory after the backward integration, in
+    /// launch order (deterministic; pinned by the cold/warm-cache test).
+    pub final_speeds: Vec<f64>,
+}
+
+/// One finished answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    RegionMoments(RegionMomentsReply),
+    SkyMap(SkyMapReply),
+    Backtrack(BacktrackReply),
+}
+
+/// Why a query failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The region or parameterization is malformed (empty region, zero
+    /// trajectories, `nside = 0`, …).
+    BadRequest(String),
+    /// The underlying checkpoint read failed (I/O, CRC, decode).
+    Snapshot(String),
+    /// The service worker is gone (shut down or panicked).
+    ServiceClosed,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::BadRequest(m) => write!(f, "bad request: {m}"),
+            QueryError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            QueryError::ServiceClosed => write!(f, "query service closed"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+const TAG_REGION: u8 = 1;
+const TAG_SKYMAP: u8 = 2;
+const TAG_BACKTRACK: u8 = 3;
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], QueryError> {
+        if self.pos + n > self.buf.len() {
+            return Err(QueryError::BadRequest(format!(
+                "truncated request wire: need {n} B at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, QueryError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, QueryError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, QueryError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Encode a batch of requests into one broadcastable buffer.
+pub fn encode_batch(batch: &[Request]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + batch.len() * 64);
+    put_u64(&mut out, batch.len() as u64);
+    for req in batch {
+        match *req {
+            Request::RegionMoments { lo, hi } => {
+                out.push(TAG_REGION);
+                for v in lo.iter().chain(hi.iter()) {
+                    put_u64(&mut out, *v as u64);
+                }
+            }
+            Request::SkyMap { nside, observer } => {
+                out.push(TAG_SKYMAP);
+                put_u64(&mut out, nside as u64);
+                for v in observer {
+                    put_f64(&mut out, v);
+                }
+            }
+            Request::Backtrack {
+                theta,
+                phi,
+                observer,
+                n_traj,
+                steps,
+            } => {
+                out.push(TAG_BACKTRACK);
+                put_f64(&mut out, theta);
+                put_f64(&mut out, phi);
+                for v in observer {
+                    put_f64(&mut out, v);
+                }
+                put_u64(&mut out, n_traj as u64);
+                put_u64(&mut out, steps as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a batch previously produced by [`encode_batch`].
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<Request>, QueryError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let n = c.u64()? as usize;
+    let mut batch = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let req = match c.u8()? {
+            TAG_REGION => {
+                let mut lo = [0usize; 3];
+                let mut hi = [0usize; 3];
+                for v in lo.iter_mut().chain(hi.iter_mut()) {
+                    *v = c.u64()? as usize;
+                }
+                Request::RegionMoments { lo, hi }
+            }
+            TAG_SKYMAP => {
+                let nside = c.u64()? as usize;
+                let mut observer = [0.0f64; 3];
+                for v in &mut observer {
+                    *v = c.f64()?;
+                }
+                Request::SkyMap { nside, observer }
+            }
+            TAG_BACKTRACK => {
+                let theta = c.f64()?;
+                let phi = c.f64()?;
+                let mut observer = [0.0f64; 3];
+                for v in &mut observer {
+                    *v = c.f64()?;
+                }
+                Request::Backtrack {
+                    theta,
+                    phi,
+                    observer,
+                    n_traj: c.u64()? as usize,
+                    steps: c.u64()? as usize,
+                }
+            }
+            tag => return Err(QueryError::BadRequest(format!("unknown request tag {tag}"))),
+        };
+        batch.push(req);
+    }
+    if c.pos != buf.len() {
+        return Err(QueryError::BadRequest(format!(
+            "trailing garbage after batch: {} of {} B consumed",
+            c.pos,
+            buf.len()
+        )));
+    }
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Vec<Request> {
+        vec![
+            Request::RegionMoments {
+                lo: [0, 1, 2],
+                hi: [4, 5, 6],
+            },
+            Request::SkyMap {
+                nside: 2,
+                observer: [0.5, 0.25, 0.75],
+            },
+            Request::Backtrack {
+                theta: 1.25,
+                phi: -0.5,
+                observer: [0.5; 3],
+                n_traj: 16,
+                steps: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let batch = sample_batch();
+        let wire = encode_batch(&batch);
+        assert_eq!(decode_batch(&wire).expect("decode"), batch);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let wire = encode_batch(&[]);
+        assert_eq!(decode_batch(&wire).expect("decode"), vec![]);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let wire = encode_batch(&sample_batch());
+        assert!(decode_batch(&wire[..wire.len() - 3]).is_err());
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(decode_batch(&long).is_err());
+        let mut bad = wire;
+        bad[8] = 99; // first tag byte
+        assert!(decode_batch(&bad).is_err());
+    }
+}

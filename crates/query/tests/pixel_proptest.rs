@@ -1,0 +1,92 @@
+//! Property tests for the equal-area sky pixelization, plus the flat-sky
+//! invariant of the η map: a uniform distribution function must produce a
+//! featureless map.
+
+use proptest::prelude::*;
+use std::f64::consts::PI;
+use vlasov6d_ckpt::{CheckpointStore, Encoding, Record};
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+use vlasov6d_query::{EqualAreaPixels, LocalBackend, QueryBackend, Request, Response};
+
+fn unit(seed: u64, i: u64) -> f64 {
+    // Deterministic uniform in [0, 1) from (seed, i).
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as f64 / u64::MAX as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `ang2pix ∘ pix2ang` is the identity on pixel ids, and an arbitrary
+    /// direction's pixel centre maps back into the same pixel.
+    #[test]
+    fn round_trip_stays_in_pixel(nside in 1usize..9, seed in 0u64..u64::MAX) {
+        let pix = EqualAreaPixels::new(nside);
+        for p in 0..pix.npix() {
+            let (theta, phi) = pix.pix2ang(p);
+            prop_assert_eq!(pix.ang2pix(theta, phi), p);
+        }
+        for i in 0..64u64 {
+            // Uniform on the sphere: z uniform in [-1, 1], φ uniform.
+            let z = 2.0 * unit(seed, 2 * i) - 1.0;
+            let phi = 2.0 * PI * unit(seed, 2 * i + 1);
+            let p = pix.ang2pix(z.acos(), phi);
+            let (tc, pc) = pix.pix2ang(p);
+            prop_assert_eq!(pix.ang2pix(tc, pc), p);
+        }
+    }
+
+    /// Every pixel's analytic solid angle — its ring's `z` band divided by
+    /// the pixels per ring — equals `4π / Npix` to 1e-12.
+    #[test]
+    fn every_pixel_area_is_4pi_over_npix(nside in 1usize..17) {
+        let pix = EqualAreaPixels::new(nside);
+        let want = 4.0 * PI / pix.npix() as f64;
+        prop_assert!((pix.pixel_area() - want).abs() <= 1e-12 * want);
+        for ring in 0..pix.nrings() {
+            let z_hi = 1.0 - 2.0 * ring as f64 / pix.nrings() as f64;
+            let z_lo = 1.0 - 2.0 * (ring + 1) as f64 / pix.nrings() as f64;
+            // Archimedes: band area 2π·Δz, split over ring_len pixels.
+            let area = 2.0 * PI * (z_hi - z_lo) / pix.ring_len() as f64;
+            prop_assert!(
+                (area - want).abs() <= 1e-12 * want,
+                "ring {}: {} vs {}", ring, area, want
+            );
+        }
+    }
+}
+
+/// A uniform `f` has no sky structure: every covered pixel of the η map
+/// must read exactly 1 up to float rounding, from any observer.
+#[test]
+fn eta_map_of_uniform_f_is_flat() {
+    let dir = std::env::temp_dir().join(format!("vq-flat-sky-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir);
+    let mut ps = PhaseSpace::zeros([12, 12, 12], VelocityGrid::cubic(4, 1.0));
+    ps.fill_with(|_, _| 1.0);
+    store
+        .write_serial(1, 0.1, &[Record::PhaseSpace(ps)], Encoding::ShuffleRle, 2)
+        .expect("write");
+    let mut backend =
+        LocalBackend::open(&store, 1, 64 << 20, Default::default()).expect("open backend");
+    for observer in [[0.5, 0.5, 0.5], [0.1, 0.7, 0.3]] {
+        let replies = backend.execute(&[Request::SkyMap { nside: 2, observer }]);
+        let Ok(Response::SkyMap(map)) = &replies[0] else {
+            panic!("skymap failed: {:?}", replies[0]);
+        };
+        assert_eq!(map.eta.len(), 48);
+        assert!(map.covered > 0, "12³ cells must cover some of 48 pixels");
+        for (p, &eta) in map.eta.iter().enumerate() {
+            if eta != 0.0 {
+                assert!((eta - 1.0).abs() < 1e-12, "pixel {p}: η = {eta}");
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

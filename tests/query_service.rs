@@ -1,0 +1,293 @@
+//! End-to-end test of the snapshot query service: a 2-rank simulation
+//! writes a checkpoint generation, the service serves it sharded across the
+//! same two ranks, and
+//!
+//! * a cross-rank region-moment query is **bitwise** equal to the direct
+//!   in-memory computation on the blocks that were checkpointed (the
+//!   rank-ordered reduce contract),
+//! * sky maps agree bitwise between the distributed and local backends,
+//! * backtrack bundles are deterministic across repeated queries and
+//!   across cold/warm decode-cache states,
+//! * the async front (poll-based tickets on a worker thread) returns the
+//!   same answers as driving the backend synchronously.
+
+use std::path::PathBuf;
+use vlasov6d_ckpt::{CheckpointStore, Encoding, Record};
+use vlasov6d_mpisim::Universe;
+use vlasov6d_phase_space::moments::{self, RegionSums};
+use vlasov6d_phase_space::{PhaseSpace, VelocityGrid};
+use vlasov6d_query::engine::BacktrackParams;
+use vlasov6d_query::{
+    block_on, finalize_region, serve_peer, DistBackend, LocalBackend, QueryBackend, QueryConfig,
+    QueryService, Request, Response, ScopedQueryService,
+};
+
+const SGLOBAL: [usize; 3] = [8, 8, 8];
+const CACHE: usize = 64 << 20;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vq-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Rank `rank`'s block: an x-slab with smooth spatial structure and a
+/// drifting Gaussian in u — non-trivial moments everywhere.
+fn rank_block(rank: usize) -> PhaseSpace {
+    let mut ps = PhaseSpace::zeros_block(
+        [4, 8, 8],
+        [4 * rank, 0, 0],
+        SGLOBAL,
+        VelocityGrid::cubic(6, 2.0),
+    );
+    ps.fill_with(|g, u| {
+        let x = g[0] as f64 / SGLOBAL[0] as f64;
+        let y = g[1] as f64 / SGLOBAL[1] as f64;
+        let env = 1.0 + 0.5 * (2.0 * std::f64::consts::PI * x).sin() + 0.25 * y;
+        let drift = [0.3 * x, -0.2, 0.1];
+        let r2 = (u[0] - drift[0]).powi(2) + (u[1] - drift[1]).powi(2) + (u[2] - drift[2]).powi(2);
+        env * (-r2).exp()
+    });
+    ps
+}
+
+/// Write the 2-rank generation and return the store.
+fn write_generation(name: &str) -> CheckpointStore {
+    let root = scratch(name);
+    let store = CheckpointStore::new(&root).with_chunk_len(4096);
+    let s2 = store.clone();
+    Universe::run(2, move |c| {
+        s2.write_collective(
+            c,
+            1,
+            0.1,
+            &[Record::PhaseSpace(rank_block(c.rank()))],
+            Encoding::ShuffleRle,
+            2,
+        )
+        .expect("write");
+    });
+    store
+}
+
+/// The in-memory oracle: the same region fold the service performs, run on
+/// freshly built blocks that never touched disk.
+fn oracle_region(lo: [usize; 3], hi: [usize; 3]) -> vlasov6d_query::RegionMomentsReply {
+    let mut partials: Vec<RegionSums> = Vec::new();
+    for rank in 0..2 {
+        partials.push(moments::region_sums(&rank_block(rank), lo, hi));
+    }
+    finalize_region(&partials)
+}
+
+const REGION: Request = Request::RegionMoments {
+    lo: [2, 1, 0],
+    hi: [7, 7, 8],
+};
+
+#[test]
+fn sharded_region_query_is_bitwise_equal_to_in_memory_oracle() {
+    let store = write_generation("region");
+    let want = oracle_region([2, 1, 0], [7, 7, 8]);
+
+    // Distributed: rank 0 drives the backend, rank 1 serves its shard.
+    let s2 = store.clone();
+    let replies = Universe::run(2, move |c| {
+        if c.rank() == 0 {
+            let mut backend =
+                DistBackend::new(c, &s2, 1, CACHE, BacktrackParams::default()).expect("backend");
+            let out = backend.execute(&[REGION]);
+            backend.shutdown();
+            Some(out)
+        } else {
+            serve_peer(c, &s2, 1, CACHE).expect("peer");
+            None
+        }
+    });
+    let dist_reply = replies[0].clone().expect("root reply")[0]
+        .clone()
+        .expect("region ok");
+    let Response::RegionMoments(dist) = dist_reply else {
+        panic!("wrong family");
+    };
+    // Bitwise: same partials (decoded blocks are bit-identical to the
+    // written ones), same ascending-rank fold, wire codec is to_le_bytes.
+    assert_eq!(dist, want);
+
+    // The local backend over the same generation agrees bitwise too.
+    let mut local =
+        LocalBackend::open(&store, 1, CACHE, BacktrackParams::default()).expect("local");
+    let Ok(Response::RegionMoments(loc)) = local.execute(&[REGION])[0].clone() else {
+        panic!("local region failed");
+    };
+    assert_eq!(loc, want);
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn dist_and_local_backends_agree_bitwise_on_sky_maps() {
+    let store = write_generation("sky");
+    let req = Request::SkyMap {
+        nside: 2,
+        observer: [0.5; 3],
+    };
+    let s2 = store.clone();
+    let r2 = req.clone();
+    let replies = Universe::run(2, move |c| {
+        if c.rank() == 0 {
+            let mut backend =
+                DistBackend::new(c, &s2, 1, CACHE, BacktrackParams::default()).expect("backend");
+            let out = backend.execute(std::slice::from_ref(&r2));
+            backend.shutdown();
+            Some(out)
+        } else {
+            serve_peer(c, &s2, 1, CACHE).expect("peer");
+            None
+        }
+    });
+    let Ok(Response::SkyMap(dist)) = replies[0].clone().expect("root")[0].clone() else {
+        panic!("dist skymap failed");
+    };
+    let mut local =
+        LocalBackend::open(&store, 1, CACHE, BacktrackParams::default()).expect("local");
+    let Ok(Response::SkyMap(loc)) = local.execute(&[req])[0].clone() else {
+        panic!("local skymap failed");
+    };
+    assert_eq!(dist, loc);
+    assert!(dist.covered > 0);
+    // The structured f must actually produce sky contrast.
+    assert!(
+        dist.eta.iter().any(|&e| (e - 1.0).abs() > 1e-3),
+        "expected anisotropy in the η map"
+    );
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn backtrack_is_deterministic_across_repeats_and_cache_states() {
+    let store = write_generation("backtrack");
+    let req = Request::Backtrack {
+        theta: 1.1,
+        phi: 0.4,
+        observer: [0.5; 3],
+        n_traj: 12,
+        steps: 10,
+    };
+    // Tiny cache: every block access is a cold decode (eviction churn).
+    let mut cold =
+        LocalBackend::open(&store, 1, 1024, BacktrackParams::default()).expect("cold backend");
+    let a = cold.execute(std::slice::from_ref(&req))[0]
+        .clone()
+        .expect("a");
+    let b = cold.execute(std::slice::from_ref(&req))[0]
+        .clone()
+        .expect("b");
+    assert_eq!(a, b, "repeat query identical under eviction churn");
+
+    // Large cache: first query cold, second fully warm, third after an
+    // explicit cache clear — all byte-identical.
+    let mut warm =
+        LocalBackend::open(&store, 1, CACHE, BacktrackParams::default()).expect("warm backend");
+    let c1 = warm.execute(std::slice::from_ref(&req))[0]
+        .clone()
+        .expect("c1");
+    let stats_cold = warm.cache_stats();
+    let c2 = warm.execute(std::slice::from_ref(&req))[0]
+        .clone()
+        .expect("c2");
+    let stats_warm = warm.cache_stats();
+    warm.clear_caches();
+    let c3 = warm.execute(std::slice::from_ref(&req))[0]
+        .clone()
+        .expect("c3");
+    assert_eq!(c1, a, "cache geometry must not leak into results");
+    assert_eq!(c1, c2);
+    assert_eq!(c1, c3);
+    assert!(stats_cold.misses > 0, "first pass decodes");
+    assert!(
+        stats_warm.hits > stats_cold.hits || stats_warm.misses == stats_cold.misses,
+        "second pass served from cache: {stats_cold:?} -> {stats_warm:?}"
+    );
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn async_service_matches_synchronous_backend_and_reports_latency() {
+    let store = write_generation("async");
+    let want = oracle_region([2, 1, 0], [7, 7, 8]);
+    let backend = LocalBackend::open(&store, 1, CACHE, BacktrackParams::default()).expect("local");
+    let service = QueryService::start(
+        backend,
+        QueryConfig {
+            batch_max: 4,
+            ..QueryConfig::default()
+        },
+    );
+    // Mixed burst: futures and blocking waits interleaved.
+    let region_tickets: Vec<_> = (0..6).map(|_| service.submit(REGION)).collect();
+    let sky = service.submit(Request::SkyMap {
+        nside: 1,
+        observer: [0.5; 3],
+    });
+    for t in region_tickets {
+        let Ok(Response::RegionMoments(r)) = block_on(t) else {
+            panic!("region failed");
+        };
+        assert_eq!(r, want);
+    }
+    let Ok(Response::SkyMap(map)) = sky.wait() else {
+        panic!("sky failed");
+    };
+    assert_eq!(map.eta.len(), 12);
+    let report = service.latency_report();
+    assert!(
+        report
+            .iter()
+            .any(|(fam, count, _, _)| fam == "region" && *count == 6),
+        "latency report must count the region queries: {report:?}"
+    );
+    assert!(
+        report
+            .iter()
+            .all(|(_, _, p50, p99)| *p50 >= 1 && p50 <= p99),
+        "quantiles ordered: {report:?}"
+    );
+    service.shutdown();
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn async_service_drives_the_distributed_backend() {
+    let store = write_generation("async-dist");
+    let want = oracle_region([2, 1, 0], [7, 7, 8]);
+    let s2 = store.clone();
+    let replies = Universe::run(2, move |c| {
+        if c.rank() == 0 {
+            // The backend borrows the comm, so the worker runs on a scoped
+            // thread: the comm outlives the scope, the service shuts down
+            // (joining the worker and broadcasting shutdown to the peer)
+            // before the scope closes.
+            let backend =
+                DistBackend::new(c, &s2, 1, CACHE, BacktrackParams::default()).expect("backend");
+            let out = std::thread::scope(|scope| {
+                let service =
+                    ScopedQueryService::start_scoped(scope, backend, QueryConfig::default());
+                let tickets: Vec<_> = (0..4).map(|_| service.submit(REGION)).collect();
+                let out: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+                service.shutdown();
+                out
+            });
+            Some(out)
+        } else {
+            serve_peer(c, &s2, 1, CACHE).expect("peer");
+            None
+        }
+    });
+    for r in replies[0].clone().expect("root replies") {
+        let Ok(Response::RegionMoments(got)) = r else {
+            panic!("region failed: {r:?}");
+        };
+        assert_eq!(got, want);
+    }
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
