@@ -13,6 +13,7 @@
 //! the paper reports at 94–99 %.
 
 use crate::diagnostics::StepTimers;
+use crate::scenario::dynamics::{Dynamics, ForceLaw};
 use crate::snapshot::{scheme_from_u8, scheme_to_u8};
 use vlasov6d_advection::line::Scheme;
 use vlasov6d_ckpt::{
@@ -28,7 +29,7 @@ use vlasov6d_phase_space::exchange::{
     sweep_spatial_overlapped, GHOST_WIDTH,
 };
 use vlasov6d_phase_space::{moments, sweep, Exec, PhaseSpace};
-use vlasov6d_poisson::DistPoisson;
+use vlasov6d_poisson::{DistPoisson, IsolatedPoisson, PoissonSolver};
 
 /// How the drift's axis-0 ghost exchange is scheduled against the sweep.
 ///
@@ -53,8 +54,16 @@ pub struct DistributedVlasov {
     pub a: f64,
     pub omega_component: f64,
     solver: DistPoisson,
+    /// Open-boundary solver, present iff the dynamics' force law is
+    /// isolated (built by [`DistributedVlasov::with_dynamics`]).
+    iso_solver: Option<IsolatedPoisson>,
     decomp: Decomp3,
     scheme: Scheme,
+    /// Which force law / time axis the stepper integrates. Defaults to the
+    /// paper's comoving cosmological gravity, on which every expression
+    /// below reduces bitwise to the original hard-coded forms.
+    dynamics: Dynamics,
+    exec: Exec,
     /// CFL caps (spatial must stay < 1 for the ghost width).
     pub cfl_spatial: f64,
     pub max_dln_a: f64,
@@ -105,8 +114,11 @@ impl DistributedVlasov {
             a: a_init,
             omega_component,
             solver,
+            iso_solver: None,
             decomp,
             scheme: Scheme::SlMpp5,
+            dynamics: Dynamics::cosmological(),
+            exec: Exec::Simd,
             cfl_spatial: 0.45,
             max_dln_a: 0.08,
             tag_counter: 1,
@@ -137,6 +149,27 @@ impl DistributedVlasov {
     /// Replace the advection scheme (default [`Scheme::SlMpp5`]).
     pub fn with_scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
+        self
+    }
+
+    /// Run a non-cosmological scenario: replace the force law / time axis
+    /// (default [`Dynamics::cosmological`], which reproduces the original
+    /// behaviour bitwise). For an isolated force law this also builds the
+    /// replicated open-boundary solver.
+    pub fn with_dynamics(mut self, dynamics: Dynamics) -> Self {
+        self.dynamics = dynamics;
+        self.iso_solver = dynamics
+            .force
+            .is_isolated()
+            .then(|| IsolatedPoisson::new(self.ps.sglobal));
+        self
+    }
+
+    /// Replace the sweep execution backend (default [`Exec::Simd`]). Needed
+    /// for velocity grids whose axes are not multiples of the SIMD lane
+    /// count — the plasma scenarios' thin transverse grids, for example.
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -172,14 +205,24 @@ impl DistributedVlasov {
             .assert_valid(&cart_checks);
         ghost_exchange_split_plan(&self.decomp, self.ps.vgrid.len(), 0, GHOST_WIDTH, 100)
             .assert_valid(&cart_checks);
-        // Gravity: two-plane potential exchange for the 4-point gradient.
-        gradient_plan(&self.decomp, self.ps.sdims, 200).assert_valid(&cart_checks);
-        // Poisson: forward + inverse all-to-all transposes (no Cartesian
-        // topology — every rank pair exchanges).
-        self.solver.solve_plan(300).assert_valid(&PlanChecks {
-            topology: None,
-            volume_symmetry: true,
-        });
+        // Gravity: two-plane potential exchange for the 4-point gradient
+        // (periodic path), or the slab allgather of the replicated isolated
+        // solve. Both are all-to-all-free of Cartesian assumptions only in
+        // the latter case.
+        if self.dynamics.force.is_isolated() {
+            allgather_plan(&self.decomp, self.ps.sdims, 200).assert_valid(&PlanChecks {
+                topology: None,
+                volume_symmetry: true,
+            });
+        } else {
+            gradient_plan(&self.decomp, self.ps.sdims, 200).assert_valid(&cart_checks);
+            // Poisson: forward + inverse all-to-all transposes (no Cartesian
+            // topology — every rank pair exchanges).
+            self.solver.solve_plan(300).assert_valid(&PlanChecks {
+                topology: None,
+                volume_symmetry: true,
+            });
+        }
     }
 
     /// Local force fields `-∂φ/∂x_d` at the Vlasov cells of this rank's slab.
@@ -189,15 +232,32 @@ impl DistributedVlasov {
             let _s = span!("gravity.moments");
             moments::density(&self.ps)
         };
-        // Poisson source: ρ - ρ̄ with the exact global mean.
-        let local_sum: f64 = rho.as_slice().iter().sum();
+        if self.dynamics.force.is_isolated() {
+            return self.gravity_isolated(comm, &rho);
+        }
+        // Poisson source: ρ - ρ̄ with the exact global mean. The historical
+        // cosmological path computes the mean with `allreduce_sum`, whose
+        // f64 grouping depends on the rank count; scenario dynamics use the
+        // x-plane-ordered reduction instead, which is bitwise identical at
+        // any rank count (each x plane is wholly owned by one rank).
         let n_cells: f64 = (self.ps.sglobal[0] * self.ps.sglobal[1] * self.ps.sglobal[2]) as f64;
-        let mean = comm.allreduce_sum(local_sum) / n_cells;
+        let mean = if self.dynamics.force == ForceLaw::CosmologicalGravity {
+            let local_sum: f64 = rho.as_slice().iter().sum();
+            comm.allreduce_sum(local_sum) / n_cells
+        } else {
+            let tag = self.next_tags(1);
+            global_plane_ordered_sum(comm, &self.decomp, &rho, tag) / n_cells
+        };
         let source: Vec<f64> = rho.as_slice().iter().map(|v| v - mean).collect();
+        let prefactor = self
+            .dynamics
+            .force
+            .periodic_prefactor(self.a)
+            .expect("periodic gravity path with isolated force law");
         let tag = self.next_tags(4);
         let phi_slab = {
             let _s = span!("gravity.poisson");
-            self.solver.solve(comm, &source, 1.5 / self.a, tag)
+            self.solver.solve(comm, &source, prefactor, tag)
         };
         let phi = Field3::from_vec(self.ps.sdims, phi_slab);
 
@@ -206,6 +266,47 @@ impl DistributedVlasov {
         // neighbour.
         let _g = span!("gravity.gradient");
         gradient_with_ghosts(comm, &self.decomp, &phi, tag + 2)
+    }
+
+    /// Open-boundary gravity: allgather the density slabs, run the
+    /// replicated Hockney–Eastwood solve and slice this rank's slab of the
+    /// force. Every rank performs the identical serial arithmetic on the
+    /// identical assembled field, so the result is bitwise invariant under
+    /// the rank count by construction.
+    fn gravity_isolated(&mut self, comm: &Comm, rho: &Field3) -> [Field3; 3] {
+        let coupling = self
+            .dynamics
+            .force
+            .isolated_coupling()
+            .expect("isolated gravity path with periodic force law");
+        let tag = self.next_tags(1);
+        let full = {
+            let _s = span!("gravity.allgather");
+            allgather_slabs(comm, &self.decomp, rho, tag)
+        };
+        let solver = self
+            .iso_solver
+            .as_ref()
+            .expect("with_dynamics builds the isolated solver");
+        let phi = {
+            let _s = span!("gravity.poisson");
+            solver.solve(&full, coupling)
+        };
+        let _g = span!("gravity.gradient");
+        let force = PoissonSolver::force_from_potential(&phi);
+        let off = self.decomp.local_offset(comm.rank());
+        let dims = self.ps.sdims;
+        force.map(|f| {
+            let mut local = Field3::zeros(dims);
+            for i0 in 0..dims[0] {
+                for i1 in 0..dims[1] {
+                    for i2 in 0..dims[2] {
+                        *local.at_mut(i0, i1, i2) = f.at(off[0] + i0, off[1] + i1, off[2] + i2);
+                    }
+                }
+            }
+            local
+        })
     }
 
     /// One Strang-split step; returns `(a_new, Δt_code)`.
@@ -235,17 +336,21 @@ impl DistributedVlasov {
         let scope = StepScope::begin(self.step_index);
         let force = self.gravity(comm);
 
-        // Global Δa control: spatial CFL < limit, velocity CFL ≤ ~1.
+        // Global Δa (or Δt) control: spatial CFL < limit, velocity CFL ≤ ~1.
+        // All factors route through the dynamics' time axis; the expanding
+        // axis reproduces the original background-integral expressions
+        // bitwise.
+        let time = self.dynamics.time;
         let (a1, a2, k1, k2, drift) = {
             let _s = span!("dt_control", Bucket::Other);
             let a1 = self.a;
-            let mut a2 = a1 * (1.0 + self.max_dln_a);
+            let mut a2 = time.propose(&self.background, a1, self.max_dln_a);
             let nx = self.ps.sglobal[0] as f64;
             let local_fmax = force.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
             let fmax = comm.allreduce_max(local_fmax);
             for _ in 0..60 {
-                let drift = self.background.drift_factor(a1, a2);
-                let kick = self.background.kick_factor(a1, a2);
+                let drift = time.drift_factor(&self.background, a1, a2);
+                let kick = time.kick_factor(&self.background, a1, a2);
                 let ok_space = self.ps.vgrid.vmax * drift * nx < self.cfl_spatial;
                 let ok_vel = fmax * 0.5 * kick / self.ps.vgrid.du(0) <= 1.0;
                 if ok_space && ok_vel {
@@ -253,13 +358,10 @@ impl DistributedVlasov {
                 }
                 a2 = a1 + 0.5 * (a2 - a1);
             }
-            let am = {
-                let t = 0.5 * (self.background.time_of_a(a1) + self.background.time_of_a(a2));
-                self.background.a_of_time(t)
-            };
-            let k1 = self.background.kick_factor(a1, am);
-            let k2 = self.background.kick_factor(am, a2);
-            (a1, a2, k1, k2, self.background.drift_factor(a1, a2))
+            let am = time.midpoint(&self.background, a1, a2);
+            let k1 = time.kick_factor(&self.background, a1, am);
+            let k2 = time.kick_factor(&self.background, am, a2);
+            (a1, a2, k1, k2, time.drift_factor(&self.background, a1, a2))
         };
 
         self.kick(&force, k1);
@@ -285,7 +387,7 @@ impl DistributedVlasov {
                 let cfl: Vec<f64> = (0..self.ps.vgrid.n[d])
                     .map(|k| self.ps.vgrid.center(d, k) * drift * n_d)
                     .collect();
-                sweep::sweep_spatial(&mut self.ps, d, &cfl, self.scheme, Exec::Simd);
+                sweep::sweep_spatial(&mut self.ps, d, &cfl, self.scheme, self.exec);
             }
         }
 
@@ -300,7 +402,7 @@ impl DistributedVlasov {
                 .trace_capacity
                 .and_then(|_| vlasov6d_obs::trace::drain(comm.rank())),
         };
-        (a2, self.background.kick_factor(a1, a2), telemetry)
+        (a2, time.kick_factor(&self.background, a1, a2), telemetry)
     }
 
     /// Velocity sweeps with the given kick factor (the caller passes the
@@ -311,7 +413,7 @@ impl DistributedVlasov {
             let du = self.ps.vgrid.du(d);
             let mut cfl = force[d].clone();
             cfl.scale(kick / du);
-            sweep::sweep_velocity(&mut self.ps, d, &cfl, self.scheme, Exec::Simd);
+            sweep::sweep_velocity(&mut self.ps, d, &cfl, self.scheme, self.exec);
         }
     }
 
@@ -492,6 +594,96 @@ impl DistributedVlasov {
             momentum,
         }
     }
+}
+
+/// Sum of a slab-decomposed field with rank-count-invariant f64 grouping:
+/// per-x-plane partial sums (each plane wholly owned by one rank, inner
+/// loops in fixed order) are gathered and added in global x order. Any
+/// decomposition of the same global grid therefore performs the identical
+/// additions in the identical order — unlike `allreduce_sum`, whose
+/// grouping follows the rank count.
+fn global_plane_ordered_sum(comm: &Comm, decomp: &Decomp3, rho: &Field3, tag: u64) -> f64 {
+    let [n0, n1, n2] = rho.dims();
+    let mut planes = Vec::with_capacity(n0);
+    for i0 in 0..n0 {
+        let mut s = 0.0;
+        for i1 in 0..n1 {
+            for i2 in 0..n2 {
+                s += rho.at(i0, i1, i2);
+            }
+        }
+        planes.push(s);
+    }
+    let n = comm.size();
+    for dst in 0..n {
+        if dst != comm.rank() {
+            comm.send(dst, tag, planes.clone());
+        }
+    }
+    let mut total = 0.0;
+    // Ranks own contiguous x slabs in rank order, so rank order = x order.
+    for src in 0..n {
+        let sums: Vec<f64> = if src == comm.rank() {
+            planes.clone()
+        } else {
+            comm.recv(src, tag)
+        };
+        debug_assert_eq!(sums.len(), decomp.local_dims(src)[0]);
+        for s in sums {
+            total += s;
+        }
+    }
+    total
+}
+
+/// Allgather the slab-decomposed density into the full global field on
+/// every rank (for the replicated isolated solve). One tag; `(src, dst,
+/// tag)` triples stay unique because the source rank differs.
+fn allgather_slabs(comm: &Comm, decomp: &Decomp3, rho: &Field3, tag: u64) -> Field3 {
+    let n = comm.size();
+    let me = comm.rank();
+    let mine: Vec<f64> = rho.as_slice().to_vec();
+    for dst in 0..n {
+        if dst != me {
+            comm.send(dst, tag, mine.clone());
+        }
+    }
+    let mut full = Field3::zeros(decomp.global);
+    let [_, g1, g2] = decomp.global;
+    for src in 0..n {
+        let slab: Vec<f64> = if src == me {
+            mine.clone()
+        } else {
+            comm.recv(src, tag)
+        };
+        let off = decomp.local_offset(src);
+        let dims = decomp.local_dims(src);
+        assert_eq!(slab.len(), dims[0] * dims[1] * dims[2]);
+        for (flat, v) in slab.into_iter().enumerate() {
+            let i2 = flat % dims[2];
+            let i1 = (flat / dims[2]) % dims[1];
+            let i0 = flat / (dims[2] * dims[1]);
+            *full.at_mut(off[0] + i0, (off[1] + i1) % g1, (off[2] + i2) % g2) = v;
+        }
+    }
+    full
+}
+
+/// Declarative plan of [`allgather_slabs`]: every rank sends its whole slab
+/// to every other rank under one tag.
+fn allgather_plan(decomp: &Decomp3, local_dims: [usize; 3], tag: u64) -> CommPlan {
+    let mut plan = CommPlan::new("gravity.allgather", decomp.n_ranks());
+    for r in 0..decomp.n_ranks() {
+        let bytes =
+            (local_dims[0] * local_dims[1] * local_dims[2] * std::mem::size_of::<f64>()) as u64;
+        for other in 0..decomp.n_ranks() {
+            if other != r {
+                plan.send(r, other, tag, bytes);
+                plan.recv(other, r, tag, bytes);
+            }
+        }
+    }
+    plan
 }
 
 /// Declarative plan of the [`gradient_with_ghosts`] exchange: two φ planes

@@ -63,30 +63,30 @@ pub fn particle_density(positions: &[[f64; 3]], particle_mass: f64, dims: [usize
 /// Apply an isotropic k-space filter `t(k_code)` to a field (k in box units,
 /// `k = 2π|m|`). Used for the ν free-streaming suppression of the ICs.
 pub fn filter_kspace<T: Fn(f64) -> f64>(field: &Field3, t: T) -> Field3 {
-    let [n, n1, n2] = field.dims();
-    assert!(n == n1 && n == n2);
+    let dims = field.dims();
+    let [n0, n1, n2] = dims;
     let mut data: Vec<Complex64> = field
         .as_slice()
         .iter()
         .map(|&v| Complex64::real(v))
         .collect();
-    let plan = Fft3::new([n, n, n]);
+    let plan = Fft3::new(dims);
     plan.forward(&mut data);
     let two_pi = 2.0 * std::f64::consts::PI;
-    for i0 in 0..n {
-        let m0 = freq(i0, n);
-        for i1 in 0..n {
-            let m1 = freq(i1, n);
-            for i2 in 0..n {
-                let m2 = freq(i2, n);
+    for i0 in 0..n0 {
+        let m0 = freq(i0, n0);
+        for i1 in 0..n1 {
+            let m1 = freq(i1, n1);
+            for i2 in 0..n2 {
+                let m2 = freq(i2, n2);
                 let k = two_pi * (m0 * m0 + m1 * m1 + m2 * m2).sqrt();
-                let idx = (i0 * n + i1) * n + i2;
+                let idx = (i0 * n1 + i1) * n2 + i2;
                 data[idx] = data[idx].scale(t(k));
             }
         }
     }
     plan.inverse(&mut data);
-    Field3::from_vec([n, n, n], data.into_iter().map(|z| z.re).collect())
+    Field3::from_vec(dims, data.into_iter().map(|z| z.re).collect())
 }
 
 #[inline]

@@ -35,6 +35,9 @@
 //!   `checkpoint`/`resume_from` methods use the ckpt store directly.
 //! * [`spectrum`] — power-spectrum estimation of component fields.
 //! * [`dist_sim`] — the multi-rank Vlasov–Poisson driver over `mpisim`.
+//! * [`scenario`] — the scenario registry: data-driven initial conditions,
+//!   force laws, time axes, conservation bands and analytic-rate oracles
+//!   (cosmological, electrostatic plasma, self-gravitating King spheres).
 
 pub mod config;
 pub mod diagnostics;
@@ -42,6 +45,7 @@ pub mod dist_sim;
 pub mod fields;
 pub mod maps;
 pub mod noise;
+pub mod scenario;
 pub mod sim;
 pub mod snapshot;
 pub mod spectrum;
@@ -49,5 +53,8 @@ pub mod spectrum;
 pub use config::SimulationConfig;
 pub use diagnostics::StepRecord;
 pub use dist_sim::{DistributedVlasov, OverlapPolicy};
+pub use scenario::dynamics::{Dynamics, ForceLaw, TimeAxis};
+pub use scenario::engine::{KineticDiag, KineticSimulation};
+pub use scenario::{KineticScenario, Scenario, ScenarioRegistry};
 pub use sim::HybridSimulation;
 pub use spectrum::Spectrum;

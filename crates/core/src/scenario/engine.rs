@@ -1,0 +1,393 @@
+//! The generic serial kinetic stepper: one Strang-split Vlasov–Poisson
+//! engine parameterised by a [`KineticScenario`]'s [`ForceLaw`]/[`TimeAxis`].
+//!
+//! This is the single-rank oracle the distributed differential tests run
+//! against, and the measurement engine behind the analytic-rate oracles:
+//! every step appends a [`KineticDiag`] row (mass, momentum, energies,
+//! L2 norm, probed mode amplitude), so a scenario run *is* its diagnostic
+//! history.
+
+use vlasov6d_ckpt::{CheckpointStore, CkptError, CkptStats, Encoding, Record, SimState};
+use vlasov6d_cosmology::{Background, CosmologyParams};
+use vlasov6d_mesh::Field3;
+use vlasov6d_obs::{span, Bucket};
+use vlasov6d_phase_space::{moments, sweep, PhaseSpace};
+use vlasov6d_poisson::{IsolatedPoisson, PoissonSolver};
+
+use super::dynamics::{ForceLaw, TimeAxis};
+use super::measure::{ProbeSpec, RateCheck};
+use super::KineticScenario;
+
+/// Per-step diagnostics of a kinetic scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct KineticDiag {
+    pub step: usize,
+    /// Time (or scale factor, for an expanding axis) after the step.
+    pub t: f64,
+    /// Kick integral of the full step (Δt for a static axis).
+    pub dt: f64,
+    pub mass: f64,
+    pub momentum: [f64; 3],
+    pub kinetic: f64,
+    pub potential: f64,
+    /// `kinetic + potential` — conserved for static-background force laws.
+    pub energy: f64,
+    /// Probed density-mode amplitude (per [`ProbeSpec`]).
+    pub mode_amp: f64,
+    pub f_min: f32,
+    /// Squared L2 norm `Σ f² Δu³ Δx³` (monotone schemes may only shrink it).
+    pub l2: f64,
+}
+
+enum FieldSolver {
+    Periodic(PoissonSolver),
+    Isolated(IsolatedPoisson),
+}
+
+/// A serial Vlasov–Poisson run of one registered scenario.
+pub struct KineticSimulation {
+    ps: PhaseSpace,
+    t: f64,
+    step_count: usize,
+    background: Background,
+    force_law: ForceLaw,
+    time_axis: TimeAxis,
+    scheme: vlasov6d_advection::line::Scheme,
+    exec: vlasov6d_phase_space::Exec,
+    cfl_spatial: f64,
+    max_step: f64,
+    solver: FieldSolver,
+    probe: ProbeSpec,
+    /// Cached `−∇φ` on the spatial grid, recomputed after each drift.
+    force: [Field3; 3],
+    /// `½ Σ source·φ·Δx³` of the last solve (see module docs for why this
+    /// expression is the conserved potential energy for *both* force signs).
+    potential: f64,
+    history: Vec<KineticDiag>,
+}
+
+impl KineticSimulation {
+    /// Build the engine around an already-filled phase space. Most callers
+    /// want [`KineticScenario::build`], which fills the initial condition.
+    pub fn new(ps: PhaseSpace, sc: &KineticScenario) -> Self {
+        assert_eq!(ps.sdims, ps.sglobal, "the serial engine takes whole grids");
+        let sdims = ps.sdims;
+        let solver = match sc.force.is_isolated() {
+            true => FieldSolver::Isolated(IsolatedPoisson::new(sdims)),
+            false => FieldSolver::Periodic(PoissonSolver::new(sdims)),
+        };
+        let t0 = match sc.time {
+            // Scale factor and code time both start at 1 by convention for
+            // static axes; expanding scenarios override via `set_time`.
+            TimeAxis::Expanding => 1.0,
+            TimeAxis::Static => 0.0,
+        };
+        let mut sim = Self {
+            ps,
+            t: t0,
+            step_count: 0,
+            background: Background::new(CosmologyParams::planck2015()),
+            force_law: sc.force,
+            time_axis: sc.time,
+            scheme: sc.grid.scheme,
+            exec: sc.grid.exec,
+            cfl_spatial: sc.cfl_spatial,
+            max_step: sc.max_step,
+            solver,
+            probe: sc.probe,
+            force: [
+                Field3::zeros(sdims),
+                Field3::zeros(sdims),
+                Field3::zeros(sdims),
+            ],
+            potential: 0.0,
+            history: Vec::new(),
+        };
+        sim.compute_force();
+        sim
+    }
+
+    /// Override the starting time / scale factor (expanding scenarios start
+    /// deep in the matter era, not at `a = 1`). Recomputes the cached force.
+    pub fn set_time(&mut self, t: f64) {
+        self.t = t;
+        self.compute_force();
+    }
+
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    pub fn step_count(&self) -> usize {
+        self.step_count
+    }
+
+    pub fn phase_space(&self) -> &PhaseSpace {
+        &self.ps
+    }
+
+    pub fn history(&self) -> &[KineticDiag] {
+        &self.history
+    }
+
+    /// Solve the scenario's Poisson problem at the current state and cache
+    /// `−∇φ` plus the potential energy `½ Σ source·φ·Δx³`.
+    fn compute_force(&mut self) {
+        let _s = span!("scenario.gravity", Bucket::Pm);
+        let mut rho = moments::density(&self.ps);
+        let dx3 = 1.0 / rho.len() as f64;
+        let phi = match &self.solver {
+            FieldSolver::Periodic(solver) => {
+                let prefactor = self
+                    .force_law
+                    .periodic_prefactor(self.t)
+                    .expect("periodic solver with isolated force law");
+                let mean = rho.mean();
+                for v in rho.as_mut_slice() {
+                    *v -= mean;
+                }
+                solver.solve(&rho, prefactor)
+            }
+            FieldSolver::Isolated(solver) => {
+                let coupling = self
+                    .force_law
+                    .isolated_coupling()
+                    .expect("isolated solver with periodic force law");
+                solver.solve(&rho, coupling)
+            }
+        };
+        let mut pe = 0.0;
+        for (s, p) in rho.as_slice().iter().zip(phi.as_slice()) {
+            pe += s * p;
+        }
+        self.potential = 0.5 * pe * dx3;
+        self.force = PoissonSolver::force_from_potential(&phi);
+    }
+
+    /// Next step endpoint under the per-step ceiling and both CFL limits.
+    fn next_time(&self) -> f64 {
+        let _s = span!("scenario.dt_control", Bucket::Other);
+        let mut t2 = self
+            .time_axis
+            .propose(&self.background, self.t, self.max_step);
+        let vmax = self.ps.vgrid.vmax;
+        let fmax = self.force[0]
+            .max_abs()
+            .max(self.force[1].max_abs())
+            .max(self.force[2].max_abs());
+        let du_min = (0..3).map(|d| self.ps.vgrid.du(d)).fold(f64::MAX, f64::min);
+        for _ in 0..60 {
+            let drift = self.time_axis.drift_factor(&self.background, self.t, t2);
+            let n_max = self.ps.sglobal.iter().copied().max().unwrap() as f64;
+            let ok_spatial = vmax * drift * n_max <= self.cfl_spatial;
+            let tm = self.time_axis.midpoint(&self.background, self.t, t2);
+            let kick_half = self.time_axis.kick_factor(&self.background, self.t, tm);
+            let ok_velocity = fmax * kick_half / du_min <= 1.0;
+            if ok_spatial && ok_velocity {
+                return t2;
+            }
+            t2 = self.t + 0.5 * (t2 - self.t);
+        }
+        t2
+    }
+
+    /// Advance one Strang-split step (K₁ · D · K₂ with the solve at the
+    /// post-drift state) and append the diagnostics row.
+    pub fn step(&mut self) -> &KineticDiag {
+        let _scope = span!("scenario.step", Bucket::Other);
+        let t1 = self.t;
+        let t2 = self.next_time();
+        let tm = self.time_axis.midpoint(&self.background, t1, t2);
+        let k1 = self.time_axis.kick_factor(&self.background, t1, tm);
+        let k2 = self.time_axis.kick_factor(&self.background, tm, t2);
+        let drift = self.time_axis.drift_factor(&self.background, t1, t2);
+
+        self.kick(k1);
+        for d in 0..3 {
+            let n_d = self.ps.sglobal[d] as f64;
+            let cfl: Vec<f64> = (0..self.ps.vgrid.n[d])
+                .map(|k| self.ps.vgrid.center(d, k) * drift * n_d)
+                .collect();
+            sweep::sweep_spatial(&mut self.ps, d, &cfl, self.scheme, self.exec);
+        }
+        self.t = t2;
+        self.compute_force();
+        self.kick(k2);
+
+        self.step_count += 1;
+        let diag = self.diagnose(self.time_axis.kick_factor(&self.background, t1, t2));
+        self.history.push(diag);
+        self.history.last().unwrap()
+    }
+
+    fn kick(&mut self, kick: f64) {
+        for d in 0..3 {
+            let du = self.ps.vgrid.du(d);
+            let mut cfl = self.force[d].clone();
+            cfl.scale(kick / du);
+            sweep::sweep_velocity(&mut self.ps, d, &cfl, self.scheme, self.exec);
+        }
+    }
+
+    /// Step until `t ≥ t_end` (the CFL controller sets the actual step
+    /// sizes). Returns the number of steps taken.
+    pub fn run_to(&mut self, t_end: f64) -> usize {
+        let mut n = 0;
+        while self.t < t_end - 1e-12 {
+            self.step();
+            n += 1;
+            assert!(n < 100_000, "run_to({t_end}) failed to terminate");
+        }
+        n
+    }
+
+    /// The current diagnostics row (without stepping).
+    pub fn diagnose(&self, dt: f64) -> KineticDiag {
+        let _s = span!("scenario.diagnostics", Bucket::Other);
+        let rho = moments::density(&self.ps);
+        let dx3 = 1.0 / rho.len() as f64;
+        let dv = self.ps.vgrid.cell_volume();
+        let momentum = [
+            moments::momentum(&self.ps, 0).sum() * dx3,
+            moments::momentum(&self.ps, 1).sum() * dx3,
+            moments::momentum(&self.ps, 2).sum() * dx3,
+        ];
+
+        // ½ Σ f u² and Σ f² over the grid, via a u² lookup per velocity cell.
+        let vg = self.ps.vgrid;
+        let mut u2 = Vec::with_capacity(vg.len());
+        for iux in 0..vg.n[0] {
+            for iuy in 0..vg.n[1] {
+                for iuz in 0..vg.n[2] {
+                    u2.push(
+                        vg.center(0, iux).powi(2)
+                            + vg.center(1, iuy).powi(2)
+                            + vg.center(2, iuz).powi(2),
+                    );
+                }
+            }
+        }
+        let vlen = vg.len();
+        let (mut ke, mut l2) = (0.0f64, 0.0f64);
+        for block in self.ps.as_slice().chunks_exact(vlen) {
+            for (f, u2) in block.iter().zip(&u2) {
+                let f = *f as f64;
+                ke += f * u2;
+                l2 += f * f;
+            }
+        }
+        ke *= 0.5 * dv * dx3;
+        l2 *= dv * dx3;
+
+        KineticDiag {
+            step: self.step_count,
+            t: self.t,
+            dt,
+            mass: self.ps.total_mass(),
+            momentum,
+            kinetic: ke,
+            potential: self.potential,
+            energy: ke + self.potential,
+            mode_amp: self.probe.amplitude(&rho),
+            f_min: self.ps.min_value(),
+            l2,
+        }
+    }
+
+    /// Run the scenario's oracle measurement: step to the oracle's `t_end`
+    /// and judge the mode-amplitude history against the expected rate.
+    pub fn measure_rate(&mut self, sc: &KineticScenario) -> RateCheck {
+        let oracle = sc.oracle.expect("scenario declares no rate oracle");
+        if self.history.is_empty() {
+            let d = self.diagnose(0.0);
+            self.history.push(d);
+        }
+        self.run_to(self.history[0].t + oracle.t_end);
+        let times: Vec<f64> = self.history.iter().map(|d| d.t).collect();
+        let amps: Vec<f64> = self.history.iter().map(|d| d.mode_amp).collect();
+        oracle.judge(&times, &amps)
+    }
+
+    /// Checkpoint the full engine state into `store`. The cached force
+    /// fields ride along as named meshes: the stepper computes them *before*
+    /// the second kick, whose velocity-boundary outflow perturbs the density
+    /// in its last ulps — recomputing from the saved distribution would be
+    /// algorithmically right but bitwise wrong.
+    pub fn save_checkpoint(&self, store: &CheckpointStore) -> Result<CkptStats, CkptError> {
+        let mut records = vec![
+            Record::PhaseSpace(self.ps.clone()),
+            Record::SimState(SimState {
+                step: self.step_count as u64,
+                tag_counter: 0,
+                a: self.t,
+                // No Ω for a generic kinetic run — the slot carries the
+                // cached potential energy of the last solve instead.
+                omega_component: self.potential,
+                cfl_spatial: self.cfl_spatial,
+                max_dln_a: self.max_step,
+                scheme: crate::snapshot::scheme_to_u8(self.scheme),
+                rng: Vec::new(),
+            }),
+        ];
+        for (d, f) in self.force.iter().enumerate() {
+            records.push(Record::FieldMesh {
+                name: format!("force{d}"),
+                field: f.clone(),
+            });
+        }
+        store.write_serial(self.step_count as u64, self.t, &records, Encoding::Raw, 2)
+    }
+
+    /// Rebuild an engine from the newest intact checkpoint generation. The
+    /// saved force meshes (not a recompute) restore the cached force, so
+    /// the continuation is bitwise identical to the uninterrupted run.
+    pub fn resume(sc: &KineticScenario, store: &CheckpointStore) -> Result<Self, CkptError> {
+        let loaded = store.load_serial()?;
+        let mut ps = None;
+        let mut state = None;
+        let mut force: [Option<Field3>; 3] = [None, None, None];
+        for r in loaded.records {
+            match r {
+                Record::PhaseSpace(p) => ps = Some(p),
+                Record::SimState(s) => state = Some(s),
+                Record::FieldMesh { name, field } => {
+                    if let Some(d) = name
+                        .strip_prefix("force")
+                        .and_then(|s| s.parse::<usize>().ok())
+                    {
+                        if d < 3 {
+                            force[d] = Some(field);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (ps, state) = match (ps, state) {
+            (Some(p), Some(s)) => (p, s),
+            _ => {
+                return Err(CkptError::Mismatch {
+                    detail: "checkpoint lacks phase-space or sim-state record".into(),
+                })
+            }
+        };
+        let scheme = crate::snapshot::scheme_from_u8(state.scheme)
+            .map_err(|detail| CkptError::Mismatch { detail })?;
+        let mut sim = KineticSimulation::new(ps, sc);
+        sim.scheme = scheme;
+        sim.cfl_spatial = state.cfl_spatial;
+        sim.max_step = state.max_dln_a;
+        sim.step_count = state.step as usize;
+        sim.t = state.a;
+        match force {
+            [Some(f0), Some(f1), Some(f2)] => {
+                sim.force = [f0, f1, f2];
+                sim.potential = state.omega_component;
+            }
+            // Older checkpoints without force meshes: recompute (correct to
+            // rounding, though not bitwise against the uninterrupted run).
+            _ => sim.compute_force(),
+        }
+        Ok(sim)
+    }
+}

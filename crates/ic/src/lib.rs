@@ -5,6 +5,9 @@
 //!   power-spectrum estimator used to close the loop in tests.
 //! * [`zeldovich`] — Zel'dovich displacement/velocity fields and the CDM
 //!   particle loader (lattice + displacement, canonical velocities).
+//! * [`kinetic`] — non-cosmological kinetic loads for the scenario registry:
+//!   drifting-Maxwellian plasma beams (Landau/two-stream/bump-on-tail) and
+//!   the lowered-isothermal King sphere of Yoshikawa et al. (2013).
 //! * [`neutrino`] — the 6-D neutrino loading: a truncated, renormalised
 //!   Fermi–Dirac in velocity space modulated by the linear ν density field;
 //!   and the equivalent *particle* sampling used by the comparison N-body
@@ -14,9 +17,13 @@
 //! `Units` handles conversions at the boundary.
 
 pub mod grf;
+pub mod kinetic;
 pub mod neutrino;
 pub mod zeldovich;
 
 pub use grf::{measure_power, GaussianField};
+pub use kinetic::{
+    load_king_spheres, load_plasma_beams, KingModel, KingSpherePlacement, PlasmaBeam,
+};
 pub use neutrino::{load_neutrino_phase_space, sample_neutrino_particles, FermiDiracSampler};
 pub use zeldovich::ZeldovichIc;

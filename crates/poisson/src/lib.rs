@@ -18,11 +18,16 @@
 //!   and a from-scratch `erfc`.
 //! * [`dist`] — the same solve over slab-decomposed fields on the `mpisim`
 //!   runtime (the parallel-PM code path of the paper's §5.1.3).
+//! * [`isolated`] — [`isolated::IsolatedPoisson`]: open-boundary solve by
+//!   zero-padded Green's-function convolution (Hockney–Eastwood), used by
+//!   the self-gravitating King-sphere scenarios.
 
 pub mod dist;
+pub mod isolated;
 pub mod solver;
 pub mod split;
 
 pub use dist::DistPoisson;
+pub use isolated::IsolatedPoisson;
 pub use solver::{GreensForm, PoissonSolver};
 pub use split::ForceSplit;

@@ -2,6 +2,8 @@
 //! the property that lets the scaling study trust the mpisim replicas.
 
 use vlasov6d::dist_sim::{DistributedVlasov, OverlapPolicy};
+use vlasov6d::scenario::{king, plasma};
+use vlasov6d::KineticScenario;
 use vlasov6d_advection::line::Scheme;
 use vlasov6d_cosmology::{Background, CosmologyParams};
 use vlasov6d_mesh::{Decomp3, Field3};
@@ -165,6 +167,127 @@ fn overlapped_step_is_bitwise_identical_to_synchronous() {
                     );
                 }
             });
+        }
+    }
+}
+
+/// One rank's `(t, Δt)` clock stream, as bits for exact comparison.
+type ClockStream = Vec<(u64, u64)>;
+
+/// Run a registered scenario on the distributed driver with `n_ranks` slabs
+/// and return `(full-or-block phase spaces in rank order, per-step clocks)`.
+/// `make` is a plain `fn` so the closure stays `Copy + Send` for the
+/// universe's thread spawn.
+fn run_scenario_distributed(
+    make: fn() -> KineticScenario,
+    n_ranks: usize,
+    steps: usize,
+) -> (Vec<Vec<f32>>, Vec<ClockStream>) {
+    let results = Universe::run(n_ranks, move |comm| {
+        let sc = make();
+        let decomp = Decomp3::new(sc.grid.sdims, [comm.size(), 1, 1]);
+        let mut local = PhaseSpace::zeros_block(
+            decomp.local_dims(comm.rank()),
+            decomp.local_offset(comm.rank()),
+            sc.grid.sdims,
+            sc.grid.vgrid,
+        );
+        sc.fill(&mut local);
+        let bg = Background::new(CosmologyParams::planck2015());
+        // Static time axis: `a` is plain time starting at 0; the mean
+        // density is subtracted from the measured field, so the Ω anchor
+        // is unused.
+        let mut sim = DistributedVlasov::new(comm, local, bg, 0.0, 0.0)
+            .with_dynamics(sc.dynamics())
+            .with_scheme(sc.grid.scheme)
+            .with_exec(sc.grid.exec)
+            .with_plan_verification();
+        sim.max_dln_a = sc.max_step;
+        sim.cfl_spatial = sc.cfl_spatial;
+        let mut clocks = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let (t, dt) = sim.step(comm);
+            clocks.push((t.to_bits(), dt.to_bits()));
+            comm.barrier();
+        }
+        (sim.ps.as_slice().to_vec(), clocks)
+    });
+    results.into_iter().unzip()
+}
+
+/// Differential oracle for the scenario families: the 2-rank slab run must
+/// be **bitwise** identical to the 1-rank serial oracle — same clocks, same
+/// every `f32` bit. The x-slab layout makes each rank's block a contiguous
+/// chunk of the serial flat array (`ix` is the slowest index), so the
+/// comparison is a straight concatenation.
+fn assert_two_ranks_match_serial(make: fn() -> KineticScenario, steps: usize) {
+    let name = make().name;
+    let (serial_blocks, serial_clocks) = run_scenario_distributed(make, 1, steps);
+    let (dist_blocks, dist_clocks) = run_scenario_distributed(make, 2, steps);
+
+    for (rank, clocks) in dist_clocks.iter().enumerate() {
+        assert_eq!(
+            clocks, &serial_clocks[0],
+            "{name}: rank {rank} clock stream diverged from serial"
+        );
+    }
+    let serial = &serial_blocks[0];
+    let concat: Vec<f32> = dist_blocks.concat();
+    assert_eq!(serial.len(), concat.len());
+    for (i, (a, b)) in serial.iter().zip(&concat).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{name}: bit divergence at flat index {i} after {steps} steps: {a:?} vs {b:?}"
+        );
+    }
+}
+
+/// Landau damping drives the periodic electrostatic force path (plane-
+/// ordered mean subtraction, `Exec::Scalar` thin velocity grid).
+#[test]
+fn landau_two_rank_run_is_bitwise_identical_to_serial() {
+    assert_two_ranks_match_serial(plasma::landau_damping, 6);
+}
+
+/// The King sphere drives the isolated-gravity path: the replicated
+/// open-boundary solve over allgathered slabs must not depend on which rank
+/// assembled it.
+#[test]
+fn king_sphere_two_rank_run_is_bitwise_identical_to_serial() {
+    assert_two_ranks_match_serial(king::king_sphere, 4);
+}
+
+/// The two-stream instability rides the same electrostatic path but with a
+/// growing mode — amplification must not amplify a rank-dependent ulp.
+#[test]
+fn two_stream_two_rank_run_is_bitwise_identical_to_serial() {
+    assert_two_ranks_match_serial(plasma::two_stream, 6);
+}
+
+/// The serial scenario engine itself must be thread-count invariant: 4
+/// rayon workers vs 1, bitwise, for one representative of each new family.
+#[test]
+fn scenario_engine_is_thread_count_invariant() {
+    for make in [plasma::landau_damping, king::king_sphere] as [fn() -> KineticScenario; 2] {
+        let sc = make();
+        let run = |threads: usize| {
+            rayon::with_num_threads(threads, || {
+                let mut sim = sc.build();
+                for _ in 0..4 {
+                    sim.step();
+                }
+                (sim.time().to_bits(), sim.phase_space().as_slice().to_vec())
+            })
+        };
+        let (t1, f1) = run(1);
+        let (t4, f4) = run(4);
+        assert_eq!(t1, t4, "{}: clocks diverged across thread counts", sc.name);
+        for (i, (a, b)) in f1.iter().zip(&f4).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{}: thread-count divergence at flat index {i}: {a:?} vs {b:?}",
+                sc.name
+            );
         }
     }
 }
